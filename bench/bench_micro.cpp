@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Wall-clock micro-benchmarks (google-benchmark) of the real data
+ * path -- the code that executes regardless of the simulated cost
+ * model: slotted-page operations, dirty-range tracking, checksums,
+ * NVWAL frame writes and end-to-end transactions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "btree/page_view.hpp"
+
+using namespace nvwal;
+using namespace nvwal::bench;
+
+namespace
+{
+
+void
+BM_PageLeafInsert(benchmark::State &state)
+{
+    ByteBuffer page(4096, 0);
+    ByteBuffer value(100, 0xAB);
+    RowId key = 0;
+    DirtyRanges dirty;
+    PageView view(ByteSpan(page.data(), page.size()), 4072, &dirty);
+    view.initLeaf();
+    for (auto _ : state) {
+        if (!view.leafFits(value.size())) {
+            view.initLeaf();
+            dirty.clear();
+        }
+        view.leafInsert(view.nCells(), ++key,
+                        ConstByteSpan(value.data(), value.size()));
+        benchmark::DoNotOptimize(page.data());
+    }
+}
+BENCHMARK(BM_PageLeafInsert);
+
+void
+BM_PageLeafRemoveCompaction(benchmark::State &state)
+{
+    ByteBuffer page(4096, 0);
+    ByteBuffer value(100, 0xCD);
+    DirtyRanges dirty;
+    PageView view(ByteSpan(page.data(), page.size()), 4072, &dirty);
+    view.initLeaf();
+    RowId key = 0;
+    for (auto _ : state) {
+        while (view.leafFits(value.size())) {
+            view.leafInsert(view.nCells(), ++key,
+                            ConstByteSpan(value.data(), value.size()));
+        }
+        state.PauseTiming();
+        state.ResumeTiming();
+        while (view.nCells() > 0)
+            view.leafRemove(0);
+        benchmark::DoNotOptimize(page.data());
+    }
+}
+BENCHMARK(BM_PageLeafRemoveCompaction);
+
+void
+BM_DirtyRangeMark(benchmark::State &state)
+{
+    DirtyRanges ranges;
+    std::uint32_t at = 0;
+    for (auto _ : state) {
+        at = (at + 97) % 4000;
+        ranges.mark(at, at + 8);
+        if (ranges.ranges().size() > 6)
+            ranges.clear();
+        benchmark::DoNotOptimize(ranges);
+    }
+}
+BENCHMARK(BM_DirtyRangeMark);
+
+void
+BM_CumulativeChecksum4K(benchmark::State &state)
+{
+    const ByteBuffer data(4096, 0x5A);
+    for (auto _ : state) {
+        CumulativeChecksum sum;
+        sum.update(ConstByteSpan(data.data(), data.size()));
+        benchmark::DoNotOptimize(sum.value());
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_CumulativeChecksum4K);
+
+void
+BM_BTreeInsertWallClock(benchmark::State &state)
+{
+    EnvConfig env_config;
+    env_config.cost = CostModel::nexus5();
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer value(100, 0x42);
+    RowId key = 0;
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(db->insert(
+            ++key, ConstByteSpan(value.data(), value.size())));
+        if (key % 5000 == 0) {
+            state.PauseTiming();
+            NVWAL_CHECK_OK(db->checkpoint());
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BTreeInsertWallClock);
+
+void
+BM_TransactionCommitNvwal(benchmark::State &state)
+{
+    // Host-time cost of the full commit path (diff computation,
+    // frame encode, simulated persistence bookkeeping).
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.autoCheckpoint = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer value(100, 0x11);
+    RowId key = 0;
+    std::int64_t committed = 0;
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(db->begin());
+        for (int i = 0; i < 4; ++i) {
+            NVWAL_CHECK_OK(db->insert(
+                ++key, ConstByteSpan(value.data(), value.size())));
+        }
+        NVWAL_CHECK_OK(db->commit());
+        ++committed;
+        if (committed % 2000 == 0) {
+            state.PauseTiming();
+            NVWAL_CHECK_OK(db->checkpoint());
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(committed);
+}
+BENCHMARK(BM_TransactionCommitNvwal);
+
+void
+BM_RecoveryScan(benchmark::State &state)
+{
+    // Rebuild-from-NVRAM cost as a function of committed frames.
+    const int frames = static_cast<int>(state.range(0));
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.autoCheckpoint = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer value(100, 0x22);
+    for (RowId k = 0; k < frames; ++k) {
+        NVWAL_CHECK_OK(
+            db->insert(k, ConstByteSpan(value.data(), value.size())));
+    }
+    db.reset();
+    for (auto _ : state) {
+        std::unique_ptr<Database> reopened;
+        NVWAL_CHECK_OK(Database::open(env, config, &reopened));
+        benchmark::DoNotOptimize(reopened->wal().framesSinceCheckpoint());
+    }
+}
+BENCHMARK(BM_RecoveryScan)->Arg(100)->Arg(1000);
+
+} // namespace
+
+BENCHMARK_MAIN();

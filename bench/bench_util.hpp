@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Shared workload driver for the benchmark harness. Every bench
+ * binary regenerates one table or figure of the paper's evaluation
+ * (section 5) by running Mobibench-style workloads through this
+ * driver and reporting simulated-time metrics.
+ */
+
+#ifndef NVWAL_BENCH_BENCH_UTIL_HPP
+#define NVWAL_BENCH_BENCH_UTIL_HPP
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "common/table_printer.hpp"
+#include "db/database.hpp"
+
+namespace nvwal::bench
+{
+
+/** Workload operation type (the paper's three Mobibench modes). */
+enum class OpKind
+{
+    Insert,
+    Update,
+    Delete,
+};
+
+inline const char *
+opKindName(OpKind op)
+{
+    switch (op) {
+      case OpKind::Insert: return "insert";
+      case OpKind::Update: return "update";
+      case OpKind::Delete: return "delete";
+    }
+    return "?";
+}
+
+/** One workload configuration. */
+struct WorkloadSpec
+{
+    OpKind op = OpKind::Insert;
+    int txns = 1000;
+    int opsPerTxn = 1;
+    std::size_t recordSize = 100;  //!< the paper's 100-byte records
+    /**
+     * Auto-checkpoint every 1000 frames inside the measured region
+     * (the SQLite default). Figure 7 excludes checkpoint time
+     * (section 5.3); Figure 9 amortizes it (section 5.4).
+     */
+    bool checkpointDuringRun = true;
+    std::uint64_t seed = 42;
+};
+
+/** Measured outcome of one workload run. */
+struct WorkloadResult
+{
+    SimTime elapsedNs = 0;
+    double txnsPerSec = 0.0;
+    StatsSnapshot delta;
+
+    std::uint64_t
+    stat(const char *name) const
+    {
+        auto it = delta.find(name);
+        return it == delta.end() ? 0 : it->second;
+    }
+
+    double
+    perTxn(const char *name, int txns) const
+    {
+        return static_cast<double>(stat(name)) / txns;
+    }
+};
+
+/**
+ * Run @p spec against a database opened with @p db_config on a fresh
+ * Env built from @p env_config. Update/delete workloads are
+ * pre-populated (and checkpointed) outside the measured region.
+ */
+inline WorkloadResult
+runWorkload(const EnvConfig &env_config, DbConfig db_config,
+            const WorkloadSpec &spec)
+{
+    Env env(env_config);
+    db_config.autoCheckpoint = spec.checkpointDuringRun;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, db_config, &db));
+
+    Rng rng(spec.seed);
+    const int total_records = spec.txns * spec.opsPerTxn;
+    if (spec.op != OpKind::Insert) {
+        for (int k = 0; k < total_records; ++k) {
+            ByteBuffer v(spec.recordSize,
+                         static_cast<std::uint8_t>(rng.next()));
+            NVWAL_CHECK_OK(
+                db->insert(k, ConstByteSpan(v.data(), v.size())));
+        }
+        NVWAL_CHECK_OK(db->checkpoint());
+    }
+
+    const SimTime start = env.clock.now();
+    const StatsSnapshot before = env.stats.snapshot();
+    RowId key = 0;
+    for (int t = 0; t < spec.txns; ++t) {
+        NVWAL_CHECK_OK(db->begin());
+        for (int i = 0; i < spec.opsPerTxn; ++i, ++key) {
+            ByteBuffer v(spec.recordSize,
+                         static_cast<std::uint8_t>(rng.next()));
+            const ConstByteSpan value(v.data(), v.size());
+            switch (spec.op) {
+              case OpKind::Insert:
+                NVWAL_CHECK_OK(db->insert(key, value));
+                break;
+              case OpKind::Update:
+                NVWAL_CHECK_OK(db->update(key, value));
+                break;
+              case OpKind::Delete:
+                NVWAL_CHECK_OK(db->remove(key));
+                break;
+            }
+        }
+        NVWAL_CHECK_OK(db->commit());
+    }
+
+    WorkloadResult result;
+    result.elapsedNs = env.clock.now() - start;
+    result.delta = StatsRegistry::delta(before, env.stats.snapshot());
+    result.txnsPerSec = static_cast<double>(spec.txns) /
+                        (static_cast<double>(result.elapsedNs) / 1e9);
+    return result;
+}
+
+/** The six NVWAL schemes of Figure 7's legend, in paper order. */
+struct Scheme
+{
+    const char *label;
+    SyncMode sync;
+    bool diff;
+    bool userHeap;
+};
+
+inline const Scheme kFigure7Schemes[] = {
+    {"NVWAL LS", SyncMode::Lazy, false, false},
+    {"NVWAL LS+Diff", SyncMode::Lazy, true, false},
+    {"NVWAL CS+Diff", SyncMode::ChecksumAsync, true, false},
+    {"NVWAL UH+LS", SyncMode::Lazy, false, true},
+    {"NVWAL UH+LS+Diff", SyncMode::Lazy, true, true},
+    {"NVWAL UH+CS+Diff", SyncMode::ChecksumAsync, true, true},
+};
+
+inline DbConfig
+nvwalDbConfig(const Scheme &scheme)
+{
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.nvwal.syncMode = scheme.sync;
+    config.nvwal.diffLogging = scheme.diff;
+    config.nvwal.userHeap = scheme.userHeap;
+    return config;
+}
+
+} // namespace nvwal::bench
+
+#endif // NVWAL_BENCH_BENCH_UTIL_HPP

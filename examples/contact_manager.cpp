@@ -1,0 +1,151 @@
+/**
+ * @file
+ * A small "Android contacts app" built on the public API -- the kind
+ * of workload the paper's introduction motivates (SQLite managing
+ * application data on a phone). Contacts are serialized into the
+ * rowid-keyed table; the app syncs batches of edits in transactions
+ * and compares the I/O bill of NVWAL against WAL-on-flash.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+
+using namespace nvwal;
+
+namespace
+{
+
+/** A flat, fixed-format contact record (128 bytes). */
+struct Contact
+{
+    char name[48];
+    char phone[24];
+    char email[48];
+    std::uint64_t lastContacted;
+
+    static Contact
+    make(const std::string &name, const std::string &phone,
+         const std::string &email, std::uint64_t ts)
+    {
+        Contact c{};
+        std::snprintf(c.name, sizeof(c.name), "%s", name.c_str());
+        std::snprintf(c.phone, sizeof(c.phone), "%s", phone.c_str());
+        std::snprintf(c.email, sizeof(c.email), "%s", email.c_str());
+        c.lastContacted = ts;
+        return c;
+    }
+
+    ConstByteSpan
+    bytes() const
+    {
+        return ConstByteSpan(reinterpret_cast<const std::uint8_t *>(this),
+                             sizeof(Contact));
+    }
+
+    static Contact
+    parse(ConstByteSpan raw)
+    {
+        Contact c{};
+        NVWAL_ASSERT(raw.size() == sizeof(Contact));
+        std::memcpy(&c, raw.data(), sizeof(Contact));
+        return c;
+    }
+};
+
+void
+runApp(Env &env, Database &db)
+{
+    // Import a phone book in one transaction (app install / sync).
+    NVWAL_CHECK_OK(db.begin());
+    const char *names[] = {"Ada Lovelace", "Alan Turing", "Grace Hopper",
+                           "Edsger Dijkstra", "Barbara Liskov",
+                           "Donald Knuth", "Frances Allen",
+                           "John Backus", "Niklaus Wirth", "Jim Gray"};
+    RowId id = 1;
+    for (const char *name : names) {
+        const Contact c = Contact::make(
+            name, "+82-10-555-" + std::to_string(1000 + id),
+            std::string(name).substr(0, 3) + "@example.org", 0);
+        NVWAL_CHECK_OK(db.insert(id++, c.bytes()));
+    }
+    NVWAL_CHECK_OK(db.commit());
+
+    // Daily usage: many small single-row transactions (the workload
+    // shape that makes SQLite I/O-bound on flash).
+    Rng rng(7);
+    for (std::uint64_t day = 1; day <= 200; ++day) {
+        const RowId who = static_cast<RowId>(1 + rng.nextBelow(10));
+        ByteBuffer raw;
+        NVWAL_CHECK_OK(db.get(who, &raw));
+        Contact c = Contact::parse(ConstByteSpan(raw.data(), raw.size()));
+        c.lastContacted = day;
+        NVWAL_CHECK_OK(db.update(who, c.bytes()));
+    }
+
+    // Render the most recently contacted people.
+    struct Entry
+    {
+        std::uint64_t ts;
+        std::string name;
+    };
+    std::vector<Entry> recent;
+    NVWAL_CHECK_OK(db.scan(INT64_MIN, INT64_MAX,
+                           [&](RowId, ConstByteSpan v) {
+                               const Contact c = Contact::parse(v);
+                               recent.push_back(
+                                   Entry{c.lastContacted, c.name});
+                               return true;
+                           }));
+    std::sort(recent.begin(), recent.end(),
+              [](const Entry &a, const Entry &b) { return a.ts > b.ts; });
+    std::printf("  recently contacted:\n");
+    for (std::size_t i = 0; i < 3 && i < recent.size(); ++i) {
+        std::printf("    %-20s (day %llu)\n", recent[i].name.c_str(),
+                    static_cast<unsigned long long>(recent[i].ts));
+    }
+
+    std::printf("  simulated time: %.2f ms, flash blocks written: %llu, "
+                "NVRAM bytes logged: %llu\n",
+                static_cast<double>(env.clock.now()) / 1e6,
+                static_cast<unsigned long long>(
+                    env.stats.get(stats::kBlocksWritten)),
+                static_cast<unsigned long long>(
+                    env.stats.get(stats::kNvramBytesLogged)));
+}
+
+} // namespace
+
+int
+main()
+{
+    // The same app on two storage stacks.
+    struct Setup
+    {
+        const char *label;
+        WalMode mode;
+    };
+    const Setup setups[] = {
+        {"WAL on eMMC flash (stock SQLite)", WalMode::FileStock},
+        {"NVWAL on NVRAM (UH+LS+Diff)", WalMode::Nvwal},
+    };
+
+    for (const Setup &setup : setups) {
+        std::printf("\n== contacts app over %s ==\n", setup.label);
+        EnvConfig env_config;
+        env_config.cost = CostModel::nexus5(2000);
+        Env env(env_config);
+        DbConfig config;
+        config.name = "contacts.db";
+        config.walMode = setup.mode;
+        std::unique_ptr<Database> db;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        runApp(env, *db);
+    }
+    std::printf("\nSame app, same data -- the NVWAL run replaces the "
+                "flash fsync bill with byte-granularity NVRAM logging.\n");
+    return 0;
+}

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Failure-atomicity demo: commit transactions, lose power at the
+ * worst possible moment (mid-commit, with an adversarial cache-
+ * survival model), and watch recovery restore exactly the committed
+ * state -- including reclamation of NVRAM blocks that were caught in
+ * the pending state (paper section 4.3).
+ */
+
+#include <cstdio>
+
+#include "db/database.hpp"
+
+using namespace nvwal;
+
+namespace
+{
+
+void
+showState(Database &db, const char *when)
+{
+    std::printf("%s:\n", when);
+    NVWAL_CHECK_OK(db.scan(INT64_MIN, INT64_MAX,
+                           [](RowId key, ConstByteSpan v) {
+                               std::printf("  %lld = %.*s\n",
+                                           static_cast<long long>(key),
+                                           static_cast<int>(v.size()),
+                                           reinterpret_cast<const char *>(
+                                               v.data()));
+                               return true;
+                           }));
+}
+
+} // namespace
+
+int
+main()
+{
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+
+    DbConfig config;
+    config.name = "bank.db";
+    config.walMode = WalMode::Nvwal;  // UH+LS+Diff by default
+
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+
+    // Two committed transactions.
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(db->insert(100, "alice: $500"));
+    NVWAL_CHECK_OK(db->insert(200, "bob:   $300"));
+    NVWAL_CHECK_OK(db->commit());
+
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(db->update(100, toBytes("alice: $400")));
+    NVWAL_CHECK_OK(db->update(200, toBytes("bob:   $400")));
+    NVWAL_CHECK_OK(db->commit());
+    showState(*db, "committed state (alice -> bob transfer done)");
+
+    // A third transaction dies mid-commit: power is cut while WAL
+    // frames are being flushed. The adversarial policy lets an
+    // arbitrary subset of unflushed cache lines reach NVRAM -- the
+    // worst case the recovery protocol must handle.
+    std::printf("\n-- pulling the plug mid-commit --\n");
+    env.nvramDevice.setScheduledCrashPolicy(FailurePolicy::Adversarial,
+                                            /*survive_prob=*/0.5);
+    env.nvramDevice.scheduleCrashAtOp(8);  // 8 NVRAM ops from now
+    try {
+        NVWAL_CHECK_OK(db->begin());
+        NVWAL_CHECK_OK(db->update(100, toBytes("alice: $0  ")));
+        NVWAL_CHECK_OK(db->update(200, toBytes("bob:   $800")));
+        NVWAL_CHECK_OK(db->commit());
+        std::printf("(commit survived -- try a smaller op budget)\n");
+    } catch (const PowerFailure &) {
+        std::printf("power failure during commit!\n");
+        env.fs.crash();
+    }
+    env.nvramDevice.scheduleCrashAtOp(0);  // disarm
+
+    // Recovery: reopen the database over the surviving NVRAM image.
+    db.reset();
+    std::unique_ptr<Database> recovered;
+    NVWAL_CHECK_OK(Database::open(env, config, &recovered));
+    NVWAL_CHECK_OK(recovered->verifyIntegrity());
+    showState(*recovered, "\nrecovered state (torn transfer rolled back)");
+
+    std::printf("\nNVRAM heap after recovery: %llu in-use, %llu pending "
+                "(pending blocks were reclaimed)\n",
+                static_cast<unsigned long long>(
+                    env.heap.countBlocks(BlockState::InUse)),
+                static_cast<unsigned long long>(
+                    env.heap.countBlocks(BlockState::Pending)));
+
+    // The database is fully operational after recovery.
+    NVWAL_CHECK_OK(recovered->begin());
+    NVWAL_CHECK_OK(recovered->update(100, toBytes("alice: $250")));
+    NVWAL_CHECK_OK(recovered->update(200, toBytes("bob:   $550")));
+    NVWAL_CHECK_OK(recovered->commit());
+    showState(*recovered, "\nafter a successful retry");
+    return 0;
+}

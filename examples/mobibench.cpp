@@ -1,0 +1,205 @@
+/**
+ * @file
+ * A Mobibench-style workload driver (the benchmark app the paper
+ * uses in section 5): N transactions, each inserting, updating or
+ * deleting K records of a given size, against any WAL mode on either
+ * platform preset, with a tunable NVRAM write latency.
+ *
+ * Examples:
+ *   mobibench                                   # paper defaults
+ *   mobibench --mode optimized-wal              # flash baseline
+ *   mobibench --mode nvwal --sync cs --latency 1900
+ *   mobibench --op update --txns 500 --ops 4
+ *   mobibench --platform tuna --latency 500
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/rng.hpp"
+#include "db/database.hpp"
+
+using namespace nvwal;
+
+namespace
+{
+
+struct Options
+{
+    std::string platform = "nexus5";
+    std::string mode = "nvwal";
+    std::string sync = "lazy";
+    std::string op = "insert";
+    bool diff = true;
+    bool userHeap = true;
+    SimTime latencyNs = 2000;
+    int txns = 1000;
+    int opsPerTxn = 1;
+    std::size_t recordSize = 100;
+};
+
+void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --platform tuna|nexus5       cost-model preset (nexus5)\n"
+        "  --latency NS                 NVRAM write latency (2000)\n"
+        "  --mode stock-wal|optimized-wal|nvwal\n"
+        "  --sync eager|lazy|cs         NVWAL sync mode (lazy)\n"
+        "  --no-diff                    disable differential logging\n"
+        "  --no-user-heap               nvmalloc per frame (LS mode)\n"
+        "  --op insert|update|delete    workload (insert)\n"
+        "  --txns N                     transactions (1000)\n"
+        "  --ops N                      statements per txn (1)\n"
+        "  --record-size B              record payload bytes (100)\n",
+        argv0);
+    std::exit(2);
+}
+
+Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--platform") {
+            opt.platform = next();
+        } else if (arg == "--latency") {
+            opt.latencyNs = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--mode") {
+            opt.mode = next();
+        } else if (arg == "--sync") {
+            opt.sync = next();
+        } else if (arg == "--no-diff") {
+            opt.diff = false;
+        } else if (arg == "--no-user-heap") {
+            opt.userHeap = false;
+        } else if (arg == "--op") {
+            opt.op = next();
+        } else if (arg == "--txns") {
+            opt.txns = std::atoi(next());
+        } else if (arg == "--ops") {
+            opt.opsPerTxn = std::atoi(next());
+        } else if (arg == "--record-size") {
+            opt.recordSize = std::strtoull(next(), nullptr, 10);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    return opt;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const Options opt = parse(argc, argv);
+
+    EnvConfig env_config;
+    if (opt.platform == "tuna")
+        env_config.cost = CostModel::tuna(opt.latencyNs);
+    else if (opt.platform == "nexus5")
+        env_config.cost = CostModel::nexus5(opt.latencyNs);
+    else
+        usage(argv[0]);
+    Env env(env_config);
+
+    DbConfig config;
+    config.name = "mobibench.db";
+    if (opt.mode == "stock-wal") {
+        config.walMode = WalMode::FileStock;
+    } else if (opt.mode == "optimized-wal") {
+        config.walMode = WalMode::FileOptimized;
+    } else if (opt.mode == "nvwal") {
+        config.walMode = WalMode::Nvwal;
+        if (opt.sync == "eager")
+            config.nvwal.syncMode = SyncMode::Eager;
+        else if (opt.sync == "lazy")
+            config.nvwal.syncMode = SyncMode::Lazy;
+        else if (opt.sync == "cs")
+            config.nvwal.syncMode = SyncMode::ChecksumAsync;
+        else
+            usage(argv[0]);
+        config.nvwal.diffLogging = opt.diff;
+        config.nvwal.userHeap = opt.userHeap;
+    } else {
+        usage(argv[0]);
+    }
+
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+
+    // Pre-populate for update/delete workloads.
+    Rng rng(42);
+    const bool needs_population = opt.op != "insert";
+    const int total_records = opt.txns * opt.opsPerTxn;
+    if (needs_population) {
+        for (int k = 0; k < total_records; ++k) {
+            ByteBuffer v(opt.recordSize,
+                         static_cast<std::uint8_t>(rng.next()));
+            NVWAL_CHECK_OK(db->insert(k, ConstByteSpan(v.data(), v.size())));
+        }
+        NVWAL_CHECK_OK(db->checkpoint());
+    }
+
+    const SimTime start = env.clock.now();
+    const StatsSnapshot before = env.stats.snapshot();
+    RowId key = 0;
+    for (int t = 0; t < opt.txns; ++t) {
+        NVWAL_CHECK_OK(db->begin());
+        for (int i = 0; i < opt.opsPerTxn; ++i, ++key) {
+            ByteBuffer v(opt.recordSize,
+                         static_cast<std::uint8_t>(rng.next()));
+            const ConstByteSpan value(v.data(), v.size());
+            if (opt.op == "insert")
+                NVWAL_CHECK_OK(db->insert(key, value));
+            else if (opt.op == "update")
+                NVWAL_CHECK_OK(db->update(key, value));
+            else if (opt.op == "delete")
+                NVWAL_CHECK_OK(db->remove(key));
+            else
+                usage(argv[0]);
+        }
+        NVWAL_CHECK_OK(db->commit());
+    }
+    const SimTime elapsed = env.clock.now() - start;
+    const StatsSnapshot delta =
+        StatsRegistry::delta(before, env.stats.snapshot());
+
+    const double seconds = static_cast<double>(elapsed) / 1e9;
+    std::printf("scheme           : %s\n", db->wal().name());
+    std::printf("platform         : %s, NVRAM write latency %llu ns\n",
+                opt.platform.c_str(),
+                static_cast<unsigned long long>(opt.latencyNs));
+    std::printf("workload         : %d txns x %d %s of %zu bytes\n",
+                opt.txns, opt.opsPerTxn, opt.op.c_str(), opt.recordSize);
+    std::printf("simulated time   : %.3f s\n", seconds);
+    std::printf("throughput       : %.0f txns/sec\n",
+                static_cast<double>(opt.txns) / seconds);
+    auto stat = [&](const char *name) -> unsigned long long {
+        auto it = delta.find(name);
+        return it == delta.end() ? 0ull : it->second;
+    };
+    std::printf("NVRAM frames     : %llu\n",
+                stat(stats::kNvramFramesWritten));
+    std::printf("NVRAM bytes      : %llu\n", stat(stats::kNvramBytesLogged));
+    std::printf("lines flushed    : %llu\n", stat(stats::kNvramLinesFlushed));
+    std::printf("persist barriers : %llu\n", stat(stats::kPersistBarriers));
+    std::printf("heap calls       : %llu\n", stat(stats::kHeapCalls));
+    std::printf("flash blocks     : %llu (journal %llu)\n",
+                stat(stats::kBlocksWritten),
+                stat(stats::kJournalBlocksWritten));
+    std::printf("fsyncs           : %llu\n", stat(stats::kFsyncs));
+    std::printf("checkpoints      : %llu\n", stat(stats::kCheckpoints));
+    return 0;
+}

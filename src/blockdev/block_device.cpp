@@ -1,0 +1,59 @@
+#include "block_device.hpp"
+
+#include <cstring>
+
+namespace nvwal
+{
+
+const char *
+ioTagName(IoTag tag)
+{
+    switch (tag) {
+      case IoTag::DbFile: return ".db";
+      case IoTag::WalFile: return ".db-wal";
+      case IoTag::Journal: return "ext4-journal";
+      case IoTag::Meta: return "fs-meta";
+      case IoTag::Other: return "other";
+    }
+    return "?";
+}
+
+BlockDevice::BlockDevice(std::uint64_t num_blocks, std::uint32_t block_size,
+                         SimClock &clock, const CostModel &cost,
+                         StatsRegistry &stats)
+    : _numBlocks(num_blocks), _blockSize(block_size), _clock(clock),
+      _cost(cost), _stats(stats),
+      _data(num_blocks * block_size, 0)
+{
+    NVWAL_ASSERT(block_size > 0 && num_blocks > 0);
+}
+
+void
+BlockDevice::writeBlock(BlockNo block, ConstByteSpan data, IoTag tag)
+{
+    NVWAL_ASSERT(block < _numBlocks, "block write out of range: %llu",
+                 static_cast<unsigned long long>(block));
+    NVWAL_ASSERT(data.size() == _blockSize,
+                 "block write must be exactly one block");
+    _clock.advance(_cost.blockProgramNs);
+    std::memcpy(_data.data() + block * _blockSize, data.data(), _blockSize);
+    _stats.add(stats::kBlocksWritten);
+    _bytesPerTag[static_cast<std::size_t>(tag)] += _blockSize;
+    if (tag == IoTag::Journal)
+        _stats.add(stats::kJournalBlocksWritten);
+    if (_tracing)
+        _trace.push_back(TraceEntry{_clock.now(), block, tag});
+}
+
+void
+BlockDevice::readBlock(BlockNo block, ByteSpan out)
+{
+    NVWAL_ASSERT(block < _numBlocks, "block read out of range");
+    NVWAL_ASSERT(out.size() == _blockSize,
+                 "block read must be exactly one block");
+    _clock.advance(_cost.blockReadNs);
+    _stats.add(stats::kBlocksRead);
+    std::memcpy(out.data(), _data.data() + block * _blockSize, _blockSize);
+}
+
+} // namespace nvwal

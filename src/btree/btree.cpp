@@ -1,0 +1,535 @@
+#include "btree.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvwal
+{
+
+BTree::BTree(Pager &pager, PageNo root)
+    : _pager(pager), _root(root == kNoPage ? pager.rootPage() : root)
+{}
+
+PageView
+BTree::viewOf(CachedPage &page)
+{
+    return PageView(page.span(), _pager.usableSize(), &page.dirty);
+}
+
+std::uint32_t
+BTree::maxValueSize() const
+{
+    // Values larger than the local-payload limit continue on
+    // overflow pages; the logical length is stored in 16 bits.
+    return 0xffff;
+}
+
+Status
+BTree::encodeLeafCell(RowId key, ConstByteSpan value, LeafCell *out)
+{
+    const std::uint32_t usable = _pager.usableSize();
+    const std::uint32_t max_local = PageView::maxLocalPayload(usable);
+    out->key = key;
+    out->totalLen = static_cast<std::uint32_t>(value.size());
+    if (value.size() <= max_local) {
+        out->payload.assign(value.begin(), value.end());
+        return Status::ok();
+    }
+
+    // Spill the tail to an overflow chain: [next page u32][chunk].
+    // Pages are allocated tail-first so each one's successor is
+    // known when it is written.
+    const std::uint32_t chunk_cap = usable - 4;
+    std::vector<ConstByteSpan> chunks;
+    std::size_t pos = max_local;
+    while (pos < value.size()) {
+        const std::size_t n =
+            std::min<std::size_t>(chunk_cap, value.size() - pos);
+        chunks.push_back(value.subspan(pos, n));
+        pos += n;
+    }
+    PageNo next = kNoPage;
+    for (auto it = chunks.rbegin(); it != chunks.rend(); ++it) {
+        CachedPage *page;
+        PageNo no;
+        NVWAL_RETURN_IF_ERROR(_pager.allocatePage(&page, &no));
+        storeU32(page->buf.data(), next);
+        std::memcpy(page->buf.data() + 4, it->data(), it->size());
+        next = no;
+        _counters.pagesAllocated++;
+    }
+
+    out->payload.resize(max_local + 4);
+    std::memcpy(out->payload.data(), value.data(), max_local);
+    storeU32(out->payload.data() + max_local, next);
+    return Status::ok();
+}
+
+Status
+BTree::readLeafValue(PageView &view, int idx, ByteBuffer *out)
+{
+    const std::uint32_t total = view.leafTotalLen(idx);
+    const ConstByteSpan local = view.leafValueAt(idx);
+    out->assign(local.begin(), local.end());
+    if (!view.leafHasOverflow(idx))
+        return Status::ok();
+
+    const std::uint32_t chunk_cap = _pager.usableSize() - 4;
+    PageNo no = view.leafOverflowPage(idx);
+    while (out->size() < total) {
+        if (no == kNoPage)
+            return Status::corruption("overflow chain ends early");
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_pager.getPage(no, &page));
+        const std::size_t n =
+            std::min<std::size_t>(chunk_cap, total - out->size());
+        out->insert(out->end(), page->buf.data() + 4,
+                    page->buf.data() + 4 + n);
+        no = loadU32(page->buf.data());
+    }
+    if (no != kNoPage)
+        return Status::corruption("overflow chain longer than value");
+    return Status::ok();
+}
+
+Status
+BTree::freeOverflowChain(PageNo first)
+{
+    PageNo no = first;
+    while (no != kNoPage) {
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_pager.getPage(no, &page));
+        const PageNo next = loadU32(page->buf.data());
+        NVWAL_RETURN_IF_ERROR(_pager.freePage(no));
+        no = next;
+    }
+    return Status::ok();
+}
+
+Status
+BTree::insert(RowId key, ConstByteSpan value)
+{
+    if (value.size() > maxValueSize())
+        return Status::invalidArgument("value too large (64K max)");
+    ++_version;
+
+    LeafCell cell;
+    NVWAL_RETURN_IF_ERROR(encodeLeafCell(key, value, &cell));
+    std::optional<SplitInfo> split;
+    NVWAL_RETURN_IF_ERROR(insertRec(_root, key, cell, &split));
+    if (!split.has_value())
+        return Status::ok();
+
+    // Root split: the root page number is fixed, so move the old
+    // root (now the left half) into a fresh page and rebuild the
+    // root as an interior node over both halves.
+    CachedPage *root;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(_root, &root));
+    CachedPage *left;
+    PageNo left_no;
+    NVWAL_RETURN_IF_ERROR(_pager.allocatePage(&left, &left_no));
+    _counters.pagesAllocated++;
+    std::memcpy(left->buf.data(), root->buf.data(), root->buf.size());
+    left->dirty.mark(0, _pager.usableSize());
+
+    PageView root_view = viewOf(*root);
+    root_view.rebuildInterior({InteriorCell{split->sepKey, left_no}},
+                              split->right);
+    return Status::ok();
+}
+
+Status
+BTree::insertRec(PageNo page_no, RowId key, const LeafCell &cell,
+                 std::optional<SplitInfo> *split)
+{
+    CachedPage *page;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+    PageView view = viewOf(*page);
+
+    if (view.type() == PageView::kTypeNone) {
+        // Lazily format the empty root created at database creation.
+        NVWAL_ASSERT(page_no == _root,
+                     "uninitialized non-root page");
+        view.initLeaf();
+    }
+
+    if (view.isLeaf()) {
+        const int idx = view.lowerBound(key);
+        if (idx < view.nCells() && view.keyAt(idx) == key)
+            return Status::invalidArgument("duplicate key");
+        if (view.leafFits(cell.payload.size())) {
+            view.leafInsertCell(idx, cell);
+            return Status::ok();
+        }
+        SplitInfo info;
+        NVWAL_RETURN_IF_ERROR(splitLeaf(*page, idx, cell, &info));
+        *split = info;
+        return Status::ok();
+    }
+
+    const int slot = view.lowerBound(key);
+    const PageNo child = view.childAt(slot);
+    std::optional<SplitInfo> child_split;
+    NVWAL_RETURN_IF_ERROR(insertRec(child, key, cell, &child_split));
+    if (!child_split.has_value())
+        return Status::ok();
+
+    // The child C at descent slot was split: C keeps keys <= sepKey,
+    // the new page holds the rest. Insert (sepKey, C) at the slot
+    // and repoint the old entry at the new right sibling.
+    // (Re-fetch the view: the recursive call may have grown the
+    // cache, but the buffer address of *page* is stable since
+    // CachedPage owns its buffer; the view itself is still valid.)
+    if (view.interiorFits()) {
+        view.interiorInsert(slot, child_split->sepKey, child);
+        view.setChildAt(slot + 1, child_split->right);
+        return Status::ok();
+    }
+
+    // No room: rebuild from the logical cell list and split.
+    std::vector<InteriorCell> cells = view.interiorCells();
+    PageNo right_child = view.rightChild();
+    cells.insert(cells.begin() + slot,
+                 InteriorCell{child_split->sepKey, child});
+    if (static_cast<std::size_t>(slot) + 1 < cells.size())
+        cells[static_cast<std::size_t>(slot) + 1].child =
+            child_split->right;
+    else
+        right_child = child_split->right;
+
+    SplitInfo info;
+    NVWAL_RETURN_IF_ERROR(
+        splitInterior(*page, std::move(cells), right_child, &info));
+    *split = info;
+    return Status::ok();
+}
+
+Status
+BTree::splitLeaf(CachedPage &page, int insert_idx,
+                 const LeafCell &cell, SplitInfo *split)
+{
+    PageView view = viewOf(page);
+    std::vector<LeafCell> cells = view.leafCells();
+    cells.insert(cells.begin() + insert_idx, cell);
+
+    // Split by bytes so variable-sized values balance evenly.
+    std::uint64_t total = 0;
+    for (const LeafCell &c : cells)
+        total += PageView::leafCellSize(c.payload.size()) +
+                 PageView::kPtrSize;
+    std::uint64_t acc = 0;
+    std::size_t cut = 0;
+    while (cut + 1 < cells.size() && acc < total / 2) {
+        acc += PageView::leafCellSize(cells[cut].payload.size()) +
+               PageView::kPtrSize;
+        ++cut;
+    }
+    NVWAL_ASSERT(cut > 0 && cut < cells.size(), "degenerate leaf split");
+
+    CachedPage *right;
+    PageNo right_no;
+    NVWAL_RETURN_IF_ERROR(_pager.allocatePage(&right, &right_no));
+    _counters.pagesAllocated++;
+    _counters.splits++;
+
+    std::vector<LeafCell> left_cells(cells.begin(),
+                                     cells.begin() +
+                                         static_cast<std::ptrdiff_t>(cut));
+    std::vector<LeafCell> right_cells(cells.begin() +
+                                          static_cast<std::ptrdiff_t>(cut),
+                                      cells.end());
+    view.rebuildLeaf(left_cells);
+    PageView right_view = viewOf(*right);
+    right_view.rebuildLeaf(right_cells);
+
+    split->sepKey = left_cells.back().key;
+    split->right = right_no;
+    return Status::ok();
+}
+
+Status
+BTree::splitInterior(CachedPage &page, std::vector<InteriorCell> cells,
+                     PageNo right_child, SplitInfo *split)
+{
+    NVWAL_ASSERT(cells.size() >= 3, "interior split needs >= 3 cells");
+    const std::size_t mid = cells.size() / 2;
+
+    CachedPage *right;
+    PageNo right_no;
+    NVWAL_RETURN_IF_ERROR(_pager.allocatePage(&right, &right_no));
+    _counters.pagesAllocated++;
+    _counters.splits++;
+
+    // cells[mid] is pushed up: its key becomes the separator and its
+    // child becomes the left node's right-most child.
+    std::vector<InteriorCell> left_cells(
+        cells.begin(), cells.begin() + static_cast<std::ptrdiff_t>(mid));
+    std::vector<InteriorCell> right_cells(
+        cells.begin() + static_cast<std::ptrdiff_t>(mid) + 1, cells.end());
+
+    PageView view = viewOf(page);
+    view.rebuildInterior(left_cells, cells[mid].child);
+    PageView right_view = viewOf(*right);
+    right_view.rebuildInterior(right_cells, right_child);
+
+    split->sepKey = cells[mid].key;
+    split->right = right_no;
+    return Status::ok();
+}
+
+Status
+BTree::findLeaf(RowId key, CachedPage **leaf, int *idx, bool *found)
+{
+    PageNo page_no = _root;
+    for (;;) {
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+        PageView view = viewOf(*page);
+        if (view.type() == PageView::kTypeNone) {
+            *leaf = page;
+            *idx = 0;
+            *found = false;
+            return Status::ok();
+        }
+        if (view.isLeaf()) {
+            const int i = view.lowerBound(key);
+            *leaf = page;
+            *idx = i;
+            *found = i < view.nCells() && view.keyAt(i) == key;
+            return Status::ok();
+        }
+        page_no = view.childAt(view.lowerBound(key));
+    }
+}
+
+Status
+BTree::get(RowId key, ByteBuffer *out)
+{
+    CachedPage *leaf;
+    int idx;
+    bool found;
+    NVWAL_RETURN_IF_ERROR(findLeaf(key, &leaf, &idx, &found));
+    if (!found)
+        return Status::notFound("key not in table");
+    PageView view = viewOf(*leaf);
+    return readLeafValue(view, idx, out);
+}
+
+bool
+BTree::contains(RowId key)
+{
+    CachedPage *leaf;
+    int idx;
+    bool found = false;
+    const Status s = findLeaf(key, &leaf, &idx, &found);
+    return s.isOk() && found;
+}
+
+Status
+BTree::update(RowId key, ConstByteSpan value)
+{
+    if (value.size() > maxValueSize())
+        return Status::invalidArgument("value too large for page size");
+    // SQLite rewrites the cell (drop + insert); do the same so the
+    // dirty-byte profile matches the paper's update workload.
+    NVWAL_RETURN_IF_ERROR(remove(key));
+    return insert(key, value);
+}
+
+Status
+BTree::remove(RowId key)
+{
+    ++_version;
+    CachedPage *leaf;
+    int idx;
+    bool found;
+    NVWAL_RETURN_IF_ERROR(findLeaf(key, &leaf, &idx, &found));
+    if (!found)
+        return Status::notFound("key not in table");
+    PageView view = viewOf(*leaf);
+    if (view.leafHasOverflow(idx))
+        NVWAL_RETURN_IF_ERROR(freeOverflowChain(view.leafOverflowPage(idx)));
+    view.leafRemove(idx);
+    return Status::ok();
+}
+
+Status
+BTree::scan(RowId lo, RowId hi, const ScanCallback &visit)
+{
+    bool keep_going = true;
+    return scanRec(_root, lo, hi, visit, &keep_going);
+}
+
+Status
+BTree::scanRec(PageNo page_no, RowId lo, RowId hi,
+               const ScanCallback &visit, bool *keep_going)
+{
+    CachedPage *page;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+    PageView view = viewOf(*page);
+    if (view.type() == PageView::kTypeNone)
+        return Status::ok();
+
+    if (view.isLeaf()) {
+        ByteBuffer assembled;
+        for (int i = view.lowerBound(lo);
+             i < view.nCells() && *keep_going; ++i) {
+            if (view.keyAt(i) > hi)
+                break;
+            ConstByteSpan value;
+            if (view.leafHasOverflow(i)) {
+                NVWAL_RETURN_IF_ERROR(
+                    readLeafValue(view, i, &assembled));
+                value = ConstByteSpan(assembled.data(), assembled.size());
+            } else {
+                value = view.leafValueAt(i);
+            }
+            if (!visit(view.keyAt(i), value))
+                *keep_going = false;
+        }
+        return Status::ok();
+    }
+
+    for (int slot = view.lowerBound(lo);
+         slot <= view.nCells() && *keep_going; ++slot) {
+        if (slot > 0 && view.keyAt(slot - 1) > hi)
+            break;
+        NVWAL_RETURN_IF_ERROR(
+            scanRec(view.childAt(slot), lo, hi, visit, keep_going));
+    }
+    return Status::ok();
+}
+
+Status
+BTree::count(std::uint64_t *out)
+{
+    *out = 0;
+    return countRec(_root, out);
+}
+
+Status
+BTree::countRec(PageNo page_no, std::uint64_t *out)
+{
+    CachedPage *page;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+    PageView view = viewOf(*page);
+    if (view.type() == PageView::kTypeNone)
+        return Status::ok();
+    if (view.isLeaf()) {
+        *out += static_cast<std::uint64_t>(view.nCells());
+        return Status::ok();
+    }
+    for (int slot = 0; slot <= view.nCells(); ++slot)
+        NVWAL_RETURN_IF_ERROR(countRec(view.childAt(slot), out));
+    return Status::ok();
+}
+
+Status
+BTree::depth(std::uint32_t *out)
+{
+    std::uint32_t d = 1;
+    PageNo page_no = _root;
+    for (;;) {
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+        PageView view = viewOf(*page);
+        if (!view.isInterior()) {
+            *out = d;
+            return Status::ok();
+        }
+        page_no = view.childAt(0);
+        ++d;
+    }
+}
+
+Status
+BTree::validate()
+{
+    std::uint32_t leaf_depth = 0;
+    return validateRec(_root, false, 0, false, 0, 1,
+                       &leaf_depth);
+}
+
+Status
+BTree::validateRec(PageNo page_no, bool has_lo, RowId lo, bool has_hi,
+                   RowId hi, std::uint32_t depth,
+                   std::uint32_t *leaf_depth)
+{
+    CachedPage *page;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+    PageView view = viewOf(*page);
+    NVWAL_RETURN_IF_ERROR(view.validate());
+    if (view.type() == PageView::kTypeNone) {
+        return page_no == _root
+                   ? Status::ok()
+                   : Status::corruption("uninitialized interior child");
+    }
+
+    const int n = view.nCells();
+    for (int i = 0; i < n; ++i) {
+        const RowId k = view.keyAt(i);
+        if (has_lo && k <= lo)
+            return Status::corruption("key below subtree lower bound");
+        if (has_hi && k > hi)
+            return Status::corruption("key above subtree upper bound");
+    }
+
+    if (view.isLeaf()) {
+        if (*leaf_depth == 0)
+            *leaf_depth = depth;
+        else if (*leaf_depth != depth)
+            return Status::corruption("leaves at different depths");
+        // Overflow chains must be walkable and length-consistent.
+        ByteBuffer assembled;
+        for (int i = 0; i < n; ++i) {
+            if (!view.leafHasOverflow(i))
+                continue;
+            NVWAL_RETURN_IF_ERROR(readLeafValue(view, i, &assembled));
+            if (assembled.size() != view.leafTotalLen(i))
+                return Status::corruption("overflow length mismatch");
+        }
+        return Status::ok();
+    }
+
+    if (n == 0)
+        return Status::corruption("interior page with no cells");
+    for (int slot = 0; slot <= n; ++slot) {
+        const bool child_has_lo = has_lo || slot > 0;
+        const RowId child_lo = slot > 0 ? view.keyAt(slot - 1) : lo;
+        const bool child_has_hi = has_hi || slot < n;
+        const RowId child_hi = slot < n ? view.keyAt(slot) : hi;
+        NVWAL_RETURN_IF_ERROR(
+            validateRec(view.childAt(slot), child_has_lo, child_lo,
+                        child_has_hi, child_hi, depth + 1, leaf_depth));
+    }
+    return Status::ok();
+}
+
+Status
+BTree::destroy()
+{
+    ++_version;
+    return destroyRec(_root);
+}
+
+Status
+BTree::destroyRec(PageNo page_no)
+{
+    CachedPage *page;
+    NVWAL_RETURN_IF_ERROR(_pager.getPage(page_no, &page));
+    PageView view = viewOf(*page);
+    if (view.isInterior()) {
+        for (int slot = 0; slot <= view.nCells(); ++slot)
+            NVWAL_RETURN_IF_ERROR(destroyRec(view.childAt(slot)));
+    } else if (view.isLeaf()) {
+        for (int i = 0; i < view.nCells(); ++i) {
+            if (view.leafHasOverflow(i)) {
+                NVWAL_RETURN_IF_ERROR(
+                    freeOverflowChain(view.leafOverflowPage(i)));
+            }
+        }
+    }
+    return _pager.freePage(page_no);
+}
+
+} // namespace nvwal

@@ -1,0 +1,218 @@
+#include "cursor.hpp"
+
+namespace nvwal
+{
+
+Cursor::Cursor(BTree &tree)
+    : _tree(tree), _version(tree.modificationCount())
+{}
+
+Status
+Cursor::checkVersion() const
+{
+    if (_version != _tree.modificationCount())
+        return Status::busy("cursor invalidated by a write");
+    return Status::ok();
+}
+
+PageView
+Cursor::viewAt(const Level &level, CachedPage **page_out)
+{
+    CachedPage *page = nullptr;
+    NVWAL_CHECK_OK(_tree._pager.getPage(level.page, &page));
+    if (page_out != nullptr)
+        *page_out = page;
+    return _tree.viewOf(*page);
+}
+
+Status
+Cursor::descendToLeaf(PageNo page_no, bool leftmost)
+{
+    for (;;) {
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_tree._pager.getPage(page_no, &page));
+        PageView view = _tree.viewOf(*page);
+        if (!view.isInterior()) {
+            // Leaf (or an uninitialized empty root).
+            _path.push_back(
+                Level{page_no, leftmost ? 0 : view.nCells() - 1});
+            return Status::ok();
+        }
+        const int slot = leftmost ? 0 : view.nCells();
+        _path.push_back(Level{page_no, slot});
+        page_no = view.childAt(slot);
+    }
+}
+
+Status
+Cursor::normalizeForward()
+{
+    for (;;) {
+        if (_path.empty()) {
+            _valid = false;
+            return Status::ok();
+        }
+        Level &leaf = _path.back();
+        PageView view = viewAt(leaf, nullptr);
+        if (!view.isInterior() && leaf.idx >= 0 &&
+            leaf.idx < view.nCells()) {
+            _valid = true;
+            return Status::ok();
+        }
+        // This leaf is exhausted (or empty): ascend to the first
+        // ancestor with a next slot, then descend its leftmost leaf.
+        _path.pop_back();
+        bool descended = false;
+        while (!_path.empty()) {
+            Level &up = _path.back();
+            PageView up_view = viewAt(up, nullptr);
+            if (up.idx < up_view.nCells()) {
+                ++up.idx;
+                NVWAL_RETURN_IF_ERROR(
+                    descendToLeaf(up_view.childAt(up.idx), true));
+                descended = true;
+                break;
+            }
+            _path.pop_back();
+        }
+        if (!descended && _path.empty()) {
+            _valid = false;
+            return Status::ok();
+        }
+    }
+}
+
+Status
+Cursor::normalizeBackward()
+{
+    for (;;) {
+        if (_path.empty()) {
+            _valid = false;
+            return Status::ok();
+        }
+        Level &leaf = _path.back();
+        PageView view = viewAt(leaf, nullptr);
+        if (!view.isInterior() && leaf.idx >= 0 &&
+            leaf.idx < view.nCells()) {
+            _valid = true;
+            return Status::ok();
+        }
+        _path.pop_back();
+        bool descended = false;
+        while (!_path.empty()) {
+            Level &up = _path.back();
+            if (up.idx > 0) {
+                --up.idx;
+                PageView up_view = viewAt(up, nullptr);
+                NVWAL_RETURN_IF_ERROR(
+                    descendToLeaf(up_view.childAt(up.idx), false));
+                descended = true;
+                break;
+            }
+            _path.pop_back();
+        }
+        if (!descended && _path.empty()) {
+            _valid = false;
+            return Status::ok();
+        }
+    }
+}
+
+Status
+Cursor::seekFirst()
+{
+    _version = _tree.modificationCount();
+    _path.clear();
+    _valid = false;
+    NVWAL_RETURN_IF_ERROR(descendToLeaf(_tree._root, true));
+    return normalizeForward();
+}
+
+Status
+Cursor::seekLast()
+{
+    _version = _tree.modificationCount();
+    _path.clear();
+    _valid = false;
+    NVWAL_RETURN_IF_ERROR(descendToLeaf(_tree._root, false));
+    return normalizeBackward();
+}
+
+Status
+Cursor::descendForKey(PageNo page_no, RowId target)
+{
+    for (;;) {
+        CachedPage *page;
+        NVWAL_RETURN_IF_ERROR(_tree._pager.getPage(page_no, &page));
+        PageView view = _tree.viewOf(*page);
+        if (!view.isInterior()) {
+            _path.push_back(Level{page_no, view.type() == PageView::kTypeNone
+                                               ? 0
+                                               : view.lowerBound(target)});
+            return Status::ok();
+        }
+        const int slot = view.lowerBound(target);
+        _path.push_back(Level{page_no, slot});
+        page_no = view.childAt(slot);
+    }
+}
+
+Status
+Cursor::seek(RowId target)
+{
+    _version = _tree.modificationCount();
+    _path.clear();
+    _valid = false;
+    NVWAL_RETURN_IF_ERROR(descendForKey(_tree._root, target));
+    return normalizeForward();
+}
+
+Status
+Cursor::seekExact(RowId target)
+{
+    NVWAL_RETURN_IF_ERROR(seek(target));
+    if (!_valid || key() != target) {
+        _valid = false;
+        return Status::notFound("key not in table");
+    }
+    return Status::ok();
+}
+
+Status
+Cursor::next()
+{
+    NVWAL_RETURN_IF_ERROR(checkVersion());
+    NVWAL_ASSERT(_valid, "next() on an invalid cursor");
+    ++_path.back().idx;
+    return normalizeForward();
+}
+
+Status
+Cursor::prev()
+{
+    NVWAL_RETURN_IF_ERROR(checkVersion());
+    NVWAL_ASSERT(_valid, "prev() on an invalid cursor");
+    --_path.back().idx;
+    return normalizeBackward();
+}
+
+RowId
+Cursor::key() const
+{
+    NVWAL_ASSERT(_valid, "key() on an invalid cursor");
+    NVWAL_CHECK_OK(checkVersion());
+    Cursor *self = const_cast<Cursor *>(this);
+    PageView view = self->viewAt(_path.back(), nullptr);
+    return view.keyAt(_path.back().idx);
+}
+
+Status
+Cursor::value(ByteBuffer *out)
+{
+    NVWAL_RETURN_IF_ERROR(checkVersion());
+    NVWAL_ASSERT(_valid, "value() on an invalid cursor");
+    PageView view = viewAt(_path.back(), nullptr);
+    return _tree.readLeafValue(view, _path.back().idx, out);
+}
+
+} // namespace nvwal

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Ordered, bidirectional cursor over a B+-tree (the sqlite3_step
+ * analogue for range queries that need more control than scan()).
+ *
+ * A cursor holds the descent path from the root to its current leaf
+ * cell. It is a read-only view: any mutation of the tree (insert,
+ * update, remove, destroy) invalidates every open cursor, which is
+ * detected via the tree's modification counter -- using a stale
+ * cursor returns Busy instead of undefined behaviour.
+ */
+
+#ifndef NVWAL_BTREE_CURSOR_HPP
+#define NVWAL_BTREE_CURSOR_HPP
+
+#include "btree/btree.hpp"
+
+namespace nvwal
+{
+
+/** Bidirectional iterator over the keys of one BTree. */
+class Cursor
+{
+  public:
+    explicit Cursor(BTree &tree);
+
+    /** Position on the smallest key; invalid if the tree is empty. */
+    Status seekFirst();
+
+    /** Position on the largest key; invalid if the tree is empty. */
+    Status seekLast();
+
+    /**
+     * Position on the smallest key >= @p target (invalid when all
+     * keys are smaller).
+     */
+    Status seek(RowId target);
+
+    /** Position on @p target exactly; NotFound leaves it invalid. */
+    Status seekExact(RowId target);
+
+    /** Advance to the next key; invalid past the largest. */
+    Status next();
+
+    /** Step back to the previous key; invalid before the smallest. */
+    Status prev();
+
+    /** Does the cursor point at a record? */
+    bool valid() const { return _valid; }
+
+    /** Key under the cursor (valid() required). */
+    RowId key() const;
+
+    /** Assemble the value under the cursor (valid() required). */
+    Status value(ByteBuffer *out);
+
+  private:
+    struct Level
+    {
+        PageNo page;
+        int idx;  //!< descent slot (interior) / cell index (leaf)
+    };
+
+    Status checkVersion() const;
+    Status descendToLeaf(PageNo page_no, bool leftmost);
+    Status descendForKey(PageNo page_no, RowId target);
+    /** After positioning, skip forward past empty leaves / ends. */
+    Status normalizeForward();
+    Status normalizeBackward();
+    PageView viewAt(const Level &level, CachedPage **page_out);
+
+    BTree &_tree;
+    std::uint64_t _version;
+    std::vector<Level> _path;
+    bool _valid = false;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_BTREE_CURSOR_HPP

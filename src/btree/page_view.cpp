@@ -1,0 +1,610 @@
+#include "page_view.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvwal
+{
+
+PageView::PageView(ByteSpan page, std::uint32_t usable, DirtyRanges *dirty)
+    : _data(page.data()), _usable(usable), _dirty(dirty)
+{
+    NVWAL_ASSERT(page.size() >= usable && usable > kHeaderSize + 64,
+                 "page too small");
+}
+
+void
+PageView::dirtyMark(std::uint32_t lo, std::uint32_t hi)
+{
+    if (_dirty != nullptr)
+        _dirty->mark(lo, hi);
+}
+
+void
+PageView::initLeaf()
+{
+    std::memset(_data, 0, kHeaderSize);
+    _data[0] = kTypeLeaf;
+    storeU16(_data + 4, static_cast<std::uint16_t>(_usable));
+    dirtyMark(0, kHeaderSize);
+}
+
+void
+PageView::initInterior(PageNo right_child)
+{
+    std::memset(_data, 0, kHeaderSize);
+    _data[0] = kTypeInterior;
+    storeU16(_data + 4, static_cast<std::uint16_t>(_usable));
+    storeU32(_data + 8, right_child);
+    dirtyMark(0, kHeaderSize);
+}
+
+std::uint32_t
+PageView::gapBytes() const
+{
+    const std::uint32_t ptr_end = ptrArrayEnd();
+    const std::uint32_t ccs = cellContentStart();
+    NVWAL_ASSERT(ccs >= ptr_end, "corrupt page: overlapping regions");
+    return ccs - ptr_end;
+}
+
+std::uint32_t
+PageView::freeblockBytes() const
+{
+    std::uint32_t total = 0;
+    std::uint32_t off = firstFreeblock();
+    while (off != 0) {
+        total += loadU16(_data + off + 2);
+        off = loadU16(_data + off);
+    }
+    return total;
+}
+
+std::uint32_t
+PageView::freeBytes() const
+{
+    return gapBytes() + freeblockBytes() + fragmentedBytes();
+}
+
+void
+PageView::setFirstFreeblock(std::uint32_t off)
+{
+    storeU16(_data + 6, static_cast<std::uint16_t>(off));
+    dirtyMark(6, 8);
+}
+
+void
+PageView::setFragmentedBytes(std::uint32_t n)
+{
+    NVWAL_ASSERT(n <= 0xff, "fragment counter overflow");
+    _data[1] = static_cast<std::uint8_t>(n);
+    dirtyMark(1, 2);
+}
+
+std::uint32_t
+PageView::allocateCell(std::uint32_t size)
+{
+    NVWAL_ASSERT(size >= kMinFreeblockSize, "cell below freeblock size");
+
+    // Freeblock first fit (SQLite's allocateSpace), provided the
+    // pointer array can still grow into the gap.
+    if (gapBytes() >= kPtrSize) {
+        std::uint32_t prev = 0;  // 0 = the header field itself
+        std::uint32_t off = firstFreeblock();
+        while (off != 0) {
+            const std::uint32_t next = loadU16(_data + off);
+            const std::uint32_t bsize = loadU16(_data + off + 2);
+            if (bsize >= size) {
+                const std::uint32_t rest = bsize - size;
+                if (rest < kMinFreeblockSize) {
+                    // Consume the whole block; the remainder becomes
+                    // fragmented bytes (dead until defragmentation).
+                    if (prev == 0)
+                        setFirstFreeblock(next);
+                    else {
+                        storeU16(_data + prev,
+                                 static_cast<std::uint16_t>(next));
+                        dirtyMark(prev, prev + 2);
+                    }
+                    if (rest > 0 && fragmentedBytes() + rest <= 0xff)
+                        setFragmentedBytes(fragmentedBytes() + rest);
+                    else if (rest > 0) {
+                        // Counter saturated: defragment instead.
+                        defragment();
+                        const std::uint32_t ccs =
+                            cellContentStart() - size;
+                        setCellContentStart(ccs);
+                        return ccs;
+                    }
+                    return off;
+                }
+                // Take the tail of the block (SQLite's choice), so
+                // the freeblock header stays where it is.
+                storeU16(_data + off + 2,
+                         static_cast<std::uint16_t>(rest));
+                dirtyMark(off + 2, off + 4);
+                return off + rest;
+            }
+            prev = off;
+            off = next;
+        }
+    }
+
+    // Gap allocation at the downward frontier.
+    if (gapBytes() >= size + kPtrSize) {
+        const std::uint32_t ccs = cellContentStart() - size;
+        setCellContentStart(ccs);
+        return ccs;
+    }
+
+    // Enough space in total, but fragmented: rewrite the page.
+    NVWAL_ASSERT(freeBytes() >= size + kPtrSize,
+                 "allocateCell without space");
+    defragment();
+    const std::uint32_t ccs = cellContentStart() - size;
+    setCellContentStart(ccs);
+    return ccs;
+}
+
+void
+PageView::freeCell(std::uint32_t off, std::uint32_t size)
+{
+    NVWAL_ASSERT(size >= kMinFreeblockSize &&
+                 off >= cellContentStart() && off + size <= _usable,
+                 "freeCell out of bounds");
+
+    // Find the address-sorted position.
+    std::uint32_t prev = 0;
+    std::uint32_t cur = firstFreeblock();
+    while (cur != 0 && cur < off) {
+        prev = cur;
+        cur = loadU16(_data + cur);
+    }
+    NVWAL_ASSERT(cur != off, "double free");
+
+    std::uint32_t new_off = off;
+    std::uint32_t new_size = size;
+    std::uint32_t next = cur;
+
+    // Coalesce with the following block.
+    if (next != 0 && off + size == next) {
+        new_size += loadU16(_data + next + 2);
+        next = loadU16(_data + next);
+    }
+    // Coalesce with the preceding block.
+    if (prev != 0) {
+        const std::uint32_t prev_size = loadU16(_data + prev + 2);
+        if (prev + prev_size == new_off) {
+            new_off = prev;
+            new_size += prev_size;
+            // The predecessor of `prev` keeps pointing at prev.
+            storeU16(_data + new_off,
+                     static_cast<std::uint16_t>(next));
+            storeU16(_data + new_off + 2,
+                     static_cast<std::uint16_t>(new_size));
+            dirtyMark(new_off, new_off + 4);
+            return;
+        }
+    }
+
+    storeU16(_data + new_off, static_cast<std::uint16_t>(next));
+    storeU16(_data + new_off + 2, static_cast<std::uint16_t>(new_size));
+    dirtyMark(new_off, new_off + 4);
+    if (prev == 0) {
+        setFirstFreeblock(new_off);
+    } else {
+        storeU16(_data + prev, static_cast<std::uint16_t>(new_off));
+        dirtyMark(prev, prev + 2);
+    }
+}
+
+void
+PageView::defragment()
+{
+    struct Extent
+    {
+        int idx;
+        std::uint32_t off;
+        std::uint32_t size;
+    };
+    const int n = nCells();
+    std::vector<Extent> extents;
+    extents.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        extents.push_back(Extent{i, cellOffset(i), cellSizeAt(i)});
+    // Pack cells to the end of the page, preserving their physical
+    // order so the copy can run high-to-low without overlap issues.
+    std::sort(extents.begin(), extents.end(),
+              [](const Extent &a, const Extent &b) {
+                  return a.off > b.off;
+              });
+    // Copy out (source region may be overwritten during packing).
+    std::uint32_t frontier = _usable;
+    std::vector<std::pair<int, std::uint32_t>> new_offsets;
+    ByteBuffer copy(_data + cellContentStart(),
+                    _data + _usable);
+    const std::uint32_t base = cellContentStart();
+    for (const Extent &e : extents) {
+        frontier -= e.size;
+        std::memcpy(_data + frontier, copy.data() + (e.off - base),
+                    e.size);
+        new_offsets.emplace_back(e.idx, frontier);
+    }
+    for (const auto &[idx, off] : new_offsets)
+        setCellOffset(idx, off);
+    // Zero the now-free region so pages stay deterministic.
+    std::memset(_data + ptrArrayEnd(), 0, frontier - ptrArrayEnd());
+    setCellContentStart(frontier);
+    setFirstFreeblock(0);
+    setFragmentedBytes(0);
+    dirtyMark(0, _usable);
+}
+
+std::uint32_t
+PageView::cellOffset(int idx) const
+{
+    NVWAL_ASSERT(idx >= 0 && idx < nCells(), "cell index %d of %d",
+                 idx, nCells());
+    return loadU16(_data + kHeaderSize +
+                   kPtrSize * static_cast<std::uint32_t>(idx));
+}
+
+void
+PageView::setCellOffset(int idx, std::uint32_t off)
+{
+    const std::uint32_t p =
+        kHeaderSize + kPtrSize * static_cast<std::uint32_t>(idx);
+    storeU16(_data + p, static_cast<std::uint16_t>(off));
+    dirtyMark(p, p + kPtrSize);
+}
+
+std::uint32_t
+PageView::cellSizeAt(int idx) const
+{
+    const std::uint32_t off = cellOffset(idx);
+    if (isLeaf()) {
+        return kLeafCellOverhead +
+               payloadSizeFor(loadU16(_data + off + 8), _usable);
+    }
+    return kInteriorCellSize;
+}
+
+RowId
+PageView::keyAt(int idx) const
+{
+    return loadI64(_data + cellOffset(idx));
+}
+
+int
+PageView::lowerBound(RowId key) const
+{
+    int lo = 0;
+    int hi = nCells();
+    while (lo < hi) {
+        const int mid = lo + (hi - lo) / 2;
+        if (keyAt(mid) < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return lo;
+}
+
+void
+PageView::setNCells(int n)
+{
+    storeU16(_data + 2, static_cast<std::uint16_t>(n));
+    dirtyMark(2, 4);
+}
+
+void
+PageView::setCellContentStart(std::uint32_t ccs)
+{
+    storeU16(_data + 4, static_cast<std::uint16_t>(ccs));
+    dirtyMark(4, 6);
+}
+
+void
+PageView::insertPtr(int idx, std::uint32_t off)
+{
+    const int n = nCells();
+    NVWAL_ASSERT(idx >= 0 && idx <= n);
+    const std::uint32_t p =
+        kHeaderSize + kPtrSize * static_cast<std::uint32_t>(idx);
+    std::memmove(_data + p + kPtrSize, _data + p,
+                 kPtrSize * static_cast<std::size_t>(n - idx));
+    storeU16(_data + p, static_cast<std::uint16_t>(off));
+    setNCells(n + 1);
+    dirtyMark(p, kHeaderSize + kPtrSize * static_cast<std::uint32_t>(n + 1));
+}
+
+void
+PageView::removePtr(int idx)
+{
+    const int n = nCells();
+    NVWAL_ASSERT(idx >= 0 && idx < n);
+    const std::uint32_t p =
+        kHeaderSize + kPtrSize * static_cast<std::uint32_t>(idx);
+    std::memmove(_data + p, _data + p + kPtrSize,
+                 kPtrSize * static_cast<std::size_t>(n - idx - 1));
+    // Zero the vacated slot so pages stay byte-exact reconstructible
+    // from dirty ranges.
+    const std::uint32_t last =
+        kHeaderSize + kPtrSize * static_cast<std::uint32_t>(n - 1);
+    storeU16(_data + last, 0);
+    setNCells(n - 1);
+    dirtyMark(p, last + kPtrSize);
+}
+
+bool
+PageView::leafFits(std::size_t payload_len) const
+{
+    return freeBytes() >= leafCellSize(payload_len) + kPtrSize;
+}
+
+void
+PageView::leafInsert(int idx, RowId key, ConstByteSpan value)
+{
+    NVWAL_ASSERT(value.size() <= maxLocalPayload(_usable),
+                 "leafInsert is for local values; use leafInsertCell");
+    leafInsertCell(idx, LeafCell::local(key, value));
+}
+
+void
+PageView::leafInsertCell(int idx, const LeafCell &cell)
+{
+    NVWAL_ASSERT(isLeaf(), "leafInsertCell on non-leaf");
+    NVWAL_ASSERT(cell.payload.size() ==
+                 payloadSizeFor(cell.totalLen, _usable),
+                 "cell payload/length mismatch");
+    NVWAL_ASSERT(cell.totalLen <= 0xffff, "value length exceeds 64K");
+    NVWAL_ASSERT(leafFits(cell.payload.size()),
+                 "leafInsertCell without space");
+    const std::uint32_t size = leafCellSize(cell.payload.size());
+    const std::uint32_t off = allocateCell(size);
+
+    storeI64(_data + off, cell.key);
+    storeU16(_data + off + 8, static_cast<std::uint16_t>(cell.totalLen));
+    std::memcpy(_data + off + kLeafCellOverhead, cell.payload.data(),
+                cell.payload.size());
+    dirtyMark(off, off + size);
+
+    insertPtr(idx, off);
+}
+
+std::uint32_t
+PageView::leafTotalLen(int idx) const
+{
+    NVWAL_ASSERT(isLeaf(), "leafTotalLen on non-leaf");
+    return loadU16(_data + cellOffset(idx) + 8);
+}
+
+bool
+PageView::leafHasOverflow(int idx) const
+{
+    return leafTotalLen(idx) > maxLocalPayload(_usable);
+}
+
+PageNo
+PageView::leafOverflowPage(int idx) const
+{
+    NVWAL_ASSERT(leafHasOverflow(idx), "cell has no overflow chain");
+    const std::uint32_t off = cellOffset(idx);
+    return loadU32(_data + off + kLeafCellOverhead +
+                   maxLocalPayload(_usable));
+}
+
+void
+PageView::leafRemove(int idx)
+{
+    NVWAL_ASSERT(isLeaf(), "leafRemove on non-leaf");
+    const std::uint32_t off = cellOffset(idx);
+    const std::uint32_t size = cellSizeAt(idx);
+    removePtr(idx);
+    freeCell(off, size);
+}
+
+ConstByteSpan
+PageView::leafValueAt(int idx) const
+{
+    NVWAL_ASSERT(isLeaf(), "leafValueAt on non-leaf");
+    const std::uint32_t off = cellOffset(idx);
+    const std::uint32_t len = loadU16(_data + off + 8);
+    return ConstByteSpan(_data + off + kLeafCellOverhead,
+                         std::min(len, maxLocalPayload(_usable)));
+}
+
+std::vector<LeafCell>
+PageView::leafCells() const
+{
+    std::vector<LeafCell> out;
+    const int n = nCells();
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t off = cellOffset(i);
+        const std::uint32_t len = loadU16(_data + off + 8);
+        const std::uint32_t payload = payloadSizeFor(len, _usable);
+        out.push_back(LeafCell{
+            keyAt(i), len,
+            ByteBuffer(_data + off + kLeafCellOverhead,
+                       _data + off + kLeafCellOverhead + payload)});
+    }
+    return out;
+}
+
+void
+PageView::rebuildLeaf(const std::vector<LeafCell> &cells)
+{
+    std::memset(_data, 0, _usable);
+    dirtyMark(0, _usable);
+    _data[0] = kTypeLeaf;
+    storeU16(_data + 4, static_cast<std::uint16_t>(_usable));
+    int idx = 0;
+    for (const LeafCell &c : cells) {
+        leafInsertCell(idx, c);
+        ++idx;
+    }
+}
+
+bool
+PageView::interiorFits() const
+{
+    return freeBytes() >= kInteriorCellSize + kPtrSize;
+}
+
+void
+PageView::interiorInsert(int idx, RowId key, PageNo child)
+{
+    NVWAL_ASSERT(isInterior(), "interiorInsert on non-interior");
+    NVWAL_ASSERT(interiorFits(), "interiorInsert without space");
+    const std::uint32_t off = allocateCell(kInteriorCellSize);
+
+    storeI64(_data + off, key);
+    storeU32(_data + off + 8, child);
+    dirtyMark(off, off + kInteriorCellSize);
+
+    insertPtr(idx, off);
+}
+
+void
+PageView::interiorRemove(int idx)
+{
+    NVWAL_ASSERT(isInterior(), "interiorRemove on non-interior");
+    const std::uint32_t off = cellOffset(idx);
+    removePtr(idx);
+    freeCell(off, kInteriorCellSize);
+}
+
+PageNo
+PageView::childAt(int idx) const
+{
+    NVWAL_ASSERT(isInterior(), "childAt on non-interior");
+    if (idx == nCells())
+        return rightChild();
+    return loadU32(_data + cellOffset(idx) + 8);
+}
+
+void
+PageView::setChildAt(int idx, PageNo child)
+{
+    NVWAL_ASSERT(isInterior(), "setChildAt on non-interior");
+    if (idx == nCells()) {
+        setRightChild(child);
+        return;
+    }
+    const std::uint32_t off = cellOffset(idx);
+    storeU32(_data + off + 8, child);
+    dirtyMark(off + 8, off + 12);
+}
+
+void
+PageView::setRightChild(PageNo child)
+{
+    storeU32(_data + 8, child);
+    dirtyMark(8, 12);
+}
+
+std::vector<InteriorCell>
+PageView::interiorCells() const
+{
+    std::vector<InteriorCell> out;
+    const int n = nCells();
+    out.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        out.push_back(InteriorCell{keyAt(i), childAt(i)});
+    return out;
+}
+
+void
+PageView::rebuildInterior(const std::vector<InteriorCell> &cells,
+                          PageNo right_child)
+{
+    std::memset(_data, 0, _usable);
+    dirtyMark(0, _usable);
+    _data[0] = kTypeInterior;
+    storeU16(_data + 4, static_cast<std::uint16_t>(_usable));
+    storeU32(_data + 8, right_child);
+    int idx = 0;
+    for (const InteriorCell &c : cells) {
+        interiorInsert(idx, c.key, c.child);
+        ++idx;
+    }
+}
+
+Status
+PageView::validate() const
+{
+    if (type() == kTypeNone) {
+        // Uninitialized page: must be all zero in the usable area.
+        for (std::uint32_t i = 0; i < _usable; ++i) {
+            if (_data[i] != 0)
+                return Status::corruption("nonzero uninitialized page");
+        }
+        return Status::ok();
+    }
+    if (type() != kTypeLeaf && type() != kTypeInterior)
+        return Status::corruption("bad page type");
+
+    const int n = nCells();
+    const std::uint32_t ccs = cellContentStart();
+    if (ptrArrayEnd() > ccs || ccs > _usable)
+        return Status::corruption("page regions overlap");
+
+    // Cells and freeblocks must be disjoint and in-bounds, keys
+    // strictly ascending, the freeblock list address-sorted with
+    // coalesced (non-adjacent) entries, and cells + freeblocks +
+    // fragmented bytes must exactly account for [ccs, usable).
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> extents;
+    extents.reserve(static_cast<std::size_t>(n) + 4);
+    std::uint64_t cell_bytes = 0;
+    for (int i = 0; i < n; ++i) {
+        const std::uint32_t off = cellOffset(i);
+        if (off < ccs || off + cellSizeAt(i) > _usable)
+            return Status::corruption("cell out of bounds");
+        extents.emplace_back(off, cellSizeAt(i));
+        cell_bytes += cellSizeAt(i);
+        if (i > 0 && keyAt(i - 1) >= keyAt(i))
+            return Status::corruption("keys not strictly ascending");
+    }
+
+    std::uint64_t free_bytes = 0;
+    std::uint32_t prev_end = 0;
+    std::uint32_t fb = firstFreeblock();
+    std::uint32_t prev_fb = 0;
+    while (fb != 0) {
+        if (fb < ccs || fb + kMinFreeblockSize > _usable)
+            return Status::corruption("freeblock out of bounds");
+        if (fb <= prev_fb)
+            return Status::corruption("freeblock list not sorted");
+        const std::uint32_t size = loadU16(_data + fb + 2);
+        if (size < kMinFreeblockSize || fb + size > _usable)
+            return Status::corruption("freeblock size invalid");
+        if (prev_fb != 0 && prev_end == fb)
+            return Status::corruption("adjacent freeblocks not merged");
+        extents.emplace_back(fb, size);
+        free_bytes += size;
+        prev_fb = fb;
+        prev_end = fb + size;
+        fb = loadU16(_data + fb);
+    }
+
+    std::sort(extents.begin(), extents.end());
+    std::uint32_t cursor = ccs;
+    std::uint64_t gap_frag = 0;
+    for (const auto &[off, size] : extents) {
+        if (off < cursor)
+            return Status::corruption("content extents overlap");
+        gap_frag += off - cursor;  // dead fragment bytes
+        cursor = off + size;
+    }
+    gap_frag += _usable - cursor;
+    if (gap_frag != fragmentedBytes())
+        return Status::corruption("fragment byte counter mismatch");
+    if (cell_bytes + free_bytes + gap_frag !=
+        static_cast<std::uint64_t>(_usable) - ccs) {
+        return Status::corruption("content area accounting mismatch");
+    }
+    return Status::ok();
+}
+
+} // namespace nvwal

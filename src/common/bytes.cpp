@@ -1,0 +1,26 @@
+#include "bytes.hpp"
+
+#include <cstdio>
+
+namespace nvwal
+{
+
+std::string
+hexDump(ConstByteSpan bytes, std::size_t max_bytes)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    const std::size_t n = std::min(bytes.size(), max_bytes);
+    out.reserve(n * 3 + 8);
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0)
+            out += ' ';
+        out += digits[bytes[i] >> 4];
+        out += digits[bytes[i] & 0xf];
+    }
+    if (bytes.size() > max_bytes)
+        out += " ...";
+    return out;
+}
+
+} // namespace nvwal

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Little-endian load/store helpers and small byte-buffer utilities.
+ *
+ * All on-media structures (B-tree pages, WAL frame headers, NVRAM
+ * heap metadata) are serialized explicitly through these helpers so
+ * the media format is independent of host struct layout.
+ */
+
+#ifndef NVWAL_COMMON_BYTES_HPP
+#define NVWAL_COMMON_BYTES_HPP
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nvwal
+{
+
+/** Mutable view of raw bytes. */
+using ByteSpan = std::span<std::uint8_t>;
+
+/** Read-only view of raw bytes. */
+using ConstByteSpan = std::span<const std::uint8_t>;
+
+/** Owned byte buffer. */
+using ByteBuffer = std::vector<std::uint8_t>;
+
+inline void
+storeU16(std::uint8_t *p, std::uint16_t v)
+{
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+inline std::uint16_t
+loadU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0]) |
+           static_cast<std::uint16_t>(p[1]) << 8;
+}
+
+inline void
+storeU32(std::uint8_t *p, std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline void
+storeU64(std::uint8_t *p, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    return v;
+}
+
+inline void
+storeI64(std::uint8_t *p, std::int64_t v)
+{
+    storeU64(p, static_cast<std::uint64_t>(v));
+}
+
+inline std::int64_t
+loadI64(const std::uint8_t *p)
+{
+    return static_cast<std::int64_t>(loadU64(p));
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+inline std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+inline std::uint64_t
+alignDown(std::uint64_t v, std::uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Build an owned buffer from a string literal (test helper). */
+inline ByteBuffer
+toBytes(const std::string &s)
+{
+    return ByteBuffer(s.begin(), s.end());
+}
+
+/** Render bytes as a short hex string for diagnostics. */
+std::string hexDump(ConstByteSpan bytes, std::size_t max_bytes = 64);
+
+/**
+ * A half-open dirty byte range [lo, hi) within a page. The empty
+ * range is represented by lo >= hi.
+ */
+struct ByteRange
+{
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+
+    bool empty() const { return lo >= hi; }
+    std::uint32_t size() const { return empty() ? 0 : hi - lo; }
+
+    /** Grow this range to cover [lo, hi) as well. */
+    void
+    extend(std::uint32_t new_lo, std::uint32_t new_hi)
+    {
+        if (new_lo >= new_hi)
+            return;
+        if (empty()) {
+            lo = new_lo;
+            hi = new_hi;
+        } else {
+            if (new_lo < lo)
+                lo = new_lo;
+            if (new_hi > hi)
+                hi = new_hi;
+        }
+    }
+
+    void reset() { lo = 0; hi = 0; }
+
+    bool
+    operator==(const ByteRange &other) const
+    {
+        return (empty() && other.empty()) ||
+               (lo == other.lo && hi == other.hi);
+    }
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_BYTES_HPP

@@ -1,0 +1,40 @@
+#include "checksum.hpp"
+
+namespace nvwal
+{
+
+std::uint64_t
+fnv1a64(ConstByteSpan bytes, std::uint64_t seed)
+{
+    std::uint64_t h = seed;
+    for (std::uint8_t b : bytes) {
+        h ^= b;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+void
+CumulativeChecksum::update(ConstByteSpan bytes)
+{
+    // Whole 32-bit words first, SQLite style: s1 += word + s2;
+    // s2 += word + s1. A trailing partial word is zero-padded.
+    std::size_t i = 0;
+    const std::size_t n = bytes.size();
+    while (i + 4 <= n) {
+        const std::uint32_t word = loadU32(bytes.data() + i);
+        _s1 += word + _s2;
+        _s2 += word + _s1;
+        i += 4;
+    }
+    if (i < n) {
+        std::uint8_t tail[4] = {0, 0, 0, 0};
+        for (std::size_t j = 0; i + j < n; ++j)
+            tail[j] = bytes[i + j];
+        const std::uint32_t word = loadU32(tail);
+        _s1 += word + _s2;
+        _s2 += word + _s1;
+    }
+}
+
+} // namespace nvwal

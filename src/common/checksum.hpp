@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Checksums used on persistent media.
+ *
+ * Two flavors are provided:
+ *  - fnv1a64(): a simple one-shot hash for heap metadata and tests.
+ *  - CumulativeChecksum: the SQLite-WAL style rolling (s1, s2) pair.
+ *    Each WAL frame's checksum covers the frame payload *and* all
+ *    preceding frames, so recovery can detect any torn or missing
+ *    prefix (paper sections 3.2 and 4.2).
+ */
+
+#ifndef NVWAL_COMMON_CHECKSUM_HPP
+#define NVWAL_COMMON_CHECKSUM_HPP
+
+#include <cstdint>
+
+#include "bytes.hpp"
+
+namespace nvwal
+{
+
+/** One-shot FNV-1a 64-bit hash. */
+std::uint64_t fnv1a64(ConstByteSpan bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+/**
+ * Rolling checksum over a sequence of byte chunks, in the style of
+ * SQLite's WAL checksum: two 32-bit accumulators mixed per 32-bit
+ * word. The pair is serialized as a single 64-bit value (s1 in the
+ * low word, s2 in the high word).
+ */
+class CumulativeChecksum
+{
+  public:
+    CumulativeChecksum() = default;
+
+    /** Resume from a previously serialized value. */
+    explicit
+    CumulativeChecksum(std::uint64_t serialized)
+        : _s1(static_cast<std::uint32_t>(serialized)),
+          _s2(static_cast<std::uint32_t>(serialized >> 32))
+    {}
+
+    /** Fold a chunk of bytes into the running checksum. */
+    void update(ConstByteSpan bytes);
+
+    /** Serialize the running (s1, s2) pair. */
+    std::uint64_t
+    value() const
+    {
+        return static_cast<std::uint64_t>(_s1) |
+               (static_cast<std::uint64_t>(_s2) << 32);
+    }
+
+    void
+    reset()
+    {
+        _s1 = 0;
+        _s2 = 0;
+    }
+
+  private:
+    std::uint32_t _s1 = 0;
+    std::uint32_t _s2 = 0;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_CHECKSUM_HPP

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fatal/panic/warn/inform message helpers, in the spirit of gem5's
+ * base/logging.hh. panic() marks an internal invariant violation (a
+ * bug in this library) and aborts; fatal() marks an unrecoverable
+ * user/configuration error and exits cleanly with an error code.
+ */
+
+#ifndef NVWAL_COMMON_LOGGING_HPP
+#define NVWAL_COMMON_LOGGING_HPP
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace nvwal
+{
+
+namespace detail
+{
+
+[[noreturn]] void assertFail(const char *file, int line, const char *cond,
+                             const std::string &msg = std::string());
+[[noreturn]] void panicImpl(const char *file, int line, const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line, const std::string &msg);
+void warnImpl(const char *file, int line, const std::string &msg);
+void informImpl(const std::string &msg);
+
+std::string formatMessage(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (library bug). */
+#define NVWAL_PANIC(...) \
+    ::nvwal::detail::panicImpl(__FILE__, __LINE__, \
+                               ::nvwal::detail::formatMessage(__VA_ARGS__))
+
+/** Exit on an unrecoverable user error (bad configuration, etc.). */
+#define NVWAL_FATAL(...) \
+    ::nvwal::detail::fatalImpl(__FILE__, __LINE__, \
+                               ::nvwal::detail::formatMessage(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition. */
+#define NVWAL_WARN(...) \
+    ::nvwal::detail::warnImpl(__FILE__, __LINE__, \
+                              ::nvwal::detail::formatMessage(__VA_ARGS__))
+
+/** Report normal operational status. */
+#define NVWAL_INFORM(...) \
+    ::nvwal::detail::informImpl(::nvwal::detail::formatMessage(__VA_ARGS__))
+
+/** Assert an invariant that must hold regardless of user input. */
+#define NVWAL_ASSERT(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            ::nvwal::detail::assertFail( \
+                __FILE__, __LINE__, #cond \
+                __VA_OPT__(, ::nvwal::detail::formatMessage(__VA_ARGS__))); \
+        } \
+    } while (0)
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_LOGGING_HPP

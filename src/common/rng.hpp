@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256** with a
+ * SplitMix64 seeder). Every stochastic element of the simulator --
+ * workload key choice, adversarial cache-survival draws, torn-write
+ * injection -- draws from an explicitly seeded Rng so that runs are
+ * reproducible.
+ */
+
+#ifndef NVWAL_COMMON_RNG_HPP
+#define NVWAL_COMMON_RNG_HPP
+
+#include <cstdint>
+
+#include "logging.hpp"
+
+namespace nvwal
+{
+
+/** SplitMix64 step, used for seeding and cheap hashing. */
+inline std::uint64_t
+splitMix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit
+    Rng(std::uint64_t seed = 0x5eed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : _state)
+            word = splitMix64(sm);
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        const std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be positive. */
+    std::uint64_t
+    nextBelow(std::uint64_t bound)
+    {
+        NVWAL_ASSERT(bound > 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = ~std::uint64_t(0) - ~std::uint64_t(0) % bound;
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (v >= limit);
+        return v % bound;
+    }
+
+    /** Uniform value in [lo, hi]. */
+    std::uint64_t
+    nextInRange(std::uint64_t lo, std::uint64_t hi)
+    {
+        NVWAL_ASSERT(lo <= hi);
+        return lo + nextBelow(hi - lo + 1);
+    }
+
+    /** Bernoulli draw with probability @p p in [0, 1]. */
+    bool
+    nextBool(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0) < p;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) *
+               (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t _state[4];
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_RNG_HPP

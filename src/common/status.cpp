@@ -1,0 +1,22 @@
+#include "status.hpp"
+
+namespace nvwal
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::NotFound: return "not-found";
+      case StatusCode::Corruption: return "corruption";
+      case StatusCode::NoSpace: return "no-space";
+      case StatusCode::Busy: return "busy";
+      case StatusCode::InvalidArgument: return "invalid-argument";
+      case StatusCode::IoError: return "io-error";
+      case StatusCode::Unsupported: return "unsupported";
+    }
+    return "unknown";
+}
+
+} // namespace nvwal

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Lightweight Status/Result types for recoverable errors.
+ *
+ * Following the convention of the C++ Core Guidelines, programming
+ * errors are handled with NVWAL_ASSERT/NVWAL_PANIC; conditions a
+ * caller can reasonably react to (corruption detected during
+ * recovery, out of NVRAM space, missing file, ...) are reported
+ * through Status.
+ */
+
+#ifndef NVWAL_COMMON_STATUS_HPP
+#define NVWAL_COMMON_STATUS_HPP
+
+#include <string>
+#include <utility>
+
+#include "logging.hpp"
+
+namespace nvwal
+{
+
+/** Error categories surfaced through the public API. */
+enum class StatusCode
+{
+    Ok,
+    NotFound,      //!< key / file / namespace does not exist
+    Corruption,    //!< checksum mismatch or malformed on-media data
+    NoSpace,       //!< NVRAM heap or block device exhausted
+    Busy,          //!< conflicting transaction in progress
+    InvalidArgument,
+    IoError,       //!< simulated device failure
+    Unsupported,
+};
+
+/** Human-readable name for a status code. */
+const char *statusCodeName(StatusCode code);
+
+/**
+ * Outcome of a fallible operation: a code plus an optional message.
+ * The default-constructed Status is OK.
+ */
+class Status
+{
+  public:
+    Status() : _code(StatusCode::Ok) {}
+
+    static Status ok() { return Status(); }
+
+    static Status
+    error(StatusCode code, std::string msg)
+    {
+        Status s;
+        s._code = code;
+        s._message = std::move(msg);
+        return s;
+    }
+
+    static Status notFound(std::string msg = "not found")
+    { return error(StatusCode::NotFound, std::move(msg)); }
+
+    static Status corruption(std::string msg = "corruption")
+    { return error(StatusCode::Corruption, std::move(msg)); }
+
+    static Status noSpace(std::string msg = "no space")
+    { return error(StatusCode::NoSpace, std::move(msg)); }
+
+    static Status busy(std::string msg = "busy")
+    { return error(StatusCode::Busy, std::move(msg)); }
+
+    static Status invalidArgument(std::string msg = "invalid argument")
+    { return error(StatusCode::InvalidArgument, std::move(msg)); }
+
+    static Status ioError(std::string msg = "I/O error")
+    { return error(StatusCode::IoError, std::move(msg)); }
+
+    static Status unsupported(std::string msg = "unsupported")
+    { return error(StatusCode::Unsupported, std::move(msg)); }
+
+    bool isOk() const { return _code == StatusCode::Ok; }
+    bool isNotFound() const { return _code == StatusCode::NotFound; }
+    bool isCorruption() const { return _code == StatusCode::Corruption; }
+
+    StatusCode code() const { return _code; }
+    const std::string &message() const { return _message; }
+
+    /** Render "code: message" for diagnostics. */
+    std::string
+    toString() const
+    {
+        if (isOk())
+            return "ok";
+        std::string out = statusCodeName(_code);
+        if (!_message.empty()) {
+            out += ": ";
+            out += _message;
+        }
+        return out;
+    }
+
+  private:
+    StatusCode _code;
+    std::string _message;
+};
+
+/** Propagate a non-OK status to the caller. */
+#define NVWAL_RETURN_IF_ERROR(expr) \
+    do { \
+        ::nvwal::Status _nvwal_status = (expr); \
+        if (!_nvwal_status.isOk()) \
+            return _nvwal_status; \
+    } while (0)
+
+/** Abort if a status that must succeed did not (test/bench helper). */
+#define NVWAL_CHECK_OK(expr) \
+    do { \
+        ::nvwal::Status _nvwal_status = (expr); \
+        NVWAL_ASSERT(_nvwal_status.isOk(), "status: %s", \
+                     _nvwal_status.toString().c_str()); \
+    } while (0)
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_STATUS_HPP

@@ -1,0 +1,46 @@
+#include "table_printer.hpp"
+
+#include <algorithm>
+
+namespace nvwal
+{
+
+void
+TablePrinter::print(std::FILE *out) const
+{
+    // Compute column widths across header and all rows.
+    std::size_t ncols = _header.size();
+    for (const auto &row : _rows)
+        ncols = std::max(ncols, row.size());
+    std::vector<std::size_t> widths(ncols, 0);
+    auto account = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    account(_header);
+    for (const auto &row : _rows)
+        account(row);
+
+    std::size_t total = 0;
+    for (std::size_t w : widths)
+        total += w + 2;
+
+    std::fprintf(out, "\n== %s ==\n", _title.c_str());
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            std::fprintf(out, "%-*s", static_cast<int>(widths[i] + 2),
+                         row[i].c_str());
+        }
+        std::fprintf(out, "\n");
+    };
+    if (!_header.empty()) {
+        emit(_header);
+        for (std::size_t i = 0; i < total; ++i)
+            std::fputc('-', out);
+        std::fputc('\n', out);
+    }
+    for (const auto &row : _rows)
+        emit(row);
+}
+
+} // namespace nvwal

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Plain-text table rendering for the benchmark harness. Every bench
+ * binary prints the rows/series of the paper table or figure it
+ * regenerates; TablePrinter keeps that output aligned and consistent.
+ */
+
+#ifndef NVWAL_COMMON_TABLE_PRINTER_HPP
+#define NVWAL_COMMON_TABLE_PRINTER_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nvwal
+{
+
+/** Column-aligned text table accumulated row by row. */
+class TablePrinter
+{
+  public:
+    explicit TablePrinter(std::string title) : _title(std::move(title)) {}
+
+    /** Set the header row. */
+    void
+    setHeader(std::vector<std::string> cells)
+    {
+        _header = std::move(cells);
+    }
+
+    /** Append one data row. */
+    void
+    addRow(std::vector<std::string> cells)
+    {
+        _rows.push_back(std::move(cells));
+    }
+
+    /** Format a double with the given precision (row-cell helper). */
+    static std::string
+    num(double v, int precision = 1)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+        return buf;
+    }
+
+    /** Format an integer (row-cell helper). */
+    static std::string
+    num(std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+
+    /** Render the table to @p out (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_COMMON_TABLE_PRINTER_HPP

@@ -1,0 +1,589 @@
+#include "nvwal_log.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvwal
+{
+
+std::string
+NvwalConfig::schemeName() const
+{
+    std::string name;
+    if (userHeap)
+        name += "UH+";
+    switch (syncMode) {
+      case SyncMode::Eager:
+        name += "E";
+        break;
+      case SyncMode::Lazy:
+        name += "LS";
+        break;
+      case SyncMode::ChecksumAsync:
+        name += "CS";
+        break;
+    }
+    if (diffLogging)
+        name += "+Diff";
+    return name;
+}
+
+NvwalLog::NvwalLog(NvHeap &heap, Pmem &pmem, DbFile &db_file,
+                   std::uint32_t page_size, std::uint32_t reserved_bytes,
+                   NvwalConfig config, StatsRegistry &stats)
+    : _heap(heap), _pmem(pmem), _dbFile(db_file), _pageSize(page_size),
+      _reservedBytes(reserved_bytes), _config(config), _stats(stats),
+      _name("NVWAL " + config.schemeName())
+{
+    NVWAL_ASSERT(page_size <= 0xffff,
+                 "frame headers store 16-bit sizes/offsets");
+}
+
+void
+NvwalLog::persistU64(NvOffset off, std::uint64_t value)
+{
+    _pmem.storeU64(off, value);
+    _pmem.memoryBarrier();
+    _pmem.cacheLineFlush(off, off + 8);
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+}
+
+Status
+NvwalLog::initHeader()
+{
+    NVWAL_RETURN_IF_ERROR(_heap.nvMalloc(64, &_headerOff));
+    std::uint8_t header[32];
+    std::memset(header, 0, sizeof(header));
+    storeU64(header, kMagic);
+    storeU32(header + 8, _pageSize);
+    storeU32(header + 12, _reservedBytes);
+    storeU64(header + 16, 0);                 // checkpoint id
+    storeU64(header + 24, kNullNvOffset);     // first node
+    _pmem.memcpyToNvram(_headerOff, ConstByteSpan(header, sizeof(header)));
+    _pmem.memoryBarrier();
+    _pmem.cacheLineFlush(_headerOff, _headerOff + sizeof(header));
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+    // Publishing the root is the atomic "this log exists" step.
+    return _heap.setRoot("nvwal", _headerOff);
+}
+
+Status
+NvwalLog::loadHeader()
+{
+    NvramDevice &dev = _pmem.device();
+    if (dev.readU64(_headerOff) != kMagic)
+        return Status::corruption("NVWAL header magic mismatch");
+    std::uint8_t geo[8];
+    dev.read(_headerOff + 8, ByteSpan(geo, sizeof(geo)));
+    if (loadU32(geo) != _pageSize || loadU32(geo + 4) != _reservedBytes)
+        return Status::invalidArgument("NVWAL page geometry mismatch");
+    _checkpointId = dev.readU64(checkpointIdFieldOff());
+    return Status::ok();
+}
+
+Status
+NvwalLog::appendNode(std::uint32_t min_payload)
+{
+    std::size_t bytes = kNodeHeaderSize + min_payload;
+    NvOffset node;
+    if (_config.userHeap) {
+        // Pre-allocate a large block (pending), link it, then mark
+        // it in-use: Algorithm 1 lines 5-13. The block must amortize
+        // the heap-manager calls over multiple frames (the paper's
+        // 8 KB blocks hold two full-page WAL frames, section 5.3),
+        // so never size it below two of the requesting frame.
+        bytes = std::max<std::size_t>(
+            {bytes, _config.nvBlockSize,
+             kNodeHeaderSize + 2ull * min_payload});
+        NVWAL_RETURN_IF_ERROR(_heap.nvPreMalloc(bytes, &node));
+    } else {
+        // The LS baseline: one heap-manager call per frame.
+        NVWAL_RETURN_IF_ERROR(_heap.nvMalloc(bytes, &node));
+    }
+    // The usable capacity: the whole block for the user-level heap
+    // (frames bump-allocate inside it), but only the requested bytes
+    // for the per-frame baseline -- it must pay another nvmalloc()
+    // for the next frame even though the heap rounded the extent up.
+    const std::uint32_t capacity =
+        _config.userHeap
+            ? _heap.extentBlocksAt(node) * _heap.blockSize()
+            : static_cast<std::uint32_t>(bytes);
+
+    // Terminate the new node before anything can reach it, then
+    // publish the link (dmb; flush; dmb; persist -- lines 8-11).
+    persistU64(node, kNullNvOffset);
+    persistU64(_linkFieldOff, node);
+
+    if (_config.userHeap)
+        NVWAL_RETURN_IF_ERROR(_heap.nvSetUsedFlag(node));
+
+    _tailNode = node;
+    _tailUsed = kNodeHeaderSize;
+    _tailCapacity = capacity;
+    _linkFieldOff = node;  // next node links at this node's next field
+    _nodesSinceCheckpoint++;
+    return Status::ok();
+}
+
+Status
+NvwalLog::placeFrame(PageNo page_no, std::uint16_t page_offset,
+                     ConstByteSpan payload, NvOffset *frame_off)
+{
+    NVWAL_ASSERT(!payload.empty() && payload.size() <= _pageSize);
+    const std::uint32_t total =
+        kFrameHeaderSize + static_cast<std::uint32_t>(payload.size());
+    if (_tailNode == kNullNvOffset || _tailUsed + total > _tailCapacity)
+        NVWAL_RETURN_IF_ERROR(appendNode(total));
+
+    const NvOffset off = _tailNode + _tailUsed;
+
+    std::uint8_t header[kFrameHeaderSize];
+    storeU32(header, page_no);
+    storeU16(header + 4, page_offset);
+    storeU16(header + 6, static_cast<std::uint16_t>(payload.size()));
+    storeU64(header + 8, 0);  // commit word, set later
+    storeU64(header + 16, _checkpointId);
+    _chain.update(ConstByteSpan(header, 8));
+    _chain.update(ConstByteSpan(header + 16, 8));
+    _chain.update(payload);
+    storeU64(header + 24, _chain.value());
+
+    _pmem.memcpyToNvram(off, ConstByteSpan(header, kFrameHeaderSize));
+    _pmem.memcpyToNvram(off + kFrameHeaderSize, payload);
+
+    _tailUsed = static_cast<std::uint32_t>(
+        alignUp(_tailUsed + total, 8));
+    _stats.add(stats::kNvramFramesWritten);
+    _stats.add(stats::kNvramBytesLogged, total);
+    *frame_off = off;
+    return Status::ok();
+}
+
+Status
+NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
+                      std::uint32_t db_size_pages)
+{
+    // Phase 1 -- logging: memcpy WAL frames into NVRAM (Algorithm 1
+    // lines 1-20). Eager mode synchronizes after every frame; lazy
+    // and checksum-async modes defer.
+    std::vector<FrameRef> refs;
+    for (const FrameWrite &fw : frames) {
+        NVWAL_ASSERT(fw.page.size() == _pageSize);
+        std::vector<ByteRange> ranges;
+        if (_config.diffLogging) {
+            NVWAL_ASSERT(fw.ranges != nullptr,
+                         "diff logging needs dirty ranges");
+            if (_config.diffGranularity == DiffGranularity::MultiRange)
+                ranges = fw.ranges->ranges();
+            else
+                ranges.push_back(fw.ranges->bounding());
+        } else {
+            ranges.push_back(ByteRange{0, _pageSize});
+        }
+        for (const ByteRange &r : ranges) {
+            if (r.empty())
+                continue;
+            NVWAL_ASSERT(r.hi <= _pageSize);
+            NvOffset off;
+            NVWAL_RETURN_IF_ERROR(placeFrame(
+                fw.pageNo, static_cast<std::uint16_t>(r.lo),
+                fw.page.subspan(r.lo, r.size()), &off));
+            refs.push_back(FrameRef{off, fw.pageNo,
+                                    static_cast<std::uint16_t>(r.lo),
+                                    static_cast<std::uint16_t>(r.size())});
+            if (_config.syncMode == SyncMode::Eager) {
+                // Figure 4(b): flush + fence + persist per log entry.
+                _pmem.memoryBarrier();
+                _pmem.cacheLineFlush(off, off + kFrameHeaderSize + r.size());
+                _pmem.memoryBarrier();
+                _pmem.persistBarrier();
+            }
+        }
+    }
+
+    if (_config.syncMode == SyncMode::Lazy && !refs.empty()) {
+        // Transaction-aware lazy synchronization (Algorithm 1 lines
+        // 21-28): one dmb, a batch of non-blocking flushes, a
+        // closing dmb and one persist barrier for the whole batch.
+        _pmem.memoryBarrier();
+        for (const FrameRef &ref : refs) {
+            _pmem.cacheLineFlush(ref.off,
+                                 ref.off + kFrameHeaderSize + ref.size);
+        }
+        _pmem.memoryBarrier();
+        _pmem.persistBarrier();
+    }
+
+    _pendingRefs.insert(_pendingRefs.end(), refs.begin(), refs.end());
+    if (!commit)
+        return Status::ok();
+    if (_pendingRefs.empty())
+        return Status::ok();
+
+    // Phase 2 -- commit: set the commit mark on the last frame with
+    // a single 8-byte atomic store, then flush and persist it
+    // (Algorithm 1 lines 29-36). ChecksumAsync flushes the whole
+    // header line so the cumulative checksum lands with the mark
+    // (Figure 4(d)); frames themselves were never flushed.
+    const FrameRef &last = _pendingRefs.back();
+    _pmem.storeU64(last.off + 8, kCommitFlag | db_size_pages);
+    _pmem.memoryBarrier();
+    if (_config.syncMode == SyncMode::ChecksumAsync)
+        _pmem.cacheLineFlush(last.off, last.off + kFrameHeaderSize);
+    else
+        _pmem.cacheLineFlush(last.off + 8, last.off + 16);
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+
+    // Publish in the volatile index. Pages committed while an
+    // incremental checkpoint round is active must be written back
+    // (again) before that round may truncate the log.
+    for (const FrameRef &ref : _pendingRefs) {
+        indexFrame(ref);
+        if (!_ckptPending.empty())
+            _ckptPending.insert(ref.pageNo);
+    }
+    _framesSinceCheckpoint += _pendingRefs.size();
+    _pendingRefs.clear();
+    _dbSizePages = db_size_pages;
+    return Status::ok();
+}
+
+void
+NvwalLog::indexFrame(const FrameRef &ref)
+{
+    auto &list = _pageIndex[ref.pageNo];
+    if (!_config.diffLogging || (ref.pageOffset == 0 &&
+                                 ref.size == _pageSize)) {
+        // A full-page frame supersedes all earlier frames.
+        list.clear();
+    }
+    list.push_back(ref);
+}
+
+bool
+NvwalLog::readPage(PageNo page_no, ByteSpan out)
+{
+    auto it = _pageIndex.find(page_no);
+    if (it == _pageIndex.end())
+        return false;
+    NVWAL_ASSERT(out.size() == _pageSize);
+
+    // Base image: the page as the .db file knows it (or zeros for a
+    // page that has never been checkpointed), then the committed
+    // diffs in log order.
+    std::memset(out.data(), 0, out.size());
+    if (page_no <= _dbFile.pageCount())
+        NVWAL_CHECK_OK(_dbFile.readPage(page_no, out));
+    for (const FrameRef &ref : it->second) {
+        _pmem.readFromNvram(ref.off + kFrameHeaderSize,
+                            out.subspan(ref.pageOffset, ref.size));
+    }
+    return true;
+}
+
+Status
+NvwalLog::checkpoint()
+{
+    bool done = false;
+    while (!done) {
+        NVWAL_RETURN_IF_ERROR(
+            checkpointStep(~static_cast<std::uint32_t>(0), &done));
+    }
+    return Status::ok();
+}
+
+Status
+NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
+{
+    *done = false;
+    NVWAL_ASSERT(_pendingRefs.empty(),
+                 "checkpoint with an open transaction");
+    if (_pageIndex.empty()) {
+        _ckptPending.clear();
+        *done = true;
+        return Status::ok();
+    }
+
+    // Start a new round: snapshot the dirty-in-log page set. Pages
+    // committed while the round is in progress re-enter the set (see
+    // writeFrames), so the round only finishes when the write-back
+    // has caught up with the log.
+    if (_ckptPending.empty()) {
+        for (const auto &[page_no, refs] : _pageIndex)
+            _ckptPending.insert(page_no);
+    }
+
+    // Reconstruct and batch up to max_pages pages to the .db file
+    // (section 4.3: replaying this after a crash is idempotent
+    // because the log is only truncated after the fsync).
+    ByteBuffer page(_pageSize);
+    std::uint32_t written = 0;
+    while (written < max_pages && !_ckptPending.empty()) {
+        const PageNo page_no = *_ckptPending.begin();
+        _ckptPending.erase(_ckptPending.begin());
+        const bool ok = readPage(page_no, ByteSpan(page.data(), _pageSize));
+        NVWAL_ASSERT(ok, "indexed page must be readable");
+        NVWAL_RETURN_IF_ERROR(_dbFile.writePage(
+            page_no, ConstByteSpan(page.data(), _pageSize)));
+        ++written;
+    }
+    if (!_ckptPending.empty()) {
+        // Sync what this step wrote: file writes are buffered, so
+        // without a per-step fsync the entire block-program bill
+        // would land on the final step and the latency bound this
+        // API exists for would be lost. Intermediate syncs are safe
+        // because replaying the (still intact) log is idempotent.
+        if (written > 0)
+            NVWAL_RETURN_IF_ERROR(_dbFile.sync());
+        return Status::ok();  // more steps required
+    }
+
+    NVWAL_RETURN_IF_ERROR(_dbFile.sync());
+    *done = true;
+
+    // Open a new checkpoint epoch *before* truncating: every logged
+    // frame carries the epoch id, so bumping it atomically
+    // invalidates the whole log. Without this, a crash midway
+    // through freeing the nodes (tail first, section 4.3) would
+    // leave a valid *prefix* of frames, and replaying old diffs on
+    // top of the already-checkpointed pages would revert the
+    // transactions whose frames were freed.
+    _checkpointId++;
+    persistU64(checkpointIdFieldOff(), _checkpointId);
+
+    // Truncate the NVRAM log: free nodes from the end of the list to
+    // the beginning (section 4.3), then clear the head pointer.
+    std::vector<NvOffset> nodes;
+    NvOffset node = _pmem.device().readU64(firstNodeFieldOff());
+    while (node != kNullNvOffset) {
+        nodes.push_back(node);
+        node = _pmem.device().readU64(node);
+    }
+    for (auto it = nodes.rbegin(); it != nodes.rend(); ++it)
+        NVWAL_RETURN_IF_ERROR(_heap.nvFree(*it));
+    persistU64(firstNodeFieldOff(), kNullNvOffset);
+
+    _pageIndex.clear();
+    _chain.reset();
+    _tailNode = kNullNvOffset;
+    _tailUsed = 0;
+    _tailCapacity = 0;
+    _linkFieldOff = firstNodeFieldOff();
+    _framesSinceCheckpoint = 0;
+    _nodesSinceCheckpoint = 0;
+    _stats.add(stats::kCheckpoints);
+    return Status::ok();
+}
+
+Status
+NvwalLog::recover(std::uint32_t *db_size_pages)
+{
+    *db_size_pages = 0;
+    _pageIndex.clear();
+    _pendingRefs.clear();
+    _ckptPending.clear();
+    _chain.reset();
+    _framesSinceCheckpoint = 0;
+    _nodesSinceCheckpoint = 0;
+    _dbSizePages = 0;
+    _tailNode = kNullNvOffset;
+    _tailUsed = 0;
+    _tailCapacity = 0;
+
+    // The heap manager reclaims pending blocks first (section 4.3,
+    // failure case 1): a block that was allocated but never linked
+    // leaks otherwise, and a block that was linked but never marked
+    // in-use must be treated as free (failure case 2).
+    NVWAL_RETURN_IF_ERROR(_heap.recover());
+
+    Status root = _heap.getRoot("nvwal", &_headerOff);
+    if (root.isNotFound()) {
+        NVWAL_RETURN_IF_ERROR(initHeader());
+        _linkFieldOff = firstNodeFieldOff();
+        return Status::ok();
+    }
+    NVWAL_RETURN_IF_ERROR(root);
+    NVWAL_RETURN_IF_ERROR(loadHeader());
+    _linkFieldOff = firstNodeFieldOff();
+
+    NvramDevice &dev = _pmem.device();
+
+    // Walk the node chain, validating the frame checksum chain.
+    // Frames after the last valid commit mark belong to a
+    // transaction that never committed and are discarded.
+    struct Commit
+    {
+        NvOffset node = kNullNvOffset;
+        std::uint32_t used = 0;
+        std::uint32_t capacity = 0;
+        CumulativeChecksum chain;
+        std::uint32_t dbSize = 0;
+    };
+    Commit last_commit;
+    bool any_commit = false;
+    std::vector<FrameRef> pending;
+    std::vector<FrameRef> committed;
+    ByteBuffer payload(_pageSize);
+
+    NvOffset link_field = firstNodeFieldOff();
+    NvOffset node = dev.readU64(link_field);
+    CumulativeChecksum chain;
+    bool stop = false;
+    while (node != kNullNvOffset && !stop) {
+        if (_heap.blockStateAt(node) != BlockState::InUse) {
+            // Dangling reference to a block the heap reclaimed
+            // (crash between linking and nvSetUsedFlag): delete the
+            // reference (section 4.3, failure case 2).
+            persistU64(link_field, kNullNvOffset);
+            break;
+        }
+        const std::uint32_t capacity =
+            _heap.extentBlocksAt(node) * _heap.blockSize();
+        std::uint32_t pos = kNodeHeaderSize;
+        while (pos + kFrameHeaderSize <= capacity) {
+            std::uint8_t header[kFrameHeaderSize];
+            _pmem.readFromNvram(node + pos,
+                                ByteSpan(header, kFrameHeaderSize));
+            const PageNo page_no = loadU32(header);
+            const std::uint16_t page_off = loadU16(header + 4);
+            const std::uint16_t size = loadU16(header + 6);
+            const std::uint64_t commit_word = loadU64(header + 8);
+            const std::uint64_t ckpt_id = loadU64(header + 16);
+            if (size == 0 || page_no == kNoPage ||
+                static_cast<std::uint32_t>(page_off) + size > _pageSize ||
+                pos + kFrameHeaderSize + size > capacity ||
+                ckpt_id != _checkpointId) {
+                // No (valid) frame here: the rest of this node is
+                // unused tail space -- continue with the next node.
+                // If these bytes were a torn frame instead, any
+                // later commit's cumulative checksum will fail to
+                // verify, which ends the walk there.
+                break;
+            }
+            _pmem.readFromNvram(node + pos + kFrameHeaderSize,
+                     ByteSpan(payload.data(), size));
+            CumulativeChecksum attempt = chain;
+            attempt.update(ConstByteSpan(header, 8));
+            attempt.update(ConstByteSpan(header + 16, 8));
+            attempt.update(ConstByteSpan(payload.data(), size));
+            if (attempt.value() != loadU64(header + 24)) {
+                stop = true;  // torn or missing bytes: end of log
+                break;
+            }
+            chain = attempt;
+            pending.push_back(FrameRef{node + pos, page_no, page_off,
+                                       size});
+            pos = static_cast<std::uint32_t>(
+                alignUp(pos + kFrameHeaderSize + size, 8));
+            if (commit_word != 0) {
+                committed.insert(committed.end(), pending.begin(),
+                                 pending.end());
+                pending.clear();
+                any_commit = true;
+                last_commit.node = node;
+                last_commit.used = pos;
+                last_commit.capacity = capacity;
+                last_commit.chain = chain;
+                last_commit.dbSize = static_cast<std::uint32_t>(
+                    commit_word & ~kCommitFlag);
+            }
+        }
+        _nodesSinceCheckpoint++;
+        link_field = node;
+        node = dev.readU64(node);
+    }
+
+    if (any_commit) {
+        _tailNode = last_commit.node;
+        _tailUsed = last_commit.used;
+        // Per-frame (non-user-heap) nodes never accept a second
+        // frame, recovered or not.
+        _tailCapacity =
+            _config.userHeap ? last_commit.capacity : last_commit.used;
+        _linkFieldOff = _tailNode;
+        _chain = last_commit.chain;
+        _dbSizePages = last_commit.dbSize;
+        for (const FrameRef &ref : committed)
+            indexFrame(ref);
+        _framesSinceCheckpoint = committed.size();
+
+        // Erase the frame header slot right after the last commit.
+        // The tail may hold a torn (or merely uncommitted) frame; if
+        // it stayed in place and a later append skipped to a fresh
+        // node because its frame did not fit here, a future recovery
+        // walk would stop on the stale bytes and lose the valid
+        // continuation in the following nodes.
+        if (_tailUsed + kFrameHeaderSize <= last_commit.capacity) {
+            const std::uint8_t zeros[kFrameHeaderSize] = {};
+            const NvOffset tail = _tailNode + _tailUsed;
+            _pmem.memcpyToNvram(
+                tail, ConstByteSpan(zeros, kFrameHeaderSize));
+            _pmem.memoryBarrier();
+            _pmem.cacheLineFlush(tail, tail + kFrameHeaderSize);
+            _pmem.memoryBarrier();
+            _pmem.persistBarrier();
+        }
+
+        // Free any nodes past the commit point (they hold only
+        // uncommitted frames) and cut the chain there.
+        NvOffset extra = dev.readU64(_tailNode);
+        if (extra != kNullNvOffset) {
+            std::vector<NvOffset> tail_nodes;
+            NvOffset n = extra;
+            while (n != kNullNvOffset &&
+                   _heap.blockStateAt(n) == BlockState::InUse) {
+                tail_nodes.push_back(n);
+                n = dev.readU64(n);
+            }
+            for (auto it = tail_nodes.rbegin(); it != tail_nodes.rend();
+                 ++it) {
+                NVWAL_RETURN_IF_ERROR(_heap.nvFree(*it));
+            }
+            persistU64(_tailNode, kNullNvOffset);
+        }
+    } else {
+        // No committed transaction: drop the whole chain.
+        std::vector<NvOffset> all_nodes;
+        NvOffset n = dev.readU64(firstNodeFieldOff());
+        while (n != kNullNvOffset &&
+               _heap.blockStateAt(n) == BlockState::InUse) {
+            all_nodes.push_back(n);
+            n = dev.readU64(n);
+        }
+        for (auto it = all_nodes.rbegin(); it != all_nodes.rend(); ++it)
+            NVWAL_RETURN_IF_ERROR(_heap.nvFree(*it));
+        persistU64(firstNodeFieldOff(), kNullNvOffset);
+        _linkFieldOff = firstNodeFieldOff();
+        _nodesSinceCheckpoint = 0;
+    }
+
+    *db_size_pages = _dbSizePages;
+    return Status::ok();
+}
+
+std::uint64_t
+NvwalLog::nodeCount() const
+{
+    std::uint64_t count = 0;
+    NvOffset node = _pmem.device().readU64(firstNodeFieldOff());
+    while (node != kNullNvOffset) {
+        ++count;
+        node = _pmem.device().readU64(node);
+    }
+    return count;
+}
+
+double
+NvwalLog::framesPerNode() const
+{
+    const std::uint64_t nodes = nodeCount();
+    if (nodes == 0)
+        return 0.0;
+    return static_cast<double>(_framesSinceCheckpoint) /
+           static_cast<double>(nodes);
+}
+
+} // namespace nvwal

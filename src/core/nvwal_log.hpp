@@ -1,0 +1,168 @@
+/**
+ * @file
+ * NVWAL: the NVRAM write-ahead log (the paper's core contribution).
+ *
+ * Persistent layout, all inside NvHeap allocations:
+ *
+ *   namespace "nvwal" -> header allocation:
+ *     0   magic u64
+ *     8   page size u32, reserved bytes u32
+ *     16  checkpoint id u64
+ *     24  first node offset u64 (kNullNvOffset when the log is empty)
+ *
+ *   log node (one heap allocation; the user-level heap packs many
+ *   frames per node, the LS baseline holds one frame per node):
+ *     0   next node offset u64
+ *     8   frames, each 8-byte aligned
+ *
+ *   WAL frame (32-byte header + payload, section 3.2):
+ *     0   page number u32
+ *     4   in-page offset u16
+ *     6   payload size u16
+ *     8   commit word u64 -- 0, or kCommitFlag | dbSizePages.
+ *         Excluded from the checksum so the commit mark can be set
+ *         by a single 8-byte atomic store after the payload is
+ *         durable (section 4.1).
+ *     16  checkpoint id u64
+ *     24  cumulative checksum u64 over [0, 8) + [16, 24) + payload,
+ *         chained across all frames since the last checkpoint, so
+ *         recovery detects any torn or missing prefix (and gives the
+ *         ChecksumAsync variant its probabilistic commit validity,
+ *         section 4.2).
+ *
+ * Commit protocol (Algorithm 1): frames are memcpy'd into NVRAM,
+ * synchronized per the SyncMode, and only then is the last frame's
+ * commit word written, flushed and persisted. Recovery replays
+ * frames up to the last frame whose chain verifies and whose commit
+ * word is set; everything after is discarded and the heap reclaims
+ * pending blocks (section 4.3).
+ */
+
+#ifndef NVWAL_CORE_NVWAL_LOG_HPP
+#define NVWAL_CORE_NVWAL_LOG_HPP
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/checksum.hpp"
+#include "core/nvwal_config.hpp"
+#include "heap/nv_heap.hpp"
+#include "pager/db_file.hpp"
+#include "wal/write_ahead_log.hpp"
+
+namespace nvwal
+{
+
+/** The NVRAM write-ahead log. */
+class NvwalLog : public WriteAheadLog
+{
+  public:
+    static constexpr std::uint64_t kMagic = 0x3130304c4157564eULL;
+    static constexpr std::uint32_t kFrameHeaderSize = 32;
+    static constexpr std::uint32_t kNodeHeaderSize = 8;
+    static constexpr std::uint64_t kCommitFlag = 1ULL << 63;
+
+    NvwalLog(NvHeap &heap, Pmem &pmem, DbFile &db_file,
+             std::uint32_t page_size, std::uint32_t reserved_bytes,
+             NvwalConfig config, StatsRegistry &stats);
+
+    Status writeFrames(const std::vector<FrameWrite> &frames, bool commit,
+                       std::uint32_t db_size_pages) override;
+    bool readPage(PageNo page_no, ByteSpan out) override;
+    Status checkpoint() override;
+    Status checkpointStep(std::uint32_t max_pages, bool *done) override;
+    Status recover(std::uint32_t *db_size_pages) override;
+    std::uint64_t framesSinceCheckpoint() const override
+    { return _framesSinceCheckpoint; }
+    const char *name() const override { return _name.c_str(); }
+
+    const NvwalConfig &config() const { return _config; }
+
+    // ---- introspection for tests and benches ----------------------
+
+    /** Heap allocations (log nodes) currently linked in the chain. */
+    std::uint64_t nodeCount() const;
+
+    /** Average frames stored per node since the last checkpoint. */
+    double framesPerNode() const;
+
+    /** NVRAM offset where the next frame will be placed (tests). */
+    NvOffset
+    tailOffset() const
+    {
+        return _tailNode == kNullNvOffset ? kNullNvOffset
+                                          : _tailNode + _tailUsed;
+    }
+
+    /** Current cumulative-checksum chain value (tests). */
+    std::uint64_t chainValue() const { return _chain.value(); }
+
+  private:
+    struct FrameRef
+    {
+        NvOffset off;           //!< frame header offset
+        PageNo pageNo;
+        std::uint16_t pageOffset;
+        std::uint16_t size;     //!< payload bytes
+    };
+
+    NvOffset headerFieldOff(std::uint32_t field) const
+    { return _headerOff + field; }
+    NvOffset firstNodeFieldOff() const { return headerFieldOff(24); }
+    NvOffset checkpointIdFieldOff() const { return headerFieldOff(16); }
+
+    Status initHeader();
+    Status loadHeader();
+
+    /** Persist a single 8-byte field: store, fence, flush, persist. */
+    void persistU64(NvOffset off, std::uint64_t value);
+
+    /** Allocate + link a new log node with >= @p min_payload bytes. */
+    Status appendNode(std::uint32_t min_payload);
+
+    /** Place one frame; returns its header offset. */
+    Status placeFrame(PageNo page_no, std::uint16_t page_offset,
+                      ConstByteSpan payload, NvOffset *frame_off);
+
+    /** Apply one committed frame to the volatile page index. */
+    void indexFrame(const FrameRef &ref);
+
+    NvHeap &_heap;
+    Pmem &_pmem;
+    DbFile &_dbFile;
+    std::uint32_t _pageSize;
+    std::uint32_t _reservedBytes;
+    NvwalConfig _config;
+    StatsRegistry &_stats;
+    std::string _name;
+
+    // Volatile state, rebuilt by recover().
+    NvOffset _headerOff = kNullNvOffset;
+    std::uint64_t _checkpointId = 0;
+    NvOffset _tailNode = kNullNvOffset;   //!< last node in the chain
+    std::uint32_t _tailUsed = 0;          //!< bytes used in tail node
+    std::uint32_t _tailCapacity = 0;      //!< tail node total bytes
+    /** NVRAM offset of the link field to store the next node into. */
+    NvOffset _linkFieldOff = kNullNvOffset;
+    CumulativeChecksum _chain;
+    std::uint64_t _framesSinceCheckpoint = 0;
+    std::uint64_t _nodesSinceCheckpoint = 0;
+    std::uint32_t _dbSizePages = 0;
+    /** Frames logged but not yet covered by a commit mark. */
+    std::vector<FrameRef> _pendingRefs;
+    /**
+     * Pages still to be written back by the in-progress incremental
+     * checkpoint (empty = no checkpoint in progress). A page
+     * re-dirtied after its write-back re-enters the set; replaying
+     * absolute-byte diffs is idempotent, so partial write-backs are
+     * always crash-safe.
+     */
+    std::set<PageNo> _ckptPending;
+    /** page -> committed frames in append order. */
+    std::map<PageNo, std::vector<FrameRef>> _pageIndex;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_CORE_NVWAL_LOG_HPP

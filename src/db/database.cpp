@@ -1,0 +1,563 @@
+#include "database.hpp"
+
+#include <algorithm>
+
+namespace nvwal
+{
+
+namespace
+{
+
+/** Catalog entry payload: [root u32][name bytes]. */
+ByteBuffer
+encodeCatalogEntry(PageNo root, const std::string &name)
+{
+    ByteBuffer out(4 + name.size());
+    storeU32(out.data(), root);
+    std::memcpy(out.data() + 4, name.data(), name.size());
+    return out;
+}
+
+bool
+decodeCatalogEntry(ConstByteSpan raw, PageNo *root, std::string *name)
+{
+    if (raw.size() < 4)
+        return false;
+    *root = loadU32(raw.data());
+    name->assign(reinterpret_cast<const char *>(raw.data()) + 4,
+                 raw.size() - 4);
+    return true;
+}
+
+} // namespace
+
+// ---- Table ---------------------------------------------------------
+
+Table::Table(Database &db, std::string name, RowId catalog_id,
+             PageNo root)
+    : _db(db), _name(std::move(name)), _catalogId(catalog_id),
+      _tree(*db._pager, root)
+{}
+
+Status
+Table::insert(RowId key, ConstByteSpan value)
+{
+    bool started;
+    NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
+    _db.chargeStatement(value.size());
+    return _db.autocommitEnd(started, _tree.insert(key, value));
+}
+
+Status
+Table::insert(RowId key, const std::string &value)
+{
+    return insert(key,
+                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
+                                    value.data()),
+                                value.size()));
+}
+
+Status
+Table::update(RowId key, ConstByteSpan value)
+{
+    bool started;
+    NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
+    _db.chargeStatement(value.size());
+    return _db.autocommitEnd(started, _tree.update(key, value));
+}
+
+Status
+Table::remove(RowId key)
+{
+    bool started;
+    NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
+    _db.chargeStatement(0);
+    return _db.autocommitEnd(started, _tree.remove(key));
+}
+
+Status
+Table::get(RowId key, ByteBuffer *value)
+{
+    _db.chargeStatement(0);
+    return _tree.get(key, value);
+}
+
+Status
+Table::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
+{
+    _db.chargeStatement(0);
+    return _tree.scan(lo, hi, visit);
+}
+
+Status
+Table::count(std::uint64_t *out)
+{
+    return _tree.count(out);
+}
+
+// ---- Database ------------------------------------------------------
+
+std::uint32_t
+DbConfig::resolvedReservedBytes() const
+{
+    if (reservedBytes != kDefaultReserved)
+        return reservedBytes;
+    return walMode == WalMode::FileStock ||
+                   walMode == WalMode::RollbackJournal
+               ? 0
+               : 24;
+}
+
+Database::Database(Env &env, DbConfig config)
+    : _env(env), _config(std::move(config))
+{}
+
+Status
+Database::open(Env &env, DbConfig config, std::unique_ptr<Database> *out)
+{
+    std::unique_ptr<Database> db(new Database(env, std::move(config)));
+    NVWAL_RETURN_IF_ERROR(db->openInternal());
+    *out = std::move(db);
+    return Status::ok();
+}
+
+Status
+Database::openInternal()
+{
+    const std::uint32_t reserved = _config.resolvedReservedBytes();
+    _dbFile = std::make_unique<DbFile>(_env.fs, _config.name,
+                                       _config.pageSize);
+    NVWAL_RETURN_IF_ERROR(_dbFile->open());
+    _pager = std::make_unique<Pager>(*_dbFile, _config.pageSize, reserved);
+
+    switch (_config.walMode) {
+      case WalMode::RollbackJournal:
+        _wal = std::make_unique<RollbackJournal>(
+            _env.fs, _config.name + "-journal", *_dbFile,
+            _config.pageSize, _env.stats);
+        break;
+      case WalMode::FileStock:
+      case WalMode::FileOptimized: {
+        FileWalConfig wal_config;
+        wal_config.optimized = _config.walMode == WalMode::FileOptimized;
+        _wal = std::make_unique<FileWal>(
+            _env.fs, _config.name + "-wal", *_dbFile, _config.pageSize,
+            reserved, wal_config, _env.stats);
+        break;
+      }
+      case WalMode::Nvwal:
+        _wal = std::make_unique<NvwalLog>(
+            _env.heap, _env.pmem, *_dbFile, _config.pageSize, reserved,
+            _config.nvwal, _env.stats);
+        break;
+    }
+
+    // Recovery order matters: the WAL index must exist before the
+    // pager reads any page (the newest committed copy of a page may
+    // live only in the log).
+    std::uint32_t db_size_pages = 0;
+    NVWAL_RETURN_IF_ERROR(_wal->recover(&db_size_pages));
+    _pager->setWalReader([this](PageNo page_no, ByteSpan out) {
+        return _wal->readPage(page_no, out);
+    });
+    NVWAL_RETURN_IF_ERROR(_pager->open());
+    if (db_size_pages != 0)
+        _pager->setPageCount(db_size_pages);
+
+    // The primary root (page 2) holds the table catalog; the default
+    // table is created on first open.
+    _catalog = std::make_unique<BTree>(*_pager, _pager->rootPage());
+    bool found = false;
+    RowId id;
+    PageNo root;
+    NVWAL_RETURN_IF_ERROR(
+        findCatalogEntry(kDefaultTable, &id, &root, &found));
+    if (!found)
+        NVWAL_RETURN_IF_ERROR(createTable(kDefaultTable));
+    return Status::ok();
+}
+
+Status
+Database::findCatalogEntry(const std::string &name, RowId *id,
+                           PageNo *root, bool *found)
+{
+    *found = false;
+    Status scan_error = Status::ok();
+    NVWAL_RETURN_IF_ERROR(_catalog->scan(
+        INT64_MIN, INT64_MAX, [&](RowId key, ConstByteSpan raw) {
+            PageNo entry_root;
+            std::string entry_name;
+            if (!decodeCatalogEntry(raw, &entry_root, &entry_name)) {
+                scan_error = Status::corruption("bad catalog entry");
+                return false;
+            }
+            if (entry_name == name) {
+                *id = key;
+                *root = entry_root;
+                *found = true;
+                return false;
+            }
+            return true;
+        }));
+    return scan_error;
+}
+
+Status
+Database::createTable(const std::string &name)
+{
+    if (name.empty() || name.size() > 128)
+        return Status::invalidArgument("table name length");
+    bool started;
+    NVWAL_RETURN_IF_ERROR(autocommitBegin(&started));
+
+    auto create = [&]() -> Status {
+        bool exists = false;
+        RowId id;
+        PageNo root;
+        NVWAL_RETURN_IF_ERROR(
+            findCatalogEntry(name, &id, &root, &exists));
+        if (exists)
+            return Status::invalidArgument("table exists: " + name);
+
+        // Next catalog id: one past the largest in use.
+        RowId next_id = 1;
+        NVWAL_RETURN_IF_ERROR(_catalog->scan(
+            INT64_MIN, INT64_MAX, [&](RowId key, ConstByteSpan) {
+                next_id = key + 1;
+                return true;
+            }));
+
+        CachedPage *page;
+        PageNo new_root;
+        NVWAL_RETURN_IF_ERROR(_pager->allocatePage(&page, &new_root));
+        const ByteBuffer entry = encodeCatalogEntry(new_root, name);
+        return _catalog->insert(next_id,
+                                ConstByteSpan(entry.data(), entry.size()));
+    };
+    return autocommitEnd(started, create());
+}
+
+Status
+Database::openTable(const std::string &name, Table **out)
+{
+    auto it = _tables.find(name);
+    if (it != _tables.end()) {
+        *out = it->second.get();
+        return Status::ok();
+    }
+    bool found = false;
+    RowId id;
+    PageNo root;
+    NVWAL_RETURN_IF_ERROR(findCatalogEntry(name, &id, &root, &found));
+    if (!found)
+        return Status::notFound("no such table: " + name);
+    auto table =
+        std::unique_ptr<Table>(new Table(*this, name, id, root));
+    *out = table.get();
+    _tables[name] = std::move(table);
+    return Status::ok();
+}
+
+Status
+Database::dropTable(const std::string &name)
+{
+    if (name == kDefaultTable)
+        return Status::invalidArgument("cannot drop the default table");
+    // Invalidate any handle up-front; the pages are about to go.
+    _tables.erase(name);
+
+    bool started;
+    NVWAL_RETURN_IF_ERROR(autocommitBegin(&started));
+    auto drop = [&]() -> Status {
+        bool found = false;
+        RowId id;
+        PageNo root;
+        NVWAL_RETURN_IF_ERROR(findCatalogEntry(name, &id, &root, &found));
+        if (!found)
+            return Status::notFound("no such table: " + name);
+        BTree tree(*_pager, root);
+        NVWAL_RETURN_IF_ERROR(tree.destroy());
+        return _catalog->remove(id);
+    };
+    return autocommitEnd(started, drop());
+}
+
+Status
+Database::listTables(std::vector<std::string> *out)
+{
+    out->clear();
+    Status scan_error = Status::ok();
+    NVWAL_RETURN_IF_ERROR(_catalog->scan(
+        INT64_MIN, INT64_MAX, [&](RowId, ConstByteSpan raw) {
+            PageNo root;
+            std::string name;
+            if (!decodeCatalogEntry(raw, &root, &name)) {
+                scan_error = Status::corruption("bad catalog entry");
+                return false;
+            }
+            out->push_back(name);
+            return true;
+        }));
+    return scan_error;
+}
+
+Status
+Database::defaultTable(Table **out)
+{
+    return openTable(kDefaultTable, out);
+}
+
+BTree &
+Database::btree()
+{
+    Table *table = nullptr;
+    NVWAL_CHECK_OK(openTable(kDefaultTable, &table));
+    return table->btree();
+}
+
+Status
+Database::begin()
+{
+    if (_inTxn)
+        return Status::busy("a write transaction is already open");
+    _inTxn = true;
+    _txnStartPageCount = _pager->pageCount();
+    return Status::ok();
+}
+
+Status
+Database::commit()
+{
+    if (!_inTxn)
+        return Status::invalidArgument("no transaction to commit");
+
+    // Per-transaction engine work (locking, journaling bookkeeping).
+    _env.clock.advance(_env.cost.cpuTxnNs);
+
+    const std::vector<PageNo> dirty = _pager->dirtyPageNos();
+    if (!dirty.empty()) {
+        std::vector<FrameWrite> frames;
+        frames.reserve(dirty.size());
+        for (PageNo no : dirty) {
+            CachedPage *page = _pager->cached(no);
+            NVWAL_ASSERT(page != nullptr, "dirty page not cached");
+            frames.push_back(
+                FrameWrite{no, page->cspan(), &page->dirty});
+        }
+        NVWAL_RETURN_IF_ERROR(
+            _wal->writeFrames(frames, true, _pager->pageCount()));
+        _pager->markAllClean();
+    }
+    _inTxn = false;
+    _env.stats.add(stats::kTxnsCommitted);
+
+    if (_config.autoCheckpoint &&
+        _wal->framesSinceCheckpoint() >= _config.checkpointThreshold) {
+        if (!_config.incrementalCheckpoint)
+            return checkpoint();
+        bool done = false;
+        NVWAL_RETURN_IF_ERROR(
+            _wal->checkpointStep(_config.checkpointStepPages, &done));
+    }
+    return Status::ok();
+}
+
+Status
+Database::rollback()
+{
+    if (!_inTxn)
+        return Status::invalidArgument("no transaction to roll back");
+    _pager->discardDirty(_txnStartPageCount);
+    _inTxn = false;
+    // The rolled-back transaction may have created or dropped
+    // tables; drop all handles so they are rebuilt from the (now
+    // reverted) catalog.
+    _tables.clear();
+    return Status::ok();
+}
+
+Status
+Database::autocommitBegin(bool *started)
+{
+    *started = false;
+    if (!_inTxn) {
+        NVWAL_RETURN_IF_ERROR(begin());
+        *started = true;
+    }
+    return Status::ok();
+}
+
+Status
+Database::autocommitEnd(bool started, Status op_status)
+{
+    if (!started)
+        return op_status;
+    if (!op_status.isOk()) {
+        (void)rollback();
+        return op_status;
+    }
+    return commit();
+}
+
+void
+Database::chargeStatement(std::size_t payload_bytes)
+{
+    _env.clock.advance(_env.cost.cpuOpNs +
+                       static_cast<SimTime>(_env.cost.cpuPerByteNs *
+                                            static_cast<double>(
+                                                payload_bytes)));
+}
+
+Status
+Database::insert(RowId key, ConstByteSpan value)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->insert(key, value);
+}
+
+Status
+Database::insert(RowId key, const std::string &value)
+{
+    return insert(key,
+                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
+                                    value.data()),
+                                value.size()));
+}
+
+Status
+Database::update(RowId key, ConstByteSpan value)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->update(key, value);
+}
+
+Status
+Database::remove(RowId key)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->remove(key);
+}
+
+Status
+Database::get(RowId key, ByteBuffer *value)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->get(key, value);
+}
+
+Status
+Database::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->scan(lo, hi, visit);
+}
+
+Status
+Database::count(std::uint64_t *out)
+{
+    Table *table;
+    NVWAL_RETURN_IF_ERROR(defaultTable(&table));
+    return table->count(out);
+}
+
+Status
+Database::checkpoint()
+{
+    if (_inTxn)
+        return Status::busy("cannot checkpoint inside a transaction");
+    return _wal->checkpoint();
+}
+
+Status
+Database::vacuum()
+{
+    if (_inTxn)
+        return Status::busy("cannot vacuum inside a transaction");
+    // Make the .db file current and the log empty so the rebuild
+    // can read pages straight from the file image.
+    NVWAL_RETURN_IF_ERROR(checkpoint());
+
+    const std::string tmp_name = _config.name + ".vacuum";
+    if (_env.fs.exists(tmp_name))
+        NVWAL_RETURN_IF_ERROR(_env.fs.remove(tmp_name));
+
+    {
+        DbFile tmp_file(_env.fs, tmp_name, _config.pageSize);
+        NVWAL_RETURN_IF_ERROR(tmp_file.open());
+        Pager tmp_pager(tmp_file, _config.pageSize,
+                        _config.resolvedReservedBytes());
+        NVWAL_RETURN_IF_ERROR(tmp_pager.open());
+        BTree tmp_catalog(tmp_pager, tmp_pager.rootPage());
+
+        // Copy each table in catalog order; scanning in key order
+        // produces compact, append-built trees in the new file.
+        Status copy_error = Status::ok();
+        NVWAL_RETURN_IF_ERROR(_catalog->scan(
+            INT64_MIN, INT64_MAX,
+            [&](RowId id, ConstByteSpan raw) {
+                PageNo old_root;
+                std::string table_name;
+                if (!decodeCatalogEntry(raw, &old_root, &table_name)) {
+                    copy_error = Status::corruption("bad catalog entry");
+                    return false;
+                }
+                CachedPage *root_page;
+                PageNo new_root;
+                copy_error =
+                    tmp_pager.allocatePage(&root_page, &new_root);
+                if (!copy_error.isOk())
+                    return false;
+                const ByteBuffer entry =
+                    encodeCatalogEntry(new_root, table_name);
+                copy_error = tmp_catalog.insert(
+                    id, ConstByteSpan(entry.data(), entry.size()));
+                if (!copy_error.isOk())
+                    return false;
+
+                BTree source(*_pager, old_root);
+                BTree target(tmp_pager, new_root);
+                const Status scan_status = source.scan(
+                    INT64_MIN, INT64_MAX,
+                    [&](RowId key, ConstByteSpan value) {
+                        copy_error = target.insert(key, value);
+                        return copy_error.isOk();
+                    });
+                if (copy_error.isOk())
+                    copy_error = scan_status;
+                return copy_error.isOk();
+            }));
+        NVWAL_RETURN_IF_ERROR(copy_error);
+        NVWAL_RETURN_IF_ERROR(tmp_pager.flushAllToFile());
+        NVWAL_RETURN_IF_ERROR(tmp_file.sync());
+    }
+
+    // Atomic swap, then rebuild all volatile state on the new file.
+    NVWAL_RETURN_IF_ERROR(_env.fs.rename(tmp_name, _config.name));
+    _tables.clear();
+    _catalog.reset();
+    _wal.reset();
+    _pager.reset();
+    _dbFile.reset();
+    return openInternal();
+}
+
+Status
+Database::verifyIntegrity()
+{
+    NVWAL_RETURN_IF_ERROR(_catalog->validate());
+    std::vector<std::string> names;
+    NVWAL_RETURN_IF_ERROR(listTables(&names));
+    for (const std::string &name : names) {
+        Table *table;
+        NVWAL_RETURN_IF_ERROR(openTable(name, &table));
+        NVWAL_RETURN_IF_ERROR(table->btree().validate());
+    }
+    return Status::ok();
+}
+
+} // namespace nvwal

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * The SQLite-like embedded database facade.
+ *
+ * One rowid-keyed table (B+-tree), a DRAM page cache, and a
+ * selectable write-ahead-log mode:
+ *
+ *   - WalMode::FileStock     -- SQLite 3.8-style WAL file on flash
+ *   - WalMode::FileOptimized -- + aligned frames & pre-allocation
+ *   - WalMode::Nvwal         -- the paper's NVRAM write-ahead log,
+ *                               in any NvwalConfig variant
+ *
+ * Transactions follow SQLite's serverless model: a single writer
+ * with an exclusive database lock (section 4.1), explicit
+ * begin/commit/rollback, and autocommit for standalone statements.
+ * CPU costs of query processing are charged to the simulated clock
+ * per statement and per transaction, calibrated in CostModel.
+ */
+
+#ifndef NVWAL_DB_DATABASE_HPP
+#define NVWAL_DB_DATABASE_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "btree/btree.hpp"
+#include "core/nvwal_log.hpp"
+#include "db/env.hpp"
+#include "wal/file_wal.hpp"
+#include "wal/rollback_journal.hpp"
+
+namespace nvwal
+{
+
+/** Which logging/journaling implementation backs the database. */
+enum class WalMode
+{
+    /** SQLite's classic rollback journal (DELETE mode) on flash. */
+    RollbackJournal,
+    FileStock,
+    FileOptimized,
+    Nvwal,
+};
+
+/** Database configuration. */
+struct DbConfig
+{
+    std::string name = "app.db";
+    WalMode walMode = WalMode::Nvwal;
+    /** NVWAL scheme knobs (walMode == Nvwal). */
+    NvwalConfig nvwal;
+    std::uint32_t pageSize = 4096;
+    /**
+     * Reserved bytes per page. kDefaultReserved picks the paper's
+     * setting for the mode: 0 for stock WAL, 24 otherwise (the
+     * early-split/aligned-frame optimization of section 5.4, also
+     * applied to NVWAL).
+     */
+    static constexpr std::uint32_t kDefaultReserved = ~0u;
+    std::uint32_t reservedBytes = kDefaultReserved;
+    /** Auto-checkpoint threshold in frames (SQLite default: 1000). */
+    std::uint64_t checkpointThreshold = 1000;
+    bool autoCheckpoint = true;
+    /**
+     * Incremental auto-checkpointing: instead of one blocking
+     * checkpoint at the threshold, write back at most
+     * checkpointStepPages pages after each commit until the log can
+     * be truncated. Bounds the per-commit latency spike.
+     */
+    bool incrementalCheckpoint = false;
+    std::uint32_t checkpointStepPages = 8;
+
+    std::uint32_t resolvedReservedBytes() const;
+};
+
+class Database;
+
+/**
+ * Handle to one named table (a rowid-keyed B+-tree registered in the
+ * database catalog). Obtained from Database::openTable(); owned by
+ * the Database and invalidated by dropTable() and rollback().
+ */
+class Table
+{
+  public:
+    Status insert(RowId key, ConstByteSpan value);
+    Status insert(RowId key, const std::string &value);
+    Status update(RowId key, ConstByteSpan value);
+    Status remove(RowId key);
+    Status get(RowId key, ByteBuffer *value);
+    Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
+    Status count(std::uint64_t *out);
+
+    const std::string &name() const { return _name; }
+    BTree &btree() { return _tree; }
+
+  private:
+    friend class Database;
+    Table(Database &db, std::string name, RowId catalog_id, PageNo root);
+
+    Database &_db;
+    std::string _name;
+    RowId _catalogId;
+    BTree _tree;
+};
+
+/** A single-writer embedded database. */
+class Database
+{
+  public:
+    /** The table the record-level convenience methods operate on. */
+    static constexpr const char *kDefaultTable = "main";
+    /** Open (and recover) a database on @p env. */
+    static Status open(Env &env, DbConfig config,
+                       std::unique_ptr<Database> *out);
+
+    ~Database() = default;
+    Database(const Database &) = delete;
+    Database &operator=(const Database &) = delete;
+
+    // ---- transactions ---------------------------------------------
+
+    /** Begin an explicit write transaction. */
+    Status begin();
+
+    /** Commit: log dirty pages + commit mark, then auto-checkpoint. */
+    Status commit();
+
+    /** Discard all uncommitted changes. */
+    Status rollback();
+
+    bool inTransaction() const { return _inTxn; }
+
+    // ---- tables ----------------------------------------------------
+
+    /** Create a new, empty table. Fails if the name exists. */
+    Status createTable(const std::string &name);
+
+    /** Open a handle to an existing table; NotFound otherwise. */
+    Status openTable(const std::string &name, Table **out);
+
+    /**
+     * Drop a table: free all its pages to the database free list and
+     * remove it from the catalog. The default table cannot be
+     * dropped. Existing Table handles to it become invalid.
+     */
+    Status dropTable(const std::string &name);
+
+    /** Names of all tables, in creation order. */
+    Status listTables(std::vector<std::string> *out);
+
+    // ---- statements (autocommit when no transaction is open) -------
+    // These operate on the default table ("main").
+
+    Status insert(RowId key, ConstByteSpan value);
+    Status insert(RowId key, const std::string &value);
+    Status update(RowId key, ConstByteSpan value);
+    Status remove(RowId key);
+    Status get(RowId key, ByteBuffer *value);
+    Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
+    Status count(std::uint64_t *out);
+
+    // ---- maintenance -----------------------------------------------
+
+    /** Force a checkpoint (write-back + log truncation). */
+    Status checkpoint();
+
+    /**
+     * Rebuild the database compactly (SQLite VACUUM): checkpoint,
+     * copy every table in key order into a fresh file (dropping
+     * free-list pages, freeblock fragmentation and dead overflow
+     * chains), then atomically swap the files. Fails with Busy
+     * inside a transaction. Table handles are invalidated.
+     */
+    Status vacuum();
+
+    /**
+     * Structural validation of the catalog and every table (page
+     * invariants, key ordering, uniform leaf depth).
+     */
+    Status verifyIntegrity();
+
+    // ---- introspection ----------------------------------------------
+
+    WriteAheadLog &wal() { return *_wal; }
+    Pager &pager() { return *_pager; }
+    /** The default table's tree (legacy single-table accessor). */
+    BTree &btree();
+    Env &env() { return _env; }
+    const DbConfig &config() const { return _config; }
+
+  private:
+    friend class Table;
+
+    Database(Env &env, DbConfig config);
+
+    Status openInternal();
+    Status autocommitBegin(bool *started);
+    Status autocommitEnd(bool started, Status op_status);
+    void chargeStatement(std::size_t payload_bytes);
+
+    /** Scan the catalog for @p name. */
+    Status findCatalogEntry(const std::string &name, RowId *id,
+                            PageNo *root, bool *found);
+    Status defaultTable(Table **out);
+
+    Env &_env;
+    DbConfig _config;
+    std::unique_ptr<DbFile> _dbFile;
+    std::unique_ptr<Pager> _pager;
+    std::unique_ptr<WriteAheadLog> _wal;
+    /** Catalog tree at the primary root (page 2): id -> entry. */
+    std::unique_ptr<BTree> _catalog;
+    std::map<std::string, std::unique_ptr<Table>> _tables;
+    bool _inTxn = false;
+    std::uint32_t _txnStartPageCount = 0;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_DB_DATABASE_HPP

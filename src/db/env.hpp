@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Platform environment: one object wiring together the simulated
+ * clock, cost model, NVRAM device + persistence primitives, the
+ * Heapo-style NVRAM heap, and the flash block device + journaling
+ * file system. Mirrors the two hardware platforms of the paper's
+ * evaluation (Tuna board and Nexus 5).
+ */
+
+#ifndef NVWAL_DB_ENV_HPP
+#define NVWAL_DB_ENV_HPP
+
+#include <cstddef>
+
+#include "blockdev/block_device.hpp"
+#include "fs/journaling_fs.hpp"
+#include "heap/nv_heap.hpp"
+#include "nvram/nvram_device.hpp"
+#include "pmem/pmem.hpp"
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/stats.hpp"
+
+namespace nvwal
+{
+
+/** Sizing and seeding of the simulated platform. */
+struct EnvConfig
+{
+    CostModel cost = CostModel::tuna();
+    /** NVRAM capacity. */
+    std::size_t nvramBytes = 64ull << 20;
+    /** Heap-manager allocation unit (Heapo pages). */
+    std::uint32_t heapBlockSize = 4096;
+    /** Flash device capacity in blocks (default 64 MB). */
+    std::uint64_t flashBlocks = 1ull << 14;
+    /** EXT4-journal region size in blocks. */
+    std::uint64_t journalBlocks = 256;
+    /** Seed for the adversarial failure policy. */
+    std::uint64_t seed = 0x5eed;
+};
+
+/** A fully wired simulated platform. */
+class Env
+{
+  public:
+    explicit
+    Env(const EnvConfig &config = EnvConfig())
+        : cost(config.cost),
+          nvramDevice(config.nvramBytes, config.cost.cacheLineSize, stats,
+                      config.seed),
+          pmem(nvramDevice, clock, cost, stats),
+          heap(pmem, stats),
+          flash(config.flashBlocks, config.cost.blockSize, clock, cost,
+                stats),
+          fs(flash, clock, cost, stats, config.journalBlocks)
+    {
+        // Attach to an existing heap (simulated reboot reuses the
+        // same device) or format a fresh one.
+        if (!heap.attach().isOk())
+            NVWAL_CHECK_OK(heap.format(config.heapBlockSize));
+    }
+
+    Env(const Env &) = delete;
+    Env &operator=(const Env &) = delete;
+
+    /** Simulate losing power: NVRAM + file system volatile state. */
+    void
+    powerFail(FailurePolicy policy, double survive_prob = 0.5)
+    {
+        nvramDevice.powerFail(policy, survive_prob);
+        fs.crash();
+        NVWAL_CHECK_OK(heap.attach());
+    }
+
+    SimClock clock;
+    StatsRegistry stats;
+    CostModel cost;
+    NvramDevice nvramDevice;
+    Pmem pmem;
+    NvHeap heap;
+    BlockDevice flash;
+    JournalingFs fs;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_DB_ENV_HPP

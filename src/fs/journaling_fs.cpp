@@ -1,0 +1,324 @@
+#include "journaling_fs.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvwal
+{
+
+JournalingFs::JournalingFs(BlockDevice &device, SimClock &clock,
+                           const CostModel &cost, StatsRegistry &stats,
+                           std::uint64_t journal_blocks)
+    : _device(device), _clock(clock), _cost(cost), _stats(stats),
+      _journalBlocks(journal_blocks), _nextDataBlock(journal_blocks)
+{
+    NVWAL_ASSERT(journal_blocks < device.numBlocks(),
+                 "journal larger than device");
+}
+
+IoTag
+JournalingFs::tagForFile(const std::string &name)
+{
+    auto ends_with = [&](const char *suffix) {
+        const std::size_t n = std::strlen(suffix);
+        return name.size() >= n &&
+               name.compare(name.size() - n, n, suffix) == 0;
+    };
+    if (ends_with("-wal") || ends_with(".wal"))
+        return IoTag::WalFile;
+    if (ends_with(".db"))
+        return IoTag::DbFile;
+    return IoTag::Other;
+}
+
+JournalingFs::Inode *
+JournalingFs::find(const std::string &name)
+{
+    auto it = _files.find(name);
+    return it == _files.end() ? nullptr : &it->second;
+}
+
+const JournalingFs::Inode *
+JournalingFs::find(const std::string &name) const
+{
+    auto it = _files.find(name);
+    return it == _files.end() ? nullptr : &it->second;
+}
+
+Status
+JournalingFs::create(const std::string &name)
+{
+    if (find(name) != nullptr)
+        return Status::invalidArgument("file exists: " + name);
+    _files[name] = Inode{};
+    _files[name].metaDirty = true;
+    return Status::ok();
+}
+
+bool
+JournalingFs::exists(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+std::uint64_t
+JournalingFs::fileSize(const std::string &name) const
+{
+    const Inode *inode = find(name);
+    return inode == nullptr ? 0 : inode->size;
+}
+
+std::uint64_t
+JournalingFs::allocatedSize(const std::string &name) const
+{
+    const Inode *inode = find(name);
+    return inode == nullptr
+               ? 0
+               : inode->blocks.size() *
+                     static_cast<std::uint64_t>(_device.blockSize());
+}
+
+BlockNo
+JournalingFs::allocBlock()
+{
+    if (!_freeList.empty()) {
+        const BlockNo b = _freeList.back();
+        _freeList.pop_back();
+        return b;
+    }
+    NVWAL_ASSERT(_nextDataBlock < _device.numBlocks(),
+                 "file system full");
+    return _nextDataBlock++;
+}
+
+Status
+JournalingFs::ensureBlocks(Inode &inode, std::uint64_t file_blocks)
+{
+    while (inode.blocks.size() < file_blocks) {
+        inode.blocks.push_back(allocBlock());
+        inode.allocDirty = true;
+    }
+    return Status::ok();
+}
+
+Status
+JournalingFs::pwrite(const std::string &name, std::uint64_t off,
+                     ConstByteSpan data)
+{
+    Inode *inode = find(name);
+    if (inode == nullptr) {
+        NVWAL_RETURN_IF_ERROR(create(name));
+        inode = find(name);
+    }
+    const std::uint32_t bs = _device.blockSize();
+    const std::uint64_t end = off + data.size();
+    NVWAL_RETURN_IF_ERROR(ensureBlocks(*inode, (end + bs - 1) / bs));
+
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const std::uint64_t file_off = off + pos;
+        const std::uint64_t blk = file_off / bs;
+        const std::uint32_t in_blk =
+            static_cast<std::uint32_t>(file_off % bs);
+        const std::size_t chunk =
+            std::min<std::size_t>(bs - in_blk, data.size() - pos);
+
+        auto [it, inserted] = inode->dirtyData.try_emplace(blk);
+        if (inserted) {
+            it->second.resize(bs);
+            // Read-modify-write of a partially overwritten block.
+            if (chunk < bs) {
+                _device.readBlock(inode->blocks[blk],
+                                  ByteSpan(it->second.data(), bs));
+            }
+        }
+        std::memcpy(it->second.data() + in_blk, data.data() + pos, chunk);
+        pos += chunk;
+    }
+    if (end > inode->size) {
+        inode->size = end;
+        inode->metaDirty = true;
+    } else {
+        // mtime still changes; EXT4 dirties the inode either way.
+        inode->metaDirty = true;
+    }
+    return Status::ok();
+}
+
+Status
+JournalingFs::pread(const std::string &name, std::uint64_t off,
+                    ByteSpan out)
+{
+    const Inode *inode = find(name);
+    if (inode == nullptr)
+        return Status::notFound("no such file: " + name);
+    if (off + out.size() > inode->size)
+        return Status::invalidArgument("read past end of file");
+
+    const std::uint32_t bs = _device.blockSize();
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const std::uint64_t file_off = off + pos;
+        const std::uint64_t blk = file_off / bs;
+        const std::uint32_t in_blk =
+            static_cast<std::uint32_t>(file_off % bs);
+        const std::size_t chunk =
+            std::min<std::size_t>(bs - in_blk, out.size() - pos);
+
+        auto it = inode->dirtyData.find(blk);
+        if (it != inode->dirtyData.end()) {
+            std::memcpy(out.data() + pos, it->second.data() + in_blk,
+                        chunk);
+        } else {
+            ByteBuffer buf(bs);
+            _device.readBlock(inode->blocks[blk], ByteSpan(buf.data(), bs));
+            std::memcpy(out.data() + pos, buf.data() + in_blk, chunk);
+        }
+        pos += chunk;
+    }
+    return Status::ok();
+}
+
+Status
+JournalingFs::fallocate(const std::string &name, std::uint64_t size)
+{
+    Inode *inode = find(name);
+    if (inode == nullptr)
+        return Status::notFound("no such file: " + name);
+    const std::uint32_t bs = _device.blockSize();
+    return ensureBlocks(*inode, (size + bs - 1) / bs);
+}
+
+void
+JournalingFs::journalCommit(bool alloc_dirty)
+{
+    // Ordered-mode journal transaction: descriptor, the dirtied
+    // metadata blocks, then the commit block. The inode table block
+    // is always dirty (size/mtime); allocation additionally dirties
+    // the block bitmap and the group descriptor.
+    std::uint64_t meta_blocks = 1;  // inode table
+    if (alloc_dirty)
+        meta_blocks += 2;           // block bitmap + group descriptor
+
+    const std::uint32_t bs = _device.blockSize();
+    ByteBuffer block(bs, 0);
+    const std::uint64_t total = 1 + meta_blocks + 1;  // desc + meta + commit
+    for (std::uint64_t i = 0; i < total; ++i) {
+        const BlockNo jb = _journalHead % _journalBlocks;
+        _journalHead++;
+        _device.writeBlock(jb, ConstByteSpan(block.data(), bs),
+                           IoTag::Journal);
+    }
+}
+
+Status
+JournalingFs::fsync(const std::string &name)
+{
+    Inode *inode = find(name);
+    if (inode == nullptr)
+        return Status::notFound("no such file: " + name);
+
+    const IoTag tag = tagForFile(name);
+    const std::uint32_t bs = _device.blockSize();
+
+    // Ordered mode: data first...
+    for (auto &[blk, buf] : inode->dirtyData) {
+        _device.writeBlock(inode->blocks[blk],
+                           ConstByteSpan(buf.data(), bs), tag);
+    }
+    inode->dirtyData.clear();
+
+    // ... then the journaled metadata transaction.
+    if (inode->metaDirty || inode->allocDirty)
+        journalCommit(inode->allocDirty);
+    inode->metaDirty = false;
+    inode->allocDirty = false;
+
+    // Device cache flush barrier.
+    _clock.advance(_cost.fsyncBaseNs);
+    _stats.add(stats::kFsyncs);
+
+    _durableFiles[name] = DurableInode{inode->size, inode->blocks};
+    return Status::ok();
+}
+
+Status
+JournalingFs::truncate(const std::string &name, std::uint64_t size)
+{
+    Inode *inode = find(name);
+    if (inode == nullptr)
+        return Status::notFound("no such file: " + name);
+    const std::uint32_t bs = _device.blockSize();
+    const std::uint64_t keep_blocks = (size + bs - 1) / bs;
+    while (inode->blocks.size() > keep_blocks) {
+        _freeList.push_back(inode->blocks.back());
+        inode->blocks.pop_back();
+        inode->allocDirty = true;
+    }
+    for (auto it = inode->dirtyData.begin(); it != inode->dirtyData.end();) {
+        if (it->first >= keep_blocks)
+            it = inode->dirtyData.erase(it);
+        else
+            ++it;
+    }
+    inode->size = size;
+    inode->metaDirty = true;
+    return Status::ok();
+}
+
+Status
+JournalingFs::remove(const std::string &name)
+{
+    Inode *inode = find(name);
+    if (inode == nullptr)
+        return Status::notFound("no such file: " + name);
+    for (BlockNo b : inode->blocks)
+        _freeList.push_back(b);
+    _files.erase(name);
+    _durableFiles.erase(name);
+    journalCommit(true);
+    return Status::ok();
+}
+
+Status
+JournalingFs::rename(const std::string &from, const std::string &to)
+{
+    Inode *src = find(from);
+    if (src == nullptr)
+        return Status::notFound("no such file: " + from);
+    if (from == to)
+        return Status::ok();
+    Inode *dst = find(to);
+    if (dst != nullptr) {
+        for (BlockNo b : dst->blocks)
+            _freeList.push_back(b);
+        _files.erase(to);
+    }
+    _files[to] = std::move(*find(from));
+    _files.erase(from);
+    journalCommit(true);
+
+    // The directory update is durable once the journal commits; the
+    // file's durable *content* carries over from its last fsync.
+    _durableFiles.erase(to);
+    auto dit = _durableFiles.find(from);
+    if (dit != _durableFiles.end()) {
+        _durableFiles[to] = std::move(dit->second);
+        _durableFiles.erase(dit);
+    }
+    return Status::ok();
+}
+
+void
+JournalingFs::crash()
+{
+    _files.clear();
+    for (const auto &[name, dur] : _durableFiles) {
+        Inode inode;
+        inode.size = dur.size;
+        inode.blocks = dur.blocks;
+        _files[name] = std::move(inode);
+    }
+}
+
+} // namespace nvwal

@@ -1,0 +1,213 @@
+#include "nvram_device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace nvwal
+{
+
+NvramDevice::NvramDevice(std::size_t size, std::uint32_t cache_line_size,
+                         StatsRegistry &stats, std::uint64_t seed)
+    : _durable(size, 0), _lineSize(cache_line_size), _stats(stats),
+      _rng(seed)
+{
+    NVWAL_ASSERT(cache_line_size > 0 &&
+                 (cache_line_size & (cache_line_size - 1)) == 0,
+                 "cache line size must be a power of two");
+    NVWAL_ASSERT(size % cache_line_size == 0,
+                 "device size must be line-aligned");
+}
+
+void
+NvramDevice::countOp()
+{
+    ++_opCount;
+    if (_crashAtOp != 0 && _opCount >= _crashAtOp) {
+        _crashAtOp = 0;
+        powerFail(_pendingPolicy, _pendingSurviveProb);
+        throw PowerFailure();
+    }
+}
+
+void
+NvramDevice::write(NvOffset off, ConstByteSpan data)
+{
+    NVWAL_ASSERT(off + data.size() <= _durable.size(),
+                 "NVRAM write out of range: off=%llu len=%zu",
+                 static_cast<unsigned long long>(off), data.size());
+    countOp();
+    std::size_t pos = 0;
+    while (pos < data.size()) {
+        const NvOffset addr = off + pos;
+        const std::uint64_t idx = lineIndex(addr);
+        const std::uint32_t in_line =
+            static_cast<std::uint32_t>(addr % _lineSize);
+        const std::size_t chunk =
+            std::min<std::size_t>(_lineSize - in_line, data.size() - pos);
+
+        auto [it, inserted] = _cache.try_emplace(idx);
+        if (inserted) {
+            // Fill the line from the current coherent view: the
+            // persist queue may hold a newer snapshot than durable.
+            it->second.data.resize(_lineSize);
+            std::memcpy(it->second.data.data(),
+                        _durable.data() + idx * _lineSize, _lineSize);
+            auto qit = _queue.find(idx);
+            if (qit != _queue.end()) {
+                std::memcpy(it->second.data.data(),
+                            qit->second.data.data(), _lineSize);
+            }
+        }
+        std::memcpy(it->second.data.data() + in_line, data.data() + pos,
+                    chunk);
+        pos += chunk;
+    }
+}
+
+void
+NvramDevice::read(NvOffset off, ByteSpan out) const
+{
+    NVWAL_ASSERT(off + out.size() <= _durable.size(),
+                 "NVRAM read out of range");
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+        const NvOffset addr = off + pos;
+        const std::uint64_t idx = lineIndex(addr);
+        const std::uint32_t in_line =
+            static_cast<std::uint32_t>(addr % _lineSize);
+        const std::size_t chunk =
+            std::min<std::size_t>(_lineSize - in_line, out.size() - pos);
+
+        auto cit = _cache.find(idx);
+        if (cit != _cache.end()) {
+            std::memcpy(out.data() + pos, cit->second.data.data() + in_line,
+                        chunk);
+        } else {
+            auto qit = _queue.find(idx);
+            if (qit != _queue.end()) {
+                std::memcpy(out.data() + pos,
+                            qit->second.data.data() + in_line, chunk);
+            } else {
+                std::memcpy(out.data() + pos,
+                            _durable.data() + addr, chunk);
+            }
+        }
+        pos += chunk;
+    }
+}
+
+std::uint64_t
+NvramDevice::readU64(NvOffset off) const
+{
+    std::uint8_t buf[8];
+    read(off, ByteSpan(buf, 8));
+    return loadU64(buf);
+}
+
+void
+NvramDevice::writeU64(NvOffset off, std::uint64_t value)
+{
+    std::uint8_t buf[8];
+    storeU64(buf, value);
+    write(off, ConstByteSpan(buf, 8));
+}
+
+void
+NvramDevice::flushLine(NvOffset addr)
+{
+    NVWAL_ASSERT(addr < _durable.size(), "flush out of range");
+    countOp();
+    const std::uint64_t idx = lineIndex(addr);
+    auto cit = _cache.find(idx);
+    if (cit == _cache.end())
+        return;  // clean line: dccmvac of a clean line is a no-op
+    _queue[idx] = std::move(cit->second);
+    _cache.erase(cit);
+    _stats.add(stats::kNvramLinesFlushed);
+}
+
+std::size_t
+NvramDevice::flushAllDirtyLines()
+{
+    countOp();
+    const std::size_t n = _cache.size();
+    for (auto &[idx, line] : _cache)
+        _queue[idx] = std::move(line);
+    _cache.clear();
+    _stats.add(stats::kNvramLinesFlushed, n);
+    return n;
+}
+
+void
+NvramDevice::drainPersistQueue()
+{
+    countOp();
+    for (auto &[idx, line] : _queue)
+        applyLineToDurable(idx, line.data);
+    _queue.clear();
+}
+
+void
+NvramDevice::applyLineToDurable(std::uint64_t line_idx,
+                                const ByteBuffer &data)
+{
+    std::memcpy(_durable.data() + line_idx * _lineSize, data.data(),
+                _lineSize);
+}
+
+void
+NvramDevice::scheduleCrashAtOp(std::uint64_t op_count)
+{
+    _crashAtOp = op_count == 0 ? 0 : _opCount + op_count;
+}
+
+void
+NvramDevice::powerFail(FailurePolicy policy, double survive_prob)
+{
+    switch (policy) {
+      case FailurePolicy::Pessimistic:
+        // Neither dirty cached lines nor queued-but-undrained lines
+        // reach the media.
+        break;
+
+      case FailurePolicy::Adversarial:
+        // Queued lines are "in flight": each 8-byte unit lands
+        // independently (the paper assumes 8-byte atomic writes,
+        // section 4.1, so no unit ever tears internally).
+        for (auto &[idx, line] : _queue) {
+            for (std::uint32_t unit = 0; unit < _lineSize; unit += 8) {
+                if (_rng.nextBool(0.75)) {
+                    std::memcpy(_durable.data() + idx * _lineSize + unit,
+                                line.data.data() + unit, 8);
+                }
+            }
+        }
+        // Dirty cached lines may have been evicted by the cache at
+        // any earlier point; model that as a whole-line coin flip.
+        for (auto &[idx, line] : _cache) {
+            if (_rng.nextBool(survive_prob))
+                applyLineToDurable(idx, line.data);
+        }
+        break;
+
+      case FailurePolicy::AllSurvive:
+        for (auto &[idx, line] : _queue)
+            applyLineToDurable(idx, line.data);
+        for (auto &[idx, line] : _cache)
+            applyLineToDurable(idx, line.data);
+        break;
+    }
+    _cache.clear();
+    _queue.clear();
+    _crashAtOp = 0;
+}
+
+void
+NvramDevice::readDurable(NvOffset off, ByteSpan out) const
+{
+    NVWAL_ASSERT(off + out.size() <= _durable.size(),
+                 "durable read out of range");
+    std::memcpy(out.data(), _durable.data() + off, out.size());
+}
+
+} // namespace nvwal

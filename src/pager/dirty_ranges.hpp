@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-page dirty byte-range tracking for differential logging.
+ *
+ * The paper's byte-granularity differential logging (section 3.2)
+ * "truncates the preceding and trailing clean regions" of a dirty
+ * B-tree page and logs only the dirty portions. We track a small set
+ * of disjoint [lo, hi) ranges per cached page: B-tree mutations mark
+ * the bytes they touch, and at commit each range becomes one NVWAL
+ * frame. Nearby ranges are merged (logging a few clean gap bytes is
+ * cheaper than another 32-byte frame header), and the range count is
+ * capped so tracking stays O(1) per page.
+ */
+
+#ifndef NVWAL_PAGER_DIRTY_RANGES_HPP
+#define NVWAL_PAGER_DIRTY_RANGES_HPP
+
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace nvwal
+{
+
+/** Sorted, disjoint dirty byte ranges within one page. */
+class DirtyRanges
+{
+  public:
+    /**
+     * @param merge_gap Adjacent ranges closer than this are merged.
+     * @param max_ranges Hard cap; the closest pair is merged when a
+     *        mark would exceed it.
+     */
+    explicit DirtyRanges(std::uint32_t merge_gap = 32,
+                         std::uint32_t max_ranges = 8)
+        : _mergeGap(merge_gap), _maxRanges(max_ranges)
+    {}
+
+    /** Mark [lo, hi) dirty. */
+    void mark(std::uint32_t lo, std::uint32_t hi);
+
+    /** True if no byte is dirty. */
+    bool empty() const { return _ranges.empty(); }
+
+    /** Sorted disjoint ranges. */
+    const std::vector<ByteRange> &ranges() const { return _ranges; }
+
+    /** Sum of range sizes. */
+    std::uint32_t totalBytes() const;
+
+    /** Smallest single range covering everything (empty if clean). */
+    ByteRange bounding() const;
+
+    void clear() { _ranges.clear(); }
+
+  private:
+    void enforceCap();
+
+    std::uint32_t _mergeGap;
+    std::uint32_t _maxRanges;
+    std::vector<ByteRange> _ranges;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_PAGER_DIRTY_RANGES_HPP

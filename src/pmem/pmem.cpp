@@ -1,0 +1,168 @@
+#include "pmem.hpp"
+
+namespace nvwal
+{
+
+void
+Pmem::memcpyToNvram(NvOffset dst, ConstByteSpan src)
+{
+    const SimTime ns = static_cast<SimTime>(
+        _cost.memcpyNvramNsPerByte * static_cast<double>(src.size()));
+    _clock.advance(ns);
+    _stats.add(stats::kTimeMemcpyNs, ns);
+    _device.write(dst, src);
+    if (_cost.persistency == PersistencyModel::Strict)
+        strictDrain(dst, dst + src.size());
+}
+
+void
+Pmem::storeU64(NvOffset dst, std::uint64_t value)
+{
+    NVWAL_ASSERT(dst % 8 == 0, "atomic u64 store must be 8-byte aligned");
+    const SimTime ns =
+        static_cast<SimTime>(_cost.memcpyNvramNsPerByte * 8.0);
+    _clock.advance(ns);
+    _stats.add(stats::kTimeMemcpyNs, ns);
+    _device.writeU64(dst, value);
+    if (_cost.persistency == PersistencyModel::Strict)
+        strictDrain(dst, dst + 8);
+}
+
+void
+Pmem::readFromNvram(NvOffset src, ByteSpan out)
+{
+    const SimTime ns = static_cast<SimTime>(
+        _cost.nvramReadNsPerByte * static_cast<double>(out.size()));
+    _clock.advance(ns);
+    _stats.add(stats::kNvramBytesRead, out.size());
+    _device.read(src, out);
+}
+
+void
+Pmem::strictDrain(NvOffset start, NvOffset end)
+{
+    // Strict persistency: the store may not retire until it is
+    // durable, so every touched line pays the full media latency,
+    // serialized (section 4.4's conjectured cost).
+    const std::uint64_t line = _cost.cacheLineSize;
+    std::uint64_t lines = 0;
+    for (NvOffset mva = alignDown(start, line); mva < end; mva += line) {
+        _device.flushLine(mva);
+        ++lines;
+    }
+    _device.drainPersistQueue();
+    const SimTime ns = lines * _cost.nvramWriteLatencyNs;
+    _clock.advance(ns);
+    _stats.add(stats::kTimeFlushNs, ns);
+}
+
+void
+Pmem::epochBoundary()
+{
+    // Hardware epoch barrier: the memory system flushes its own
+    // write-set -- no software flush loop, no kernel crossing --
+    // and drains it with full bank parallelism.
+    const std::size_t lines = _device.flushAllDirtyLines();
+    _device.drainPersistQueue();
+    if (lines > 0) {
+        const unsigned banks = _cost.nvramBanks == 0 ? 1
+                                                     : _cost.nvramBanks;
+        const SimTime ns = _cost.nvramWriteLatencyNs +
+                           lines * _cost.nvramWriteLatencyNs / banks;
+        _clock.advance(ns);
+        _stats.add(stats::kTimeBarrierNs, ns);
+    }
+}
+
+void
+Pmem::cacheLineFlush(NvOffset start, NvOffset end)
+{
+    NVWAL_ASSERT(start <= end, "bad flush range");
+    if (_cost.persistency != PersistencyModel::Explicit) {
+        // With hardware persistency support, software cache flushes
+        // "can be safely removed" (section 4.4): compile to nothing.
+        return;
+    }
+    // Kernel-mode switch: the flush loop runs in a system call
+    // because dccmvac needs privileged register access (section 4).
+    _clock.advance(_cost.syscallNs);
+    _stats.add(stats::kTimeSyscallNs, _cost.syscallNs);
+    _stats.add(stats::kFlushSyscalls);
+
+    const std::uint64_t line = _cost.cacheLineSize;
+    NvOffset mva = alignDown(start, line);
+    const unsigned banks = _cost.nvramBanks == 0 ? 1 : _cost.nvramBanks;
+    while (mva < end) {
+        _clock.advance(_cost.flushIssueNs);
+        _stats.add(stats::kTimeFlushNs, _cost.flushIssueNs);
+        _device.flushLine(mva);
+        // Schedule the asynchronous drain of this line.
+        const SimTime earliest = _clock.now() + _cost.nvramWriteLatencyNs;
+        const SimTime bank_slot =
+            _lastFlushCompletion + _cost.nvramWriteLatencyNs / banks;
+        _lastFlushCompletion = std::max(earliest, bank_slot);
+        mva += line;
+    }
+}
+
+void
+Pmem::memoryBarrier()
+{
+    _clock.advance(_cost.memoryBarrierNs);
+    _stats.add(stats::kTimeBarrierNs, _cost.memoryBarrierNs);
+    _stats.add(stats::kMemoryBarriers);
+    switch (_cost.persistency) {
+      case PersistencyModel::Explicit:
+        if (_lastFlushCompletion > _clock.now()) {
+            const SimTime wait = _lastFlushCompletion - _clock.now();
+            _clock.advanceTo(_lastFlushCompletion);
+            _stats.add(stats::kTimeBarrierNs, wait);
+        }
+        break;
+      case PersistencyModel::Strict:
+        // Stores already drained in order; nothing outstanding.
+        break;
+      case PersistencyModel::EpochHW:
+        // The barrier delimits a persist epoch (section 4.4).
+        epochBoundary();
+        break;
+    }
+}
+
+void
+Pmem::persistBarrier()
+{
+    if (_cost.persistency != PersistencyModel::Explicit) {
+        // Hardware persistency needs no pcommit-style instruction;
+        // ordering and durability are the memory system's job. For
+        // EpochHW the preceding memoryBarrier() already closed the
+        // epoch; drain anything a barrier-less caller left behind.
+        if (_cost.persistency == PersistencyModel::EpochHW)
+            epochBoundary();
+        _device.drainPersistQueue();
+        return;
+    }
+    // A persist barrier only has defined semantics once preceding
+    // flushes are complete (Algorithm 1 always fences first); be
+    // conservative and absorb any remaining drain time here.
+    if (_lastFlushCompletion > _clock.now()) {
+        const SimTime wait = _lastFlushCompletion - _clock.now();
+        _clock.advanceTo(_lastFlushCompletion);
+        _stats.add(stats::kTimePersistNs, wait);
+    }
+    _clock.advance(_cost.persistBarrierNs);
+    _stats.add(stats::kTimePersistNs, _cost.persistBarrierNs);
+    _stats.add(stats::kPersistBarriers);
+    _device.drainPersistQueue();
+}
+
+void
+Pmem::persistRangeEager(NvOffset start, NvOffset end)
+{
+    memoryBarrier();
+    cacheLineFlush(start, end);
+    memoryBarrier();
+    persistBarrier();
+}
+
+} // namespace nvwal

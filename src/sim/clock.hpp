@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The simulated clock.
+ *
+ * Every component of the platform model (CPU cost charges, cache-line
+ * flush drains, persist barriers, block-device programs) advances one
+ * shared SimClock. Reported throughputs and latencies are ratios of
+ * simulated time, which makes every benchmark deterministic and
+ * independent of the host machine.
+ */
+
+#ifndef NVWAL_SIM_CLOCK_HPP
+#define NVWAL_SIM_CLOCK_HPP
+
+#include "common/logging.hpp"
+#include "common/types.hpp"
+
+namespace nvwal
+{
+
+/** Monotonic simulated nanosecond clock. */
+class SimClock
+{
+  public:
+    SimClock() = default;
+
+    /** Current simulated time in nanoseconds. */
+    SimTime now() const { return _now; }
+
+    /** Advance the clock by @p ns nanoseconds. */
+    void
+    advance(SimTime ns)
+    {
+        _now += ns;
+    }
+
+    /**
+     * Advance the clock to @p t if @p t is in the future; used to
+     * model waiting for an asynchronous completion (e.g. a memory
+     * barrier draining outstanding cache-line flushes).
+     */
+    void
+    advanceTo(SimTime t)
+    {
+        if (t > _now)
+            _now = t;
+    }
+
+    /** Reset to time zero (benchmark reuse). */
+    void reset() { _now = 0; }
+
+  private:
+    SimTime _now = 0;
+};
+
+/**
+ * RAII helper measuring the simulated duration of a scope.
+ */
+class ScopedSimTimer
+{
+  public:
+    ScopedSimTimer(const SimClock &clock, SimTime &accum)
+        : _clock(clock), _accum(accum), _start(clock.now())
+    {}
+
+    ~ScopedSimTimer() { _accum += _clock.now() - _start; }
+
+    ScopedSimTimer(const ScopedSimTimer &) = delete;
+    ScopedSimTimer &operator=(const ScopedSimTimer &) = delete;
+
+  private:
+    const SimClock &_clock;
+    SimTime &_accum;
+    SimTime _start;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_SIM_CLOCK_HPP

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Named counter registry shared by the platform model.
+ *
+ * Components increment counters (cache lines flushed, NVRAM bytes
+ * logged, journal blocks written, heap-manager calls, ...) and the
+ * benchmark harness snapshots/deltas them to regenerate the paper's
+ * tables.
+ */
+
+#ifndef NVWAL_SIM_STATS_HPP
+#define NVWAL_SIM_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace nvwal
+{
+
+/** Snapshot of all counters at a point in time. */
+using StatsSnapshot = std::map<std::string, std::uint64_t>;
+
+/** Registry of monotonically increasing named counters. */
+class StatsRegistry
+{
+  public:
+    /** Add @p delta to counter @p name (creating it at zero). */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        _counters[name] += delta;
+    }
+
+    /** Current value of @p name (zero if never touched). */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        return it == _counters.end() ? 0 : it->second;
+    }
+
+    /** Copy of every counter. */
+    StatsSnapshot snapshot() const { return _counters; }
+
+    /** Per-counter difference @p now - @p before. */
+    static StatsSnapshot
+    delta(const StatsSnapshot &before, const StatsSnapshot &now)
+    {
+        StatsSnapshot d = now;
+        for (const auto &[name, value] : before)
+            d[name] -= value;
+        return d;
+    }
+
+    void clear() { _counters.clear(); }
+
+  private:
+    StatsSnapshot _counters;
+};
+
+namespace stats
+{
+
+// Canonical counter names, so producers and consumers agree.
+inline constexpr const char *kNvramBytesLogged = "nvram.bytes_logged";
+inline constexpr const char *kNvramBytesRead = "nvram.bytes_read";
+inline constexpr const char *kNvramLinesFlushed = "nvram.lines_flushed";
+inline constexpr const char *kNvramFramesWritten = "nvram.frames_written";
+inline constexpr const char *kMemoryBarriers = "pmem.memory_barriers";
+inline constexpr const char *kPersistBarriers = "pmem.persist_barriers";
+inline constexpr const char *kFlushSyscalls = "pmem.flush_syscalls";
+inline constexpr const char *kHeapCalls = "heap.manager_calls";
+inline constexpr const char *kHeapBlocksAllocated = "heap.blocks_allocated";
+inline constexpr const char *kBlocksWritten = "blockdev.blocks_written";
+inline constexpr const char *kBlocksRead = "blockdev.blocks_read";
+inline constexpr const char *kJournalBlocksWritten = "fs.journal_blocks";
+inline constexpr const char *kFsyncs = "fs.fsyncs";
+inline constexpr const char *kCheckpoints = "db.checkpoints";
+inline constexpr const char *kTxnsCommitted = "db.txns_committed";
+inline constexpr const char *kWalFullPageFrames = "wal.full_page_frames";
+
+// Simulated-time accumulators (nanoseconds), updated by the pmem
+// layer to break a transaction's ordering-constraint cost into the
+// paper's Figure 5 categories.
+inline constexpr const char *kTimeMemcpyNs = "time.memcpy_ns";
+inline constexpr const char *kTimeFlushNs = "time.cacheline_flush_ns";
+inline constexpr const char *kTimeBarrierNs = "time.memory_barrier_ns";
+inline constexpr const char *kTimePersistNs = "time.persist_barrier_ns";
+inline constexpr const char *kTimeSyscallNs = "time.syscall_ns";
+inline constexpr const char *kTimeHeapNs = "time.heap_manager_ns";
+
+} // namespace stats
+
+} // namespace nvwal
+
+#endif // NVWAL_SIM_STATS_HPP

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The write-ahead-log abstraction the database commits through.
+ *
+ * Implementations:
+ *  - FileWal (src/wal): SQLite-style WAL file on the journaling file
+ *    system, in stock or optimized (aligned frames + pre-allocation)
+ *    flavors -- the paper's baselines.
+ *  - NvwalLog (src/core): the paper's NVRAM write-ahead log.
+ */
+
+#ifndef NVWAL_WAL_WRITE_AHEAD_LOG_HPP
+#define NVWAL_WAL_WRITE_AHEAD_LOG_HPP
+
+#include <vector>
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "pager/dirty_ranges.hpp"
+
+namespace nvwal
+{
+
+/** One dirty page handed to the log at commit. */
+struct FrameWrite
+{
+    PageNo pageNo;
+    ConstByteSpan page;          //!< full page buffer
+    const DirtyRanges *ranges;   //!< dirty byte ranges within the page
+};
+
+/** Interface every WAL implementation provides. */
+class WriteAheadLog
+{
+  public:
+    virtual ~WriteAheadLog() = default;
+
+    /**
+     * Append frames for @p frames and, if @p commit, a commit mark
+     * carrying @p db_size_pages (the database size in pages after
+     * this transaction), then make everything durable.
+     */
+    virtual Status writeFrames(const std::vector<FrameWrite> &frames,
+                               bool commit,
+                               std::uint32_t db_size_pages) = 0;
+
+    /**
+     * Materialize the latest committed version of @p page_no into
+     * @p out (a full page buffer). Returns false when the log holds
+     * no committed frame for that page.
+     */
+    virtual bool readPage(PageNo page_no, ByteSpan out) = 0;
+
+    /** Write committed pages back to the .db file and reset the log. */
+    virtual Status checkpoint() = 0;
+
+    /**
+     * Incremental checkpoint: write back at most @p max_pages pages,
+     * finishing (fsync + log truncation) only when every dirty page
+     * has been written. Sets @p done when the log is truncated.
+     * Spreading the write-back over many commits caps the latency
+     * spike a full checkpoint causes (the paper amortizes that spike
+     * over 1000 transactions; this bounds it instead). The default
+     * implementation simply runs a full checkpoint.
+     */
+    virtual Status
+    checkpointStep(std::uint32_t max_pages, bool *done)
+    {
+        (void)max_pages;
+        *done = true;
+        return checkpoint();
+    }
+
+    /**
+     * Rebuild volatile state from the persistent log after a crash
+     * or reopen. @p db_size_pages receives the last committed
+     * database size (0 when the log holds no committed transaction).
+     */
+    virtual Status recover(std::uint32_t *db_size_pages) = 0;
+
+    /** Committed frames appended since the last checkpoint. */
+    virtual std::uint64_t framesSinceCheckpoint() const = 0;
+
+    /** Scheme name for reports (e.g. "WAL", "NVWAL UH+LS+Diff"). */
+    virtual const char *name() const = 0;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_WAL_WRITE_AHEAD_LOG_HPP

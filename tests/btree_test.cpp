@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Unit and property tests for the B+-tree: CRUD, splits at every
+ * level, scans, and an oracle-based random-workload test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/btree.hpp"
+#include "db/env.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class BTreeTest : public ::testing::Test
+{
+  protected:
+    BTreeTest()
+        : env(makeEnvConfig()),
+          dbFile(env.fs, "t.db", 4096),
+          pager(dbFile, 4096, 24),
+          tree(pager)
+    {
+        NVWAL_CHECK_OK(dbFile.open());
+        NVWAL_CHECK_OK(pager.open());
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::nexus5();
+        return c;
+    }
+
+    Status
+    insertN(RowId first, RowId last, std::size_t value_size = 100)
+    {
+        for (RowId k = first; k <= last; ++k) {
+            const ByteBuffer v = testutil::makeValue(value_size,
+                                                     static_cast<std::uint64_t>(k));
+            NVWAL_RETURN_IF_ERROR(tree.insert(k, testutil::spanOf(v)));
+        }
+        return Status::ok();
+    }
+
+    Env env;
+    DbFile dbFile;
+    Pager pager;
+    BTree tree;
+};
+
+TEST_F(BTreeTest, EmptyTreeLookups)
+{
+    ByteBuffer out;
+    EXPECT_TRUE(tree.get(42, &out).isNotFound());
+    EXPECT_FALSE(tree.contains(42));
+    std::uint64_t n = 99;
+    NVWAL_CHECK_OK(tree.count(&n));
+    EXPECT_EQ(n, 0u);
+    NVWAL_CHECK_OK(tree.validate());
+}
+
+TEST_F(BTreeTest, InsertGetRoundTrip)
+{
+    const ByteBuffer v = testutil::makeValue(100, 7);
+    NVWAL_CHECK_OK(tree.insert(7, testutil::spanOf(v)));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(tree.get(7, &out));
+    EXPECT_EQ(out, v);
+    EXPECT_TRUE(tree.contains(7));
+    EXPECT_FALSE(tree.contains(8));
+}
+
+TEST_F(BTreeTest, DuplicateInsertRejected)
+{
+    ByteBuffer v(10, 0x1);
+    NVWAL_CHECK_OK(tree.insert(1, testutil::spanOf(v)));
+    EXPECT_EQ(tree.insert(1, testutil::spanOf(v)).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST_F(BTreeTest, RemoveAndNotFound)
+{
+    ByteBuffer v(10, 0x2);
+    NVWAL_CHECK_OK(tree.insert(1, testutil::spanOf(v)));
+    NVWAL_CHECK_OK(tree.remove(1));
+    EXPECT_TRUE(tree.remove(1).isNotFound());
+    EXPECT_FALSE(tree.contains(1));
+}
+
+TEST_F(BTreeTest, UpdateReplacesValue)
+{
+    ByteBuffer v1(100, 0x3);
+    ByteBuffer v2(40, 0x4);
+    NVWAL_CHECK_OK(tree.insert(5, testutil::spanOf(v1)));
+    NVWAL_CHECK_OK(tree.update(5, testutil::spanOf(v2)));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(tree.get(5, &out));
+    EXPECT_EQ(out, v2);
+    EXPECT_TRUE(tree.update(99, testutil::spanOf(v2)).isNotFound());
+}
+
+TEST_F(BTreeTest, LeafRootSplit)
+{
+    // ~36 cells of 110 bytes fit in one leaf; 50 forces a split.
+    NVWAL_CHECK_OK(insertN(1, 50));
+    std::uint32_t d = 0;
+    NVWAL_CHECK_OK(tree.depth(&d));
+    EXPECT_EQ(d, 2u);
+    NVWAL_CHECK_OK(tree.validate());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(tree.count(&n));
+    EXPECT_EQ(n, 50u);
+    for (RowId k = 1; k <= 50; ++k)
+        EXPECT_TRUE(tree.contains(k)) << k;
+    EXPECT_GE(tree.counters().splits, 1u);
+}
+
+TEST_F(BTreeTest, DeepTreeSequentialInsert)
+{
+    // ~36 leaf cells per page and ~290 interior fan-out: 15000
+    // records guarantee an interior split (depth 3).
+    NVWAL_CHECK_OK(insertN(1, 15000, 100));
+    std::uint32_t d = 0;
+    NVWAL_CHECK_OK(tree.depth(&d));
+    EXPECT_GE(d, 3u);
+    NVWAL_CHECK_OK(tree.validate());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(tree.count(&n));
+    EXPECT_EQ(n, 15000u);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(tree.get(1, &out));
+    NVWAL_CHECK_OK(tree.get(7500, &out));
+    NVWAL_CHECK_OK(tree.get(15000, &out));
+}
+
+TEST_F(BTreeTest, ReverseOrderInsert)
+{
+    for (RowId k = 2000; k >= 1; --k) {
+        const ByteBuffer v = testutil::makeValue(60, static_cast<std::uint64_t>(k));
+        NVWAL_CHECK_OK(tree.insert(k, testutil::spanOf(v)));
+    }
+    NVWAL_CHECK_OK(tree.validate());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(tree.count(&n));
+    EXPECT_EQ(n, 2000u);
+}
+
+TEST_F(BTreeTest, ScanRangeInOrder)
+{
+    NVWAL_CHECK_OK(insertN(1, 300));
+    std::vector<RowId> seen;
+    NVWAL_CHECK_OK(tree.scan(100, 200, [&](RowId k, ConstByteSpan) {
+        seen.push_back(k);
+        return true;
+    }));
+    ASSERT_EQ(seen.size(), 101u);
+    for (std::size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], static_cast<RowId>(100 + i));
+}
+
+TEST_F(BTreeTest, ScanEarlyStop)
+{
+    NVWAL_CHECK_OK(insertN(1, 100));
+    int visits = 0;
+    NVWAL_CHECK_OK(tree.scan(1, 100, [&](RowId, ConstByteSpan) {
+        return ++visits < 10;
+    }));
+    EXPECT_EQ(visits, 10);
+}
+
+TEST_F(BTreeTest, NegativeAndExtremeKeys)
+{
+    ByteBuffer v(20, 0x5);
+    NVWAL_CHECK_OK(tree.insert(-100, testutil::spanOf(v)));
+    NVWAL_CHECK_OK(tree.insert(0, testutil::spanOf(v)));
+    NVWAL_CHECK_OK(tree.insert(INT64_MAX, testutil::spanOf(v)));
+    NVWAL_CHECK_OK(tree.insert(INT64_MIN, testutil::spanOf(v)));
+    EXPECT_TRUE(tree.contains(-100));
+    EXPECT_TRUE(tree.contains(INT64_MAX));
+    EXPECT_TRUE(tree.contains(INT64_MIN));
+    std::vector<RowId> seen;
+    NVWAL_CHECK_OK(tree.scan(INT64_MIN, INT64_MAX,
+                             [&](RowId k, ConstByteSpan) {
+                                 seen.push_back(k);
+                                 return true;
+                             }));
+    EXPECT_EQ(seen, (std::vector<RowId>{INT64_MIN, -100, 0, INT64_MAX}));
+}
+
+TEST_F(BTreeTest, OversizedValueRejected)
+{
+    ByteBuffer v(tree.maxValueSize() + 1, 0x6);
+    EXPECT_EQ(tree.insert(1, testutil::spanOf(v)).code(),
+              StatusCode::InvalidArgument);
+    ByteBuffer ok_value(tree.maxValueSize(), 0x7);
+    EXPECT_TRUE(tree.insert(1, testutil::spanOf(ok_value)).isOk());
+}
+
+TEST_F(BTreeTest, VariableSizeValues)
+{
+    Rng rng(33);
+    for (RowId k = 1; k <= 800; ++k) {
+        const ByteBuffer v = testutil::makeValue(
+            1 + rng.nextBelow(tree.maxValueSize() - 1), rng.next());
+        NVWAL_CHECK_OK(tree.insert(k, testutil::spanOf(v)));
+    }
+    NVWAL_CHECK_OK(tree.validate());
+}
+
+TEST_F(BTreeTest, DeleteEverything)
+{
+    NVWAL_CHECK_OK(insertN(1, 1000));
+    for (RowId k = 1; k <= 1000; ++k)
+        NVWAL_CHECK_OK(tree.remove(k));
+    std::uint64_t n = 99;
+    NVWAL_CHECK_OK(tree.count(&n));
+    EXPECT_EQ(n, 0u);
+    NVWAL_CHECK_OK(tree.validate());
+    // Tree still usable afterwards.
+    NVWAL_CHECK_OK(insertN(1, 100));
+    NVWAL_CHECK_OK(tree.validate());
+}
+
+/** Random-workload oracle test, parameterized over seeds. */
+class BTreeOracle : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BTreeOracle, MatchesStdMap)
+{
+    EnvConfig env_config;
+    env_config.cost = CostModel::nexus5();
+    Env env(env_config);
+    DbFile db_file(env.fs, "oracle.db", 4096);
+    NVWAL_CHECK_OK(db_file.open());
+    Pager pager(db_file, 4096, 24);
+    NVWAL_CHECK_OK(pager.open());
+    BTree tree(pager);
+
+    Rng rng(GetParam());
+    std::map<RowId, ByteBuffer> model;
+    for (int step = 0; step < 4000; ++step) {
+        const RowId key = static_cast<RowId>(rng.nextBelow(700));
+        const int op = static_cast<int>(rng.nextBelow(4));
+        const bool exists = model.count(key) > 0;
+        switch (op) {
+          case 0: {
+            const ByteBuffer v =
+                testutil::makeValue(1 + rng.nextBelow(200), rng.next());
+            const Status s = tree.insert(key, testutil::spanOf(v));
+            if (exists) {
+                EXPECT_FALSE(s.isOk());
+            } else {
+                NVWAL_CHECK_OK(s);
+                model[key] = v;
+            }
+            break;
+          }
+          case 1: {
+            const ByteBuffer v =
+                testutil::makeValue(1 + rng.nextBelow(200), rng.next());
+            const Status s = tree.update(key, testutil::spanOf(v));
+            if (exists) {
+                NVWAL_CHECK_OK(s);
+                model[key] = v;
+            } else {
+                EXPECT_TRUE(s.isNotFound());
+            }
+            break;
+          }
+          case 2: {
+            const Status s = tree.remove(key);
+            if (exists) {
+                NVWAL_CHECK_OK(s);
+                model.erase(key);
+            } else {
+                EXPECT_TRUE(s.isNotFound());
+            }
+            break;
+          }
+          case 3: {
+            ByteBuffer out;
+            const Status s = tree.get(key, &out);
+            if (exists) {
+                NVWAL_CHECK_OK(s);
+                EXPECT_EQ(out, model[key]);
+            } else {
+                EXPECT_TRUE(s.isNotFound());
+            }
+            break;
+          }
+        }
+        if (step % 500 == 0)
+            NVWAL_CHECK_OK(tree.validate());
+    }
+    NVWAL_CHECK_OK(tree.validate());
+
+    // Full-content comparison via scan.
+    std::map<RowId, ByteBuffer> scanned;
+    NVWAL_CHECK_OK(tree.scan(INT64_MIN, INT64_MAX,
+                             [&](RowId k, ConstByteSpan v) {
+                                 scanned[k] = ByteBuffer(v.begin(), v.end());
+                                 return true;
+                             }));
+    EXPECT_EQ(scanned, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BTreeOracle,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+} // namespace
+} // namespace nvwal

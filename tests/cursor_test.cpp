@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the bidirectional B-tree cursor: full forward/backward
+ * traversal equivalence, seek semantics, empty-leaf skipping, deep
+ * trees, overflow values, and write invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "btree/cursor.hpp"
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class CursorTest : public ::testing::Test
+{
+  protected:
+    CursorTest() : env(makeEnvConfig())
+    {
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::nexus5();
+        c.nvramBytes = 32 << 20;
+        c.flashBlocks = 8192;
+        return c;
+    }
+
+    Status
+    insertN(RowId first, RowId last, std::size_t size = 100)
+    {
+        for (RowId k = first; k <= last; ++k) {
+            NVWAL_RETURN_IF_ERROR(db->insert(
+                k, testutil::spanOf(testutil::makeValue(
+                       size, static_cast<std::uint64_t>(k)))));
+        }
+        return Status::ok();
+    }
+
+    Env env;
+    std::unique_ptr<Database> db;
+};
+
+TEST_F(CursorTest, EmptyTreeIsInvalidEverywhere)
+{
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    EXPECT_FALSE(cursor.valid());
+    NVWAL_CHECK_OK(cursor.seekLast());
+    EXPECT_FALSE(cursor.valid());
+    NVWAL_CHECK_OK(cursor.seek(0));
+    EXPECT_FALSE(cursor.valid());
+    EXPECT_TRUE(cursor.seekExact(1).isNotFound());
+}
+
+TEST_F(CursorTest, SingleRecord)
+{
+    NVWAL_CHECK_OK(db->insert(7, "seven"));
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 7);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(cursor.value(&out));
+    EXPECT_EQ(out, toBytes("seven"));
+    NVWAL_CHECK_OK(cursor.next());
+    EXPECT_FALSE(cursor.valid());
+    NVWAL_CHECK_OK(cursor.seekLast());
+    ASSERT_TRUE(cursor.valid());
+    NVWAL_CHECK_OK(cursor.prev());
+    EXPECT_FALSE(cursor.valid());
+}
+
+TEST_F(CursorTest, ForwardTraversalMatchesScanOnDeepTree)
+{
+    NVWAL_CHECK_OK(insertN(1, 3000, 100));
+    std::vector<RowId> scanned;
+    NVWAL_CHECK_OK(db->scan(INT64_MIN, INT64_MAX,
+                            [&](RowId k, ConstByteSpan) {
+                                scanned.push_back(k);
+                                return true;
+                            }));
+
+    std::vector<RowId> walked;
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    while (cursor.valid()) {
+        walked.push_back(cursor.key());
+        NVWAL_CHECK_OK(cursor.next());
+    }
+    EXPECT_EQ(walked, scanned);
+    EXPECT_EQ(walked.size(), 3000u);
+}
+
+TEST_F(CursorTest, BackwardTraversalIsExactReverse)
+{
+    NVWAL_CHECK_OK(insertN(1, 2000, 100));
+    std::vector<RowId> walked;
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekLast());
+    while (cursor.valid()) {
+        walked.push_back(cursor.key());
+        NVWAL_CHECK_OK(cursor.prev());
+    }
+    ASSERT_EQ(walked.size(), 2000u);
+    for (std::size_t i = 0; i < walked.size(); ++i)
+        EXPECT_EQ(walked[i], static_cast<RowId>(2000 - i));
+}
+
+TEST_F(CursorTest, SeekLandsOnLowerBound)
+{
+    for (RowId k = 0; k <= 600; k += 3)  // 0, 3, 6, ...
+        NVWAL_CHECK_OK(db->insert(
+            k, testutil::spanOf(testutil::makeValue(60, k))));
+
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seek(100));  // not present: next is 102
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 102);
+    NVWAL_CHECK_OK(cursor.seek(102));  // present
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 102);
+    NVWAL_CHECK_OK(cursor.seek(601));  // past the end
+    EXPECT_FALSE(cursor.valid());
+    NVWAL_CHECK_OK(cursor.seek(INT64_MIN));
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 0);
+
+    NVWAL_CHECK_OK(cursor.seekExact(300));
+    EXPECT_EQ(cursor.key(), 300);
+    EXPECT_TRUE(cursor.seekExact(301).isNotFound());
+}
+
+TEST_F(CursorTest, BidirectionalWobble)
+{
+    NVWAL_CHECK_OK(insertN(1, 500, 100));
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seek(250));
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 250);
+    NVWAL_CHECK_OK(cursor.next());
+    EXPECT_EQ(cursor.key(), 251);
+    NVWAL_CHECK_OK(cursor.prev());
+    EXPECT_EQ(cursor.key(), 250);
+    NVWAL_CHECK_OK(cursor.prev());
+    EXPECT_EQ(cursor.key(), 249);
+    // Wobble across a leaf boundary many times.
+    for (int i = 0; i < 100; ++i) {
+        NVWAL_CHECK_OK(cursor.next());
+        ASSERT_TRUE(cursor.valid());
+    }
+    EXPECT_EQ(cursor.key(), 349);
+    for (int i = 0; i < 100; ++i) {
+        NVWAL_CHECK_OK(cursor.prev());
+        ASSERT_TRUE(cursor.valid());
+    }
+    EXPECT_EQ(cursor.key(), 249);
+}
+
+TEST_F(CursorTest, SkipsLeavesEmptiedByDeletes)
+{
+    NVWAL_CHECK_OK(insertN(1, 400, 100));
+    // Empty out a band in the middle -- whole leaves become empty
+    // but stay in the tree (no merge-on-delete).
+    for (RowId k = 100; k <= 300; ++k)
+        NVWAL_CHECK_OK(db->remove(k));
+
+    std::vector<RowId> walked;
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    while (cursor.valid()) {
+        walked.push_back(cursor.key());
+        NVWAL_CHECK_OK(cursor.next());
+    }
+    ASSERT_EQ(walked.size(), 199u);
+    EXPECT_EQ(walked[98], 99);
+    EXPECT_EQ(walked[99], 301);
+
+    // Backwards too.
+    std::vector<RowId> back;
+    NVWAL_CHECK_OK(cursor.seekLast());
+    while (cursor.valid()) {
+        back.push_back(cursor.key());
+        NVWAL_CHECK_OK(cursor.prev());
+    }
+    EXPECT_EQ(back.size(), 199u);
+    // seek into the emptied band lands on its right edge.
+    NVWAL_CHECK_OK(cursor.seek(200));
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 301);
+}
+
+TEST_F(CursorTest, AssemblesOverflowValues)
+{
+    const ByteBuffer big = testutil::makeValue(20000, 1);
+    NVWAL_CHECK_OK(db->insert(5, testutil::spanOf(big)));
+    NVWAL_CHECK_OK(db->insert(6, "small"));
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    ByteBuffer out;
+    NVWAL_CHECK_OK(cursor.value(&out));
+    EXPECT_EQ(out, big);
+    NVWAL_CHECK_OK(cursor.next());
+    NVWAL_CHECK_OK(cursor.value(&out));
+    EXPECT_EQ(out, toBytes("small"));
+}
+
+TEST_F(CursorTest, WritesInvalidateOpenCursors)
+{
+    NVWAL_CHECK_OK(insertN(1, 50, 100));
+    Cursor cursor(db->btree());
+    NVWAL_CHECK_OK(cursor.seekFirst());
+    ASSERT_TRUE(cursor.valid());
+    NVWAL_CHECK_OK(db->insert(1000, "new"));
+    EXPECT_EQ(cursor.next().code(), StatusCode::Busy);
+    ByteBuffer scratch;
+    EXPECT_EQ(cursor.value(&scratch).code(), StatusCode::Busy);
+    // Re-seeking revalidates against the new tree state.
+    NVWAL_CHECK_OK(cursor.seekLast());
+    ASSERT_TRUE(cursor.valid());
+    EXPECT_EQ(cursor.key(), 1000);
+}
+
+TEST_F(CursorTest, RandomSeeksMatchOracle)
+{
+    std::map<RowId, ByteBuffer> model;
+    Rng rng(55);
+    for (int i = 0; i < 800; ++i) {
+        const RowId key = static_cast<RowId>(rng.nextBelow(5000));
+        if (model.count(key))
+            continue;
+        const ByteBuffer v = testutil::makeValue(40 + rng.nextBelow(200),
+                                                 rng.next());
+        NVWAL_CHECK_OK(db->insert(key, testutil::spanOf(v)));
+        model[key] = v;
+    }
+    Cursor cursor(db->btree());
+    for (int i = 0; i < 500; ++i) {
+        const RowId target = static_cast<RowId>(rng.nextBelow(5200));
+        NVWAL_CHECK_OK(cursor.seek(target));
+        auto it = model.lower_bound(target);
+        if (it == model.end()) {
+            EXPECT_FALSE(cursor.valid()) << target;
+        } else {
+            ASSERT_TRUE(cursor.valid()) << target;
+            EXPECT_EQ(cursor.key(), it->first) << target;
+            ByteBuffer out;
+            NVWAL_CHECK_OK(cursor.value(&out));
+            EXPECT_EQ(out, it->second);
+        }
+    }
+}
+
+} // namespace
+} // namespace nvwal

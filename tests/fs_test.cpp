@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the block device and the EXT4-ordered-mode
+ * journaling file system model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fs/journaling_fs.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class FsTest : public ::testing::Test
+{
+  protected:
+    FsTest()
+        : cost(CostModel::nexus5()),
+          device(1 << 14, cost.blockSize, clock, cost, stats),
+          fs(device, clock, cost, stats, 64)
+    {}
+
+    SimClock clock;
+    StatsRegistry stats;
+    CostModel cost;
+    BlockDevice device;
+    JournalingFs fs;
+};
+
+TEST_F(FsTest, CreateExistsRemove)
+{
+    EXPECT_FALSE(fs.exists("a.db"));
+    NVWAL_CHECK_OK(fs.create("a.db"));
+    EXPECT_TRUE(fs.exists("a.db"));
+    EXPECT_FALSE(fs.create("a.db").isOk());
+    NVWAL_CHECK_OK(fs.remove("a.db"));
+    EXPECT_FALSE(fs.exists("a.db"));
+}
+
+TEST_F(FsTest, WriteReadRoundTrip)
+{
+    const ByteBuffer data = testutil::makeValue(10000, 1);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    EXPECT_EQ(fs.fileSize("f"), 10000u);
+    ByteBuffer out(10000);
+    NVWAL_CHECK_OK(fs.pread("f", 0, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(FsTest, UnalignedOverwrite)
+{
+    ByteBuffer base(9000, 0x11);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(base)));
+    const ByteBuffer patch = testutil::makeValue(100, 2);
+    NVWAL_CHECK_OK(fs.pwrite("f", 4090, testutil::spanOf(patch)));
+
+    ByteBuffer out(9000);
+    NVWAL_CHECK_OK(fs.pread("f", 0, ByteSpan(out.data(), out.size())));
+    for (std::size_t i = 0; i < 9000; ++i) {
+        if (i >= 4090 && i < 4190)
+            EXPECT_EQ(out[i], patch[i - 4090]) << i;
+        else
+            EXPECT_EQ(out[i], 0x11) << i;
+    }
+}
+
+TEST_F(FsTest, ReadPastEndFails)
+{
+    ByteBuffer data(100, 0x2);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    ByteBuffer out(200);
+    EXPECT_FALSE(fs.pread("f", 0, ByteSpan(out.data(), 200)).isOk());
+    EXPECT_FALSE(fs.pread("missing", 0, ByteSpan(out.data(), 1)).isOk());
+}
+
+TEST_F(FsTest, UnsyncedDataIsLostOnCrash)
+{
+    const ByteBuffer data = testutil::makeValue(4096, 3);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    fs.crash();
+    EXPECT_FALSE(fs.exists("f"));  // never fsynced: no durable inode
+}
+
+TEST_F(FsTest, SyncedDataSurvivesCrash)
+{
+    const ByteBuffer data = testutil::makeValue(8192, 4);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    NVWAL_CHECK_OK(fs.fsync("f"));
+    // More writes after the sync...
+    const ByteBuffer extra = testutil::makeValue(4096, 5);
+    NVWAL_CHECK_OK(fs.pwrite("f", 8192, testutil::spanOf(extra)));
+    fs.crash();
+
+    EXPECT_TRUE(fs.exists("f"));
+    EXPECT_EQ(fs.fileSize("f"), 8192u);  // size as of the last fsync
+    ByteBuffer out(8192);
+    NVWAL_CHECK_OK(fs.pread("f", 0, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(FsTest, AppendingFsyncJournalsAllocation)
+{
+    // Ordered-mode journal: appending writes journals descriptor +
+    // inode + bitmap + group descriptor + commit = 5 blocks.
+    const ByteBuffer data = testutil::makeValue(4096, 6);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    const std::uint64_t before = stats.get(stats::kJournalBlocksWritten);
+    NVWAL_CHECK_OK(fs.fsync("f"));
+    EXPECT_EQ(stats.get(stats::kJournalBlocksWritten) - before, 5u);
+}
+
+TEST_F(FsTest, PreallocatedWriteJournalsLess)
+{
+    // The paper's pre-allocation optimization: writing into already
+    // allocated blocks only journals the inode update (3 blocks).
+    NVWAL_CHECK_OK(fs.create("f"));
+    NVWAL_CHECK_OK(fs.fallocate("f", 16 * 4096));
+    NVWAL_CHECK_OK(fs.fsync("f"));  // absorb the allocation journal
+
+    const ByteBuffer data = testutil::makeValue(4096, 7);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    const std::uint64_t before = stats.get(stats::kJournalBlocksWritten);
+    NVWAL_CHECK_OK(fs.fsync("f"));
+    EXPECT_EQ(stats.get(stats::kJournalBlocksWritten) - before, 3u);
+}
+
+TEST_F(FsTest, FsyncChargesBarrierCost)
+{
+    ByteBuffer data(4096, 0xEE);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    const SimTime before = clock.now();
+    NVWAL_CHECK_OK(fs.fsync("f"));
+    // 1 data block + 5 journal blocks + barrier.
+    EXPECT_GE(clock.now() - before,
+              6 * cost.blockProgramNs + cost.fsyncBaseNs);
+    EXPECT_EQ(stats.get(stats::kFsyncs), 1u);
+}
+
+TEST_F(FsTest, TruncateShrinksAndFreesBlocks)
+{
+    const ByteBuffer data = testutil::makeValue(16384, 8);
+    NVWAL_CHECK_OK(fs.pwrite("f", 0, testutil::spanOf(data)));
+    NVWAL_CHECK_OK(fs.fsync("f"));
+    NVWAL_CHECK_OK(fs.truncate("f", 4096));
+    EXPECT_EQ(fs.fileSize("f"), 4096u);
+    EXPECT_EQ(fs.allocatedSize("f"), 4096u);
+    // Freed blocks get reused by the next allocation.
+    const ByteBuffer more = testutil::makeValue(8192, 9);
+    NVWAL_CHECK_OK(fs.pwrite("g", 0, testutil::spanOf(more)));
+    ByteBuffer out(8192);
+    NVWAL_CHECK_OK(fs.pread("g", 0, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, more);
+}
+
+TEST_F(FsTest, WriteTraceTagsStreams)
+{
+    device.setTracing(true);
+    const ByteBuffer data = testutil::makeValue(4096, 10);
+    NVWAL_CHECK_OK(fs.pwrite("app.db", 0, testutil::spanOf(data)));
+    NVWAL_CHECK_OK(fs.fsync("app.db"));
+    NVWAL_CHECK_OK(fs.pwrite("app.db-wal", 0, testutil::spanOf(data)));
+    NVWAL_CHECK_OK(fs.fsync("app.db-wal"));
+
+    bool saw_db = false;
+    bool saw_wal = false;
+    bool saw_journal = false;
+    for (const TraceEntry &e : device.trace()) {
+        saw_db = saw_db || e.tag == IoTag::DbFile;
+        saw_wal = saw_wal || e.tag == IoTag::WalFile;
+        saw_journal = saw_journal || e.tag == IoTag::Journal;
+    }
+    EXPECT_TRUE(saw_db);
+    EXPECT_TRUE(saw_wal);
+    EXPECT_TRUE(saw_journal);
+}
+
+TEST_F(FsTest, AllocatedSizeTracksFallocate)
+{
+    NVWAL_CHECK_OK(fs.create("f"));
+    EXPECT_EQ(fs.allocatedSize("f"), 0u);
+    NVWAL_CHECK_OK(fs.fallocate("f", 10000));
+    EXPECT_EQ(fs.allocatedSize("f"), 3u * 4096u);
+    EXPECT_EQ(fs.fileSize("f"), 0u);  // fallocate does not change size
+}
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit tests for the Heapo-style NVRAM heap manager: allocation
+ * states, the pending/in-use protocol, namespaces, extents and
+ * crash recovery (paper sections 3.3 and 4.3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "heap/nv_heap.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class NvHeapTest : public ::testing::Test
+{
+  protected:
+    NvHeapTest()
+        : cost(CostModel::tuna()),
+          dev(4 << 20, cost.cacheLineSize, stats),
+          pmem(dev, clock, cost, stats),
+          heap(pmem, stats)
+    {
+        NVWAL_CHECK_OK(heap.format(4096));
+    }
+
+    SimClock clock;
+    StatsRegistry stats;
+    CostModel cost;
+    NvramDevice dev;
+    Pmem pmem;
+    NvHeap heap;
+};
+
+TEST_F(NvHeapTest, FormatThenAttach)
+{
+    EXPECT_EQ(heap.blockSize(), 4096u);
+    EXPECT_GT(heap.numBlocks(), 100u);
+    // A second heap object over the same device can attach.
+    NvHeap other(pmem, stats);
+    EXPECT_TRUE(other.attach().isOk());
+    EXPECT_EQ(other.blockSize(), 4096u);
+    EXPECT_EQ(other.dataOffset(), heap.dataOffset());
+}
+
+TEST_F(NvHeapTest, AttachFailsOnUnformattedDevice)
+{
+    StatsRegistry s2;
+    NvramDevice d2(1 << 20, 32, s2);
+    Pmem p2(d2, clock, cost, s2);
+    NvHeap h2(p2, s2);
+    EXPECT_TRUE(h2.attach().isCorruption());
+}
+
+TEST_F(NvHeapTest, MallocMarksInUse)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(100, &off));
+    EXPECT_EQ(heap.blockStateAt(off), BlockState::InUse);
+    EXPECT_EQ(heap.extentBlocksAt(off), 1u);
+}
+
+TEST_F(NvHeapTest, MultiBlockExtent)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(10000, &off));  // 3 x 4 KB blocks
+    EXPECT_EQ(heap.extentBlocksAt(off), 3u);
+    NVWAL_CHECK_OK(heap.nvFree(off));
+    EXPECT_EQ(heap.blockStateAt(off), BlockState::Free);
+}
+
+TEST_F(NvHeapTest, AllocationsAreDisjoint)
+{
+    NvOffset a, b, c;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &a));
+    NVWAL_CHECK_OK(heap.nvMalloc(8192, &b));
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &c));
+    EXPECT_NE(a, b);
+    EXPECT_NE(b, c);
+    // b's extent must not contain c.
+    EXPECT_TRUE(c >= b + 8192 || c < b);
+}
+
+TEST_F(NvHeapTest, FreeThenReuse)
+{
+    NvOffset a;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &a));
+    NVWAL_CHECK_OK(heap.nvFree(a));
+    NvOffset b;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &b));
+    EXPECT_EQ(a, b);  // first-fit reuses the freed block
+}
+
+TEST_F(NvHeapTest, PreMallocIsPending)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvPreMalloc(4096, &off));
+    EXPECT_EQ(heap.blockStateAt(off), BlockState::Pending);
+    NVWAL_CHECK_OK(heap.nvSetUsedFlag(off));
+    EXPECT_EQ(heap.blockStateAt(off), BlockState::InUse);
+}
+
+TEST_F(NvHeapTest, SetUsedFlagRejectsNonPending)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    EXPECT_FALSE(heap.nvSetUsedFlag(off).isOk());
+}
+
+TEST_F(NvHeapTest, RecoveryReclaimsPendingBlocks)
+{
+    // Section 4.3, failure case 1: a crash between nv_pre_malloc()
+    // and linking leaves a pending block; recovery reclaims it.
+    NvOffset pend, used;
+    NVWAL_CHECK_OK(heap.nvPreMalloc(8192, &pend));
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &used));
+
+    dev.powerFail(FailurePolicy::Pessimistic);
+    NvHeap recovered(pmem, stats);
+    NVWAL_CHECK_OK(recovered.attach());
+    std::uint64_t reclaimed = 0;
+    NVWAL_CHECK_OK(recovered.recover(&reclaimed));
+    EXPECT_EQ(reclaimed, 2u);  // the two pending blocks of the extent
+    EXPECT_EQ(recovered.blockStateAt(pend), BlockState::Free);
+    EXPECT_EQ(recovered.blockStateAt(used), BlockState::InUse);
+}
+
+TEST_F(NvHeapTest, RecoveryKeepsInUseBlocks)
+{
+    NvOffset a, b;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &a));
+    NVWAL_CHECK_OK(heap.nvMalloc(12288, &b));
+    dev.powerFail(FailurePolicy::Pessimistic);
+    NvHeap recovered(pmem, stats);
+    NVWAL_CHECK_OK(recovered.attach());
+    NVWAL_CHECK_OK(recovered.recover());
+    EXPECT_EQ(recovered.blockStateAt(a), BlockState::InUse);
+    EXPECT_EQ(recovered.blockStateAt(b), BlockState::InUse);
+    EXPECT_EQ(recovered.extentBlocksAt(b), 3u);
+}
+
+TEST_F(NvHeapTest, MetadataSurvivesOnlyWhenPersisted)
+{
+    // The heap persists its descriptor updates internally, so an
+    // allocation must survive a pessimistic power failure.
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    dev.powerFail(FailurePolicy::Pessimistic);
+    NvHeap recovered(pmem, stats);
+    NVWAL_CHECK_OK(recovered.attach());
+    EXPECT_EQ(recovered.blockStateAt(off), BlockState::InUse);
+}
+
+TEST_F(NvHeapTest, NamespaceRoots)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    NVWAL_CHECK_OK(heap.setRoot("wal", off));
+
+    NvOffset found = 0;
+    NVWAL_CHECK_OK(heap.getRoot("wal", &found));
+    EXPECT_EQ(found, off);
+    EXPECT_TRUE(heap.getRoot("nope", &found).isNotFound());
+
+    // Rebinding overwrites.
+    NvOffset off2;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off2));
+    NVWAL_CHECK_OK(heap.setRoot("wal", off2));
+    NVWAL_CHECK_OK(heap.getRoot("wal", &found));
+    EXPECT_EQ(found, off2);
+}
+
+TEST_F(NvHeapTest, NamespaceSurvivesReboot)
+{
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    NVWAL_CHECK_OK(heap.setRoot("database-log", off));
+    dev.powerFail(FailurePolicy::Pessimistic);
+
+    NvHeap recovered(pmem, stats);
+    NVWAL_CHECK_OK(recovered.attach());
+    NvOffset found = 0;
+    NVWAL_CHECK_OK(recovered.getRoot("database-log", &found));
+    EXPECT_EQ(found, off);
+}
+
+TEST_F(NvHeapTest, NamespaceNameValidation)
+{
+    NvOffset out;
+    EXPECT_FALSE(heap.setRoot("", 0).isOk());
+    EXPECT_FALSE(
+        heap.setRoot("a-name-that-is-way-too-long-for-a-slot", 0).isOk());
+    EXPECT_FALSE(heap.getRoot("", &out).isOk());
+}
+
+TEST_F(NvHeapTest, ExhaustionReturnsNoSpace)
+{
+    // Allocate everything, then expect NoSpace.
+    NvOffset off;
+    Status s = Status::ok();
+    std::uint64_t count = 0;
+    while ((s = heap.nvMalloc(heap.blockSize(), &off)).isOk())
+        ++count;
+    EXPECT_EQ(s.code(), StatusCode::NoSpace);
+    EXPECT_EQ(count, heap.numBlocks());
+}
+
+TEST_F(NvHeapTest, HeapCallsAreCharged)
+{
+    const SimTime before = clock.now();
+    const std::uint64_t calls_before = stats.get(stats::kHeapCalls);
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    NVWAL_CHECK_OK(heap.nvFree(off));
+    EXPECT_EQ(stats.get(stats::kHeapCalls) - calls_before, 2u);
+    EXPECT_GE(clock.now() - before, 2 * cost.heapCallNs);
+}
+
+TEST_F(NvHeapTest, ZeroByteAllocationRejected)
+{
+    NvOffset off;
+    EXPECT_FALSE(heap.nvMalloc(0, &off).isOk());
+}
+
+TEST_F(NvHeapTest, CountBlocksByState)
+{
+    const std::uint64_t free_before = heap.countBlocks(BlockState::Free);
+    NvOffset a, b;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &a));
+    NVWAL_CHECK_OK(heap.nvPreMalloc(4096, &b));
+    EXPECT_EQ(heap.countBlocks(BlockState::Free), free_before - 2);
+    EXPECT_EQ(heap.countBlocks(BlockState::InUse), 1u);
+    EXPECT_EQ(heap.countBlocks(BlockState::Pending), 1u);
+}
+
+} // namespace
+} // namespace nvwal

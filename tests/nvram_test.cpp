@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Unit tests for the NVRAM device model: cache/queue/durable state
+ * separation, flush snapshot semantics, power-failure policies and
+ * torn-write behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nvram/nvram_device.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class NvramDeviceTest : public ::testing::Test
+{
+  protected:
+    StatsRegistry stats;
+    NvramDevice dev{1 << 16, 64, stats, 99};
+};
+
+TEST_F(NvramDeviceTest, WriteIsVisibleToReadsImmediately)
+{
+    const ByteBuffer data = testutil::makeValue(100, 1);
+    dev.write(1000, testutil::spanOf(data));
+    ByteBuffer out(100);
+    dev.read(1000, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(NvramDeviceTest, UnflushedWritesAreNotDurable)
+{
+    const ByteBuffer data = testutil::makeValue(64, 2);
+    dev.write(0, testutil::spanOf(data));
+    ByteBuffer out(64);
+    dev.readDurable(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(64, 0));
+    EXPECT_EQ(dev.dirtyLineCount(), 1u);
+}
+
+TEST_F(NvramDeviceTest, FlushAloneIsNotDurable)
+{
+    const ByteBuffer data = testutil::makeValue(64, 3);
+    dev.write(128, testutil::spanOf(data));
+    dev.flushLine(128);
+    EXPECT_EQ(dev.queuedLineCount(), 1u);
+    ByteBuffer out(64);
+    dev.readDurable(128, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(64, 0));  // still queued, not on media
+}
+
+TEST_F(NvramDeviceTest, FlushPlusDrainIsDurable)
+{
+    const ByteBuffer data = testutil::makeValue(64, 4);
+    dev.write(192, testutil::spanOf(data));
+    dev.flushLine(192);
+    dev.drainPersistQueue();
+    ByteBuffer out(64);
+    dev.readDurable(192, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+    EXPECT_EQ(dev.queuedLineCount(), 0u);
+}
+
+TEST_F(NvramDeviceTest, FlushSnapshotsLineContent)
+{
+    // Stores after the flush must not ride along with it.
+    ByteBuffer first(64, 0x11);
+    dev.write(256, testutil::spanOf(first));
+    dev.flushLine(256);
+    ByteBuffer second(64, 0x22);
+    dev.write(256, testutil::spanOf(second));
+    dev.drainPersistQueue();
+    ByteBuffer out(64);
+    dev.readDurable(256, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, first);
+    // The coherent view still sees the newest store.
+    dev.read(256, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, second);
+}
+
+TEST_F(NvramDeviceTest, FlushOfCleanLineIsNoop)
+{
+    dev.flushLine(512);
+    EXPECT_EQ(dev.queuedLineCount(), 0u);
+    EXPECT_EQ(stats.get(stats::kNvramLinesFlushed), 0u);
+}
+
+TEST_F(NvramDeviceTest, ReadSeesQueueUnderCleanCache)
+{
+    // Flush moves the line out of the cache; reads must still see
+    // the queued (newest) content, not stale durable bytes.
+    ByteBuffer data(64, 0x33);
+    dev.write(320, testutil::spanOf(data));
+    dev.flushLine(320);
+    ByteBuffer out(64);
+    dev.read(320, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(NvramDeviceTest, WriteSpanningLinesDirtiesEachLine)
+{
+    const ByteBuffer data = testutil::makeValue(200, 5);
+    dev.write(60, testutil::spanOf(data));  // spans lines 0..4
+    EXPECT_EQ(dev.dirtyLineCount(), 5u);
+    ByteBuffer out(200);
+    dev.read(60, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(NvramDeviceTest, PessimisticPowerFailureDropsEverythingVolatile)
+{
+    const ByteBuffer data = testutil::makeValue(64, 6);
+    dev.write(0, testutil::spanOf(data));
+    dev.write(64, testutil::spanOf(data));
+    dev.flushLine(64);  // queued, not drained
+    dev.powerFail(FailurePolicy::Pessimistic);
+    ByteBuffer out(64);
+    dev.read(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(64, 0));
+    dev.read(64, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(64, 0));
+}
+
+TEST_F(NvramDeviceTest, AllSurvivePolicyKeepsCacheAndQueue)
+{
+    const ByteBuffer a = testutil::makeValue(64, 7);
+    const ByteBuffer b = testutil::makeValue(64, 8);
+    dev.write(0, testutil::spanOf(a));
+    dev.flushLine(0);
+    dev.write(64, testutil::spanOf(b));
+    dev.powerFail(FailurePolicy::AllSurvive);
+    ByteBuffer out(64);
+    dev.read(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, a);
+    dev.read(64, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, b);
+}
+
+TEST_F(NvramDeviceTest, AdversarialTearsOnlyAtEightByteUnits)
+{
+    // A queued line survives per 8-byte unit: after the crash every
+    // aligned 8-byte unit equals either the old or the new value.
+    ByteBuffer old_data(64, 0x00);
+    ByteBuffer new_data(64, 0xFF);
+    dev.write(0, testutil::spanOf(old_data));
+    dev.flushLine(0);
+    dev.drainPersistQueue();  // old data durable
+
+    dev.write(0, testutil::spanOf(new_data));
+    dev.flushLine(0);  // new data queued
+    dev.powerFail(FailurePolicy::Adversarial, 0.5);
+
+    ByteBuffer out(64);
+    dev.read(0, ByteSpan(out.data(), out.size()));
+    for (std::size_t unit = 0; unit < 64; unit += 8) {
+        bool all_old = true;
+        bool all_new = true;
+        for (std::size_t i = unit; i < unit + 8; ++i) {
+            all_old = all_old && out[i] == 0x00;
+            all_new = all_new && out[i] == 0xFF;
+        }
+        EXPECT_TRUE(all_old || all_new)
+            << "unit " << unit << " tore within 8 bytes";
+    }
+}
+
+TEST_F(NvramDeviceTest, AdversarialDirtyLinesSurviveProbabilistically)
+{
+    // With survive probability 1.0 every dirty line must land.
+    StatsRegistry s2;
+    NvramDevice d2(1 << 16, 64, s2, 5);
+    ByteBuffer data(64, 0x7A);
+    d2.write(0, testutil::spanOf(data));
+    d2.powerFail(FailurePolicy::Adversarial, 1.0);
+    ByteBuffer out(64);
+    d2.read(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+
+    // With survive probability 0.0 no dirty line may land.
+    NvramDevice d3(1 << 16, 64, s2, 6);
+    d3.write(0, testutil::spanOf(data));
+    d3.powerFail(FailurePolicy::Adversarial, 0.0);
+    d3.read(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(64, 0));
+}
+
+TEST_F(NvramDeviceTest, ScheduledCrashFiresAtExactOp)
+{
+    ByteBuffer data(8, 0x01);
+    dev.scheduleCrashAtOp(3);
+    dev.write(0, testutil::spanOf(data));   // op 1
+    dev.write(8, testutil::spanOf(data));   // op 2
+    EXPECT_THROW(dev.write(16, testutil::spanOf(data)), PowerFailure);
+    // After the crash the device keeps working (reboot semantics).
+    dev.write(24, testutil::spanOf(data));
+    EXPECT_EQ(dev.dirtyLineCount(), 1u);
+}
+
+TEST_F(NvramDeviceTest, ScheduleCancelledByZero)
+{
+    dev.scheduleCrashAtOp(1);
+    dev.scheduleCrashAtOp(0);
+    ByteBuffer data(8, 0x02);
+    EXPECT_NO_THROW(dev.write(0, testutil::spanOf(data)));
+}
+
+TEST_F(NvramDeviceTest, U64Helpers)
+{
+    dev.writeU64(800, 0x1122334455667788ull);
+    EXPECT_EQ(dev.readU64(800), 0x1122334455667788ull);
+}
+
+TEST_F(NvramDeviceTest, FlushCountsLines)
+{
+    ByteBuffer data(256, 0xCD);
+    dev.write(0, testutil::spanOf(data));
+    for (NvOffset a = 0; a < 256; a += 64)
+        dev.flushLine(a);
+    EXPECT_EQ(stats.get(stats::kNvramLinesFlushed), 4u);
+}
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,479 @@
+/**
+ * @file
+ * Unit tests for the NVWAL log itself: frame placement, differential
+ * logging, all three sync modes, the user-level heap protocol,
+ * checkpointing and post-crash recovery (paper sections 3 and 4).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "core/nvwal_log.hpp"
+#include "db/env.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+constexpr std::uint32_t kPageSize = 4096;
+constexpr std::uint32_t kReserved = 24;
+
+struct SchemeParam
+{
+    SyncMode sync;
+    bool diff;
+    bool userHeap;
+    const char *label;
+};
+
+class NvwalLogTest : public ::testing::TestWithParam<SchemeParam>
+{
+  protected:
+    NvwalLogTest()
+        : env(makeEnvConfig()),
+          dbFile(env.fs, "t.db", kPageSize)
+    {
+        NVWAL_CHECK_OK(dbFile.open());
+        config.syncMode = GetParam().sync;
+        config.diffLogging = GetParam().diff;
+        config.userHeap = GetParam().userHeap;
+        log = std::make_unique<NvwalLog>(env.heap, env.pmem, dbFile,
+                                         kPageSize, kReserved, config,
+                                         env.stats);
+        std::uint32_t db_size = 0;
+        NVWAL_CHECK_OK(log->recover(&db_size));
+        EXPECT_EQ(db_size, 0u);
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::tuna(500);
+        return c;
+    }
+
+    ByteBuffer
+    makePage(std::uint64_t seed) const
+    {
+        ByteBuffer page = testutil::makeValue(kPageSize, seed);
+        std::memset(page.data() + kPageSize - kReserved, 0, kReserved);
+        return page;
+    }
+
+    Status
+    commitPage(PageNo no, const ByteBuffer &page,
+               const DirtyRanges &ranges, std::uint32_t db_size)
+    {
+        std::vector<FrameWrite> frames{
+            FrameWrite{no, testutil::spanOf(page), &ranges}};
+        return log->writeFrames(frames, true, db_size);
+    }
+
+    Status
+    commitFullPage(PageNo no, const ByteBuffer &page,
+                   std::uint32_t db_size)
+    {
+        DirtyRanges ranges;
+        ranges.mark(0, kPageSize);
+        return commitPage(no, page, ranges, db_size);
+    }
+
+    /** Reopen the log over the same NVRAM (volatile state rebuilt). */
+    std::unique_ptr<NvwalLog>
+    reopen(std::uint32_t *db_size)
+    {
+        auto fresh = std::make_unique<NvwalLog>(env.heap, env.pmem, dbFile,
+                                                kPageSize, kReserved,
+                                                config, env.stats);
+        NVWAL_CHECK_OK(fresh->recover(db_size));
+        return fresh;
+    }
+
+    Env env;
+    DbFile dbFile;
+    NvwalConfig config;
+    std::unique_ptr<NvwalLog> log;
+};
+
+TEST_P(NvwalLogTest, WriteThenReadBack)
+{
+    const ByteBuffer page = makePage(1);
+    NVWAL_CHECK_OK(commitFullPage(3, page, 3));
+    ByteBuffer out(kPageSize);
+    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+    EXPECT_GE(log->framesSinceCheckpoint(), 1u);
+}
+
+TEST_P(NvwalLogTest, DiffFramesLayerOverBase)
+{
+    // Commit a full page, then a small dirty range; the read must
+    // reflect base + diff.
+    ByteBuffer page = makePage(2);
+    NVWAL_CHECK_OK(commitFullPage(3, page, 3));
+
+    std::memset(page.data() + 100, 0xAB, 50);
+    DirtyRanges ranges;
+    ranges.mark(100, 150);
+    NVWAL_CHECK_OK(commitPage(3, page, ranges, 3));
+
+    ByteBuffer out(kPageSize);
+    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+}
+
+TEST_P(NvwalLogTest, CommittedStateSurvivesPessimisticPowerFailure)
+{
+    const ByteBuffer p3 = makePage(3);
+    const ByteBuffer p4 = makePage(4);
+    NVWAL_CHECK_OK(commitFullPage(3, p3, 4));
+    NVWAL_CHECK_OK(commitFullPage(4, p4, 4));
+
+    if (config.syncMode == SyncMode::ChecksumAsync) {
+        // Asynchronous commit gives no pessimistic guarantee; its
+        // crash behaviour is covered by dedicated tests below.
+        return;
+    }
+    env.powerFail(FailurePolicy::Pessimistic);
+    std::uint32_t db_size = 0;
+    auto fresh = reopen(&db_size);
+    EXPECT_EQ(db_size, 4u);
+    ByteBuffer out(kPageSize);
+    ASSERT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p3);
+    ASSERT_TRUE(fresh->readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p4);
+}
+
+TEST_P(NvwalLogTest, UncommittedFramesDiscardedOnRecovery)
+{
+    const ByteBuffer p3 = makePage(5);
+    NVWAL_CHECK_OK(commitFullPage(3, p3, 3));
+    // Frames without a commit mark...
+    const ByteBuffer p4 = makePage(6);
+    DirtyRanges ranges;
+    ranges.mark(0, kPageSize);
+    std::vector<FrameWrite> frames{
+        FrameWrite{4, testutil::spanOf(p4), &ranges}};
+    NVWAL_CHECK_OK(log->writeFrames(frames, false, 0));
+
+    env.powerFail(FailurePolicy::AllSurvive);
+    std::uint32_t db_size = 0;
+    auto fresh = reopen(&db_size);
+    EXPECT_EQ(db_size, 3u);
+    ByteBuffer out(kPageSize);
+    EXPECT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_FALSE(fresh->readPage(4, ByteSpan(out.data(), out.size())));
+    // The log accepts new commits after discarding the tail.
+    const ByteBuffer p5 = makePage(7);
+    DirtyRanges r5;
+    r5.mark(0, kPageSize);
+    std::vector<FrameWrite> f5{FrameWrite{5, testutil::spanOf(p5), &r5}};
+    NVWAL_CHECK_OK(fresh->writeFrames(f5, true, 5));
+    ASSERT_TRUE(fresh->readPage(5, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p5);
+}
+
+TEST_P(NvwalLogTest, CheckpointWritesBackTruncatesAndFreesNvram)
+{
+    const std::uint64_t used_before =
+        env.heap.countBlocks(BlockState::InUse);
+    const ByteBuffer p3 = makePage(8);
+    const ByteBuffer p4 = makePage(9);
+    NVWAL_CHECK_OK(commitFullPage(3, p3, 4));
+    NVWAL_CHECK_OK(commitFullPage(4, p4, 4));
+    EXPECT_GT(log->nodeCount(), 0u);
+
+    NVWAL_CHECK_OK(log->checkpoint());
+    EXPECT_EQ(log->framesSinceCheckpoint(), 0u);
+    EXPECT_EQ(log->nodeCount(), 0u);
+    // All log NVRAM returned to the heap (the header block stays).
+    EXPECT_EQ(env.heap.countBlocks(BlockState::InUse), used_before);
+
+    ByteBuffer out(kPageSize);
+    EXPECT_FALSE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    NVWAL_CHECK_OK(dbFile.readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p3);
+    NVWAL_CHECK_OK(dbFile.readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p4);
+
+    // And the log keeps working in the next checkpoint epoch.
+    const ByteBuffer p5 = makePage(10);
+    NVWAL_CHECK_OK(commitFullPage(5, p5, 5));
+    ASSERT_TRUE(log->readPage(5, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, p5);
+    std::uint32_t db_size = 0;
+    auto fresh = reopen(&db_size);
+    EXPECT_EQ(db_size, 5u);
+}
+
+TEST_P(NvwalLogTest, StaleFramesFromPreviousEpochAreIgnored)
+{
+    const ByteBuffer p3 = makePage(11);
+    NVWAL_CHECK_OK(commitFullPage(3, p3, 3));
+    NVWAL_CHECK_OK(log->checkpoint());
+    std::uint32_t db_size = 0;
+    auto fresh = reopen(&db_size);
+    EXPECT_EQ(db_size, 0u);
+    EXPECT_EQ(fresh->framesSinceCheckpoint(), 0u);
+}
+
+TEST_P(NvwalLogTest, MultiPageTransactionIsAtomic)
+{
+    std::vector<ByteBuffer> pages;
+    std::vector<DirtyRanges> ranges(5);
+    std::vector<FrameWrite> frames;
+    for (PageNo no = 3; no < 8; ++no) {
+        pages.push_back(makePage(no));
+        ranges[no - 3].mark(0, kPageSize);
+        frames.push_back(FrameWrite{no, testutil::spanOf(pages.back()),
+                                    &ranges[no - 3]});
+    }
+    NVWAL_CHECK_OK(log->writeFrames(frames, true, 8));
+
+    env.powerFail(config.syncMode == SyncMode::ChecksumAsync
+                      ? FailurePolicy::AllSurvive
+                      : FailurePolicy::Pessimistic);
+    std::uint32_t db_size = 0;
+    auto fresh = reopen(&db_size);
+    EXPECT_EQ(db_size, 8u);
+    ByteBuffer out(kPageSize);
+    for (PageNo no = 3; no < 8; ++no) {
+        ASSERT_TRUE(fresh->readPage(no, ByteSpan(out.data(), out.size())));
+        EXPECT_EQ(out, pages[no - 3]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, NvwalLogTest,
+    ::testing::Values(
+        SchemeParam{SyncMode::Lazy, false, false, "LS"},
+        SchemeParam{SyncMode::Lazy, true, false, "LS_Diff"},
+        SchemeParam{SyncMode::ChecksumAsync, true, false, "CS_Diff"},
+        SchemeParam{SyncMode::Lazy, false, true, "UH_LS"},
+        SchemeParam{SyncMode::Lazy, true, true, "UH_LS_Diff"},
+        SchemeParam{SyncMode::ChecksumAsync, true, true, "UH_CS_Diff"},
+        SchemeParam{SyncMode::Eager, true, true, "UH_E_Diff"}),
+    [](const auto &info) { return std::string(info.param.label); });
+
+// ---- scheme-specific behaviour ------------------------------------
+
+class NvwalSchemeTest : public ::testing::Test
+{
+  protected:
+    NvwalSchemeTest() : env(makeEnvConfig()), dbFile(env.fs, "t.db",
+                                                     kPageSize)
+    {
+        NVWAL_CHECK_OK(dbFile.open());
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::tuna(500);
+        return c;
+    }
+
+    ByteBuffer
+    makePage(std::uint64_t seed) const
+    {
+        ByteBuffer page = testutil::makeValue(kPageSize, seed);
+        std::memset(page.data() + kPageSize - kReserved, 0, kReserved);
+        return page;
+    }
+
+    std::unique_ptr<NvwalLog>
+    makeLog(SyncMode sync, bool diff, bool user_heap)
+    {
+        NvwalConfig config;
+        config.syncMode = sync;
+        config.diffLogging = diff;
+        config.userHeap = user_heap;
+        auto log = std::make_unique<NvwalLog>(env.heap, env.pmem, dbFile,
+                                              kPageSize, kReserved, config,
+                                              env.stats);
+        std::uint32_t db_size = 0;
+        NVWAL_CHECK_OK(log->recover(&db_size));
+        return log;
+    }
+
+    Env env;
+    DbFile dbFile;
+};
+
+TEST_F(NvwalSchemeTest, SchemeNamesMatchPaperLegend)
+{
+    EXPECT_STREQ(makeLog(SyncMode::Lazy, false, false)->name(),
+                 "NVWAL LS");
+    EXPECT_STREQ(makeLog(SyncMode::Lazy, true, false)->name(),
+                 "NVWAL LS+Diff");
+    EXPECT_STREQ(makeLog(SyncMode::ChecksumAsync, true, false)->name(),
+                 "NVWAL CS+Diff");
+    EXPECT_STREQ(makeLog(SyncMode::Lazy, false, true)->name(),
+                 "NVWAL UH+LS");
+    EXPECT_STREQ(makeLog(SyncMode::Lazy, true, true)->name(),
+                 "NVWAL UH+LS+Diff");
+    EXPECT_STREQ(makeLog(SyncMode::ChecksumAsync, true, true)->name(),
+                 "NVWAL UH+CS+Diff");
+}
+
+TEST_F(NvwalSchemeTest, DiffLoggingWritesFarFewerBytes)
+{
+    // Table 2's mechanism: a small dirty range logs ~its size, not a
+    // page.
+    auto run = [&](bool diff) {
+        auto log = makeLog(SyncMode::Lazy, diff, true);
+        ByteBuffer page = testutil::makeValue(kPageSize, 1);
+        DirtyRanges ranges;
+        ranges.mark(200, 350);
+        const auto before = env.stats.get(stats::kNvramBytesLogged);
+        std::vector<FrameWrite> frames{
+            FrameWrite{3, testutil::spanOf(page), &ranges}};
+        NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+        NVWAL_CHECK_OK(log->checkpoint());
+        return env.stats.get(stats::kNvramBytesLogged) - before;
+    };
+    const std::uint64_t full = run(false);
+    const std::uint64_t diff = run(true);
+    EXPECT_GE(full, kPageSize);
+    EXPECT_LT(diff, 300u);
+}
+
+TEST_F(NvwalSchemeTest, UserHeapAmortizesHeapCalls)
+{
+    auto heapCalls = [&](bool user_heap) {
+        auto log = makeLog(SyncMode::Lazy, true, user_heap);
+        ByteBuffer page = testutil::makeValue(kPageSize, 2);
+        const auto before = env.stats.get(stats::kHeapCalls);
+        for (int i = 0; i < 50; ++i) {
+            DirtyRanges ranges;
+            ranges.mark(0, 400);
+            std::vector<FrameWrite> frames{
+                FrameWrite{3, testutil::spanOf(page), &ranges}};
+            NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+        }
+        const auto calls = env.stats.get(stats::kHeapCalls) - before;
+        NVWAL_CHECK_OK(log->checkpoint());
+        return calls;
+    };
+    const std::uint64_t without = heapCalls(false);
+    const std::uint64_t with = heapCalls(true);
+    EXPECT_LT(with, without / 2);
+}
+
+TEST_F(NvwalSchemeTest, UserHeapPacksMultipleFramesPerBlock)
+{
+    // The paper reports ~4.9 frames per 8 KB block for the insert
+    // workload (section 3.3).
+    auto log = makeLog(SyncMode::Lazy, true, true);
+    ByteBuffer page = testutil::makeValue(kPageSize, 3);
+    for (int i = 0; i < 40; ++i) {
+        DirtyRanges ranges;
+        ranges.mark(0, 1200);
+        std::vector<FrameWrite> frames{
+            FrameWrite{3, testutil::spanOf(page), &ranges}};
+        NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+    }
+    EXPECT_GT(log->framesPerNode(), 2.0);
+}
+
+TEST_F(NvwalSchemeTest, LazyFlushesAllFrameLines)
+{
+    // Lazy synchronization must flush every line a frame touches --
+    // correctness depends on it under the pessimistic policy.
+    auto log = makeLog(SyncMode::Lazy, false, true);
+    const ByteBuffer page = testutil::makeValue(kPageSize, 4);
+    DirtyRanges ranges;
+    ranges.mark(0, kPageSize);
+    const auto before = env.stats.get(stats::kNvramLinesFlushed);
+    std::vector<FrameWrite> frames{
+        FrameWrite{3, testutil::spanOf(page), &ranges}};
+    NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+    const auto flushed =
+        env.stats.get(stats::kNvramLinesFlushed) - before;
+    // ~ a full page of lines (4096/32 = 128) plus headers/metadata.
+    EXPECT_GE(flushed, kPageSize / 32);
+}
+
+TEST_F(NvwalSchemeTest, ChecksumAsyncFlushesAlmostNothing)
+{
+    auto log = makeLog(SyncMode::ChecksumAsync, false, true);
+    const ByteBuffer page = testutil::makeValue(kPageSize, 5);
+    DirtyRanges ranges;
+    ranges.mark(0, kPageSize);
+    const auto before = env.stats.get(stats::kNvramLinesFlushed);
+    std::vector<FrameWrite> frames{
+        FrameWrite{3, testutil::spanOf(page), &ranges}};
+    NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+    const auto flushed =
+        env.stats.get(stats::kNvramLinesFlushed) - before;
+    // Only the commit-mark/checksum line plus block-allocation
+    // metadata (node link + tri-state flags) -- none of the 128
+    // payload lines (section 4.2).
+    EXPECT_LE(flushed, 8u);
+}
+
+TEST_F(NvwalSchemeTest, EagerIsSlowerThanLazy)
+{
+    // Figure 5: eager per-frame synchronization costs more simulated
+    // time than lazy batching for the same work.
+    auto timeFor = [&](SyncMode sync) {
+        auto log = makeLog(sync, false, true);
+        ByteBuffer page = testutil::makeValue(kPageSize, 6);
+        DirtyRanges ranges;
+        ranges.mark(0, kPageSize);
+        const SimTime start = env.clock.now();
+        std::vector<FrameWrite> frames;
+        std::vector<DirtyRanges> all_ranges(8);
+        for (PageNo no = 3; no < 11; ++no) {
+            all_ranges[no - 3].mark(0, kPageSize);
+            frames.push_back(FrameWrite{no, testutil::spanOf(page),
+                                        &all_ranges[no - 3]});
+        }
+        NVWAL_CHECK_OK(log->writeFrames(frames, true, 11));
+        const SimTime elapsed = env.clock.now() - start;
+        NVWAL_CHECK_OK(log->checkpoint());
+        return elapsed;
+    };
+    const SimTime lazy = timeFor(SyncMode::Lazy);
+    const SimTime eager = timeFor(SyncMode::Eager);
+    EXPECT_LT(lazy, eager);
+}
+
+TEST_F(NvwalSchemeTest, ChecksumAsyncDetectsLostFramesProbabilistically)
+{
+    // Section 4.2: if the commit mark + checksum survive but the log
+    // entries do not, recovery must invalidate the transaction via
+    // the checksum mismatch.
+    auto log = makeLog(SyncMode::ChecksumAsync, false, true);
+    const ByteBuffer p3 = makePage(7);
+    DirtyRanges ranges;
+    ranges.mark(0, kPageSize);
+    std::vector<FrameWrite> frames{
+        FrameWrite{3, testutil::spanOf(p3), &ranges}};
+    NVWAL_CHECK_OK(log->writeFrames(frames, true, 3));
+
+    // Pessimistic failure: the frame payload (never flushed) is
+    // gone; the flushed commit/checksum line may or may not be in
+    // the persist queue -- drop everything volatile.
+    env.powerFail(FailurePolicy::Pessimistic);
+    NvwalConfig config;
+    config.syncMode = SyncMode::ChecksumAsync;
+    config.diffLogging = false;
+    config.userHeap = true;
+    NvwalLog fresh(env.heap, env.pmem, dbFile, kPageSize, kReserved,
+                   config, env.stats);
+    std::uint32_t db_size = 99;
+    NVWAL_CHECK_OK(fresh.recover(&db_size));
+    EXPECT_EQ(db_size, 0u);  // transaction correctly invalidated
+    ByteBuffer out(kPageSize);
+    EXPECT_FALSE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
+}
+
+} // namespace
+} // namespace nvwal

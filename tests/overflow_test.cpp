@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for overflow-page chains: values larger than the local
+ * payload limit spill to page chains (SQLite-style), and must behave
+ * identically to local values under reads, scans, updates, deletes,
+ * splits, reopen, power failure and space reclamation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class OverflowTest : public ::testing::Test
+{
+  protected:
+    OverflowTest() : env(makeEnvConfig())
+    {
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        maxLocal = PageView::maxLocalPayload(db->pager().usableSize());
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::nexus5();
+        c.nvramBytes = 64 << 20;
+        c.flashBlocks = 8192;
+        return c;
+    }
+
+    void
+    reopen()
+    {
+        DbConfig config = db->config();
+        db.reset();
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    }
+
+    Env env;
+    std::unique_ptr<Database> db;
+    std::uint32_t maxLocal = 0;
+};
+
+TEST_F(OverflowTest, BoundarySizesRoundTrip)
+{
+    // Exactly local, one byte over, a full chain page, and sizes
+    // straddling each chain-page boundary.
+    const std::uint32_t chunk = db->pager().usableSize() - 4;
+    const std::size_t sizes[] = {
+        maxLocal,     maxLocal + 1,      maxLocal + chunk - 1,
+        maxLocal + chunk, maxLocal + chunk + 1, maxLocal + 3 * chunk,
+        65535,
+    };
+    RowId key = 1;
+    for (std::size_t size : sizes) {
+        const ByteBuffer v = testutil::makeValue(size, size);
+        NVWAL_CHECK_OK(db->insert(key, testutil::spanOf(v)));
+        ByteBuffer out;
+        NVWAL_CHECK_OK(db->get(key, &out));
+        EXPECT_EQ(out, v) << "size " << size;
+        ++key;
+    }
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(OverflowTest, OversizedValueRejected)
+{
+    ByteBuffer v(65536, 0x1);
+    EXPECT_EQ(db->insert(1, testutil::spanOf(v)).code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST_F(OverflowTest, LocalValuesUseNoExtraPages)
+{
+    const std::uint32_t before = db->pager().pageCount();
+    NVWAL_CHECK_OK(db->insert(
+        1, testutil::spanOf(testutil::makeValue(maxLocal, 1))));
+    EXPECT_EQ(db->pager().pageCount(), before);
+}
+
+TEST_F(OverflowTest, ChainLengthMatchesValueSize)
+{
+    const std::uint32_t chunk = db->pager().usableSize() - 4;
+    const std::uint32_t before = db->pager().pageCount();
+    const std::size_t size = maxLocal + 2 * chunk + 10;  // 3 pages
+    NVWAL_CHECK_OK(
+        db->insert(1, testutil::spanOf(testutil::makeValue(size, 2))));
+    EXPECT_EQ(db->pager().pageCount(), before + 3);
+}
+
+TEST_F(OverflowTest, DeleteFreesTheChain)
+{
+    const std::size_t size = 20000;
+    NVWAL_CHECK_OK(
+        db->insert(1, testutil::spanOf(testutil::makeValue(size, 3))));
+    const std::uint32_t pages = db->pager().pageCount();
+    EXPECT_EQ(db->pager().freePageCount(), 0u);
+    NVWAL_CHECK_OK(db->remove(1));
+    EXPECT_GT(db->pager().freePageCount(), 3u);
+    EXPECT_EQ(db->pager().pageCount(), pages);
+    // The freed chain is reused by the next large value.
+    NVWAL_CHECK_OK(
+        db->insert(2, testutil::spanOf(testutil::makeValue(size, 4))));
+    EXPECT_EQ(db->pager().pageCount(), pages);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(OverflowTest, UpdateShrinkAndGrow)
+{
+    const ByteBuffer big = testutil::makeValue(30000, 5);
+    const ByteBuffer small(50, 0x42);
+    NVWAL_CHECK_OK(db->insert(1, testutil::spanOf(big)));
+    NVWAL_CHECK_OK(db->update(1, testutil::spanOf(small)));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(db->get(1, &out));
+    EXPECT_EQ(out, small);
+    EXPECT_GT(db->pager().freePageCount(), 5u);  // chain reclaimed
+
+    const ByteBuffer big2 = testutil::makeValue(40000, 6);
+    NVWAL_CHECK_OK(db->update(1, testutil::spanOf(big2)));
+    NVWAL_CHECK_OK(db->get(1, &out));
+    EXPECT_EQ(out, big2);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(OverflowTest, ScanAssemblesOverflowValues)
+{
+    std::map<RowId, ByteBuffer> model;
+    for (RowId k = 1; k <= 10; ++k) {
+        const std::size_t size = (k % 2 == 0) ? 15000 : 60;
+        model[k] = testutil::makeValue(size, static_cast<std::uint64_t>(k));
+        NVWAL_CHECK_OK(db->insert(k, testutil::spanOf(model[k])));
+    }
+    std::map<RowId, ByteBuffer> scanned;
+    NVWAL_CHECK_OK(db->scan(INT64_MIN, INT64_MAX,
+                            [&](RowId k, ConstByteSpan v) {
+                                scanned[k] = ByteBuffer(v.begin(), v.end());
+                                return true;
+                            }));
+    EXPECT_EQ(scanned, model);
+}
+
+TEST_F(OverflowTest, SplitsDoNotDisturbChains)
+{
+    // Enough mixed-size records to force leaf splits; overflow
+    // payloads must remain intact because splits copy only the
+    // in-leaf cell (prefix + chain pointer).
+    std::map<RowId, ByteBuffer> model;
+    Rng rng(77);
+    for (RowId k = 1; k <= 120; ++k) {
+        const std::size_t size =
+            rng.nextBool(0.3) ? 5000 + rng.nextBelow(10000)
+                              : 30 + rng.nextBelow(300);
+        model[k] = testutil::makeValue(size, rng.next());
+        NVWAL_CHECK_OK(db->insert(k, testutil::spanOf(model[k])));
+    }
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+    for (const auto &[k, v] : model) {
+        ByteBuffer out;
+        NVWAL_CHECK_OK(db->get(k, &out));
+        EXPECT_EQ(out, v) << k;
+    }
+}
+
+TEST_F(OverflowTest, OverflowValuesSurviveReopenAndPowerFailure)
+{
+    const ByteBuffer v1 = testutil::makeValue(25000, 8);
+    const ByteBuffer v2 = testutil::makeValue(48000, 9);
+    NVWAL_CHECK_OK(db->insert(1, testutil::spanOf(v1)));
+    NVWAL_CHECK_OK(db->insert(2, testutil::spanOf(v2)));
+    reopen();
+    ByteBuffer out;
+    NVWAL_CHECK_OK(db->get(1, &out));
+    EXPECT_EQ(out, v1);
+
+    env.powerFail(FailurePolicy::Pessimistic);
+    DbConfig config = db->config();
+    db.reset();
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    NVWAL_CHECK_OK(db->get(2, &out));
+    EXPECT_EQ(out, v2);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(OverflowTest, CheckpointPersistsChains)
+{
+    const ByteBuffer v = testutil::makeValue(33000, 10);
+    NVWAL_CHECK_OK(db->insert(1, testutil::spanOf(v)));
+    NVWAL_CHECK_OK(db->checkpoint());
+    env.powerFail(FailurePolicy::Pessimistic);
+    DbConfig config = db->config();
+    db.reset();
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(db->get(1, &out));
+    EXPECT_EQ(out, v);
+}
+
+TEST_F(OverflowTest, CrashMidCommitIsAtomicForOverflowValues)
+{
+    // A transaction inserting a chained value either lands whole or
+    // not at all, across every injection point.
+    bool completed = false;
+    std::uint64_t k = 1;
+    const ByteBuffer v = testutil::makeValue(18000, 11);
+    while (!completed) {
+        EnvConfig env_config = makeEnvConfig();
+        env_config.nvramBytes = 16 << 20;
+        Env local_env(env_config);
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        std::unique_ptr<Database> local_db;
+        NVWAL_CHECK_OK(Database::open(local_env, config, &local_db));
+        NVWAL_CHECK_OK(local_db->insert(1, "anchor"));
+
+        local_env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Pessimistic);
+        local_env.nvramDevice.scheduleCrashAtOp(k);
+        bool crashed = false;
+        try {
+            NVWAL_CHECK_OK(local_db->insert(2, testutil::spanOf(v)));
+        } catch (const PowerFailure &) {
+            crashed = true;
+            local_env.fs.crash();
+        }
+        local_env.nvramDevice.scheduleCrashAtOp(0);
+        completed = !crashed;
+
+        local_db.reset();
+        std::unique_ptr<Database> recovered;
+        NVWAL_CHECK_OK(Database::open(local_env, config, &recovered));
+        NVWAL_CHECK_OK(recovered->verifyIntegrity());
+        ByteBuffer out;
+        NVWAL_CHECK_OK(recovered->get(1, &out));
+        const Status s = recovered->get(2, &out);
+        if (s.isOk())
+            EXPECT_EQ(out, v) << "torn overflow value at op " << k;
+        else
+            EXPECT_TRUE(s.isNotFound());
+        k += 1 + k / 6;
+    }
+}
+
+TEST_F(OverflowTest, RollbackDiscardsChainAllocations)
+{
+    const std::uint32_t pages_before = db->pager().pageCount();
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(
+        db->insert(1, testutil::spanOf(testutil::makeValue(30000, 12))));
+    NVWAL_CHECK_OK(db->rollback());
+    EXPECT_EQ(db->pager().pageCount(), pages_before);
+    ByteBuffer out;
+    EXPECT_TRUE(db->get(1, &out).isNotFound());
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(OverflowTest, MixedSizeOracle)
+{
+    Rng rng(99);
+    std::map<RowId, ByteBuffer> model;
+    for (int step = 0; step < 600; ++step) {
+        const RowId key = static_cast<RowId>(rng.nextBelow(80));
+        const bool exists = model.count(key) > 0;
+        const std::size_t size = rng.nextBool(0.25)
+                                     ? 1000 + rng.nextBelow(40000)
+                                     : 1 + rng.nextBelow(400);
+        const ByteBuffer v = testutil::makeValue(size, rng.next());
+        switch (rng.nextBelow(3)) {
+          case 0:
+            if (!exists) {
+                NVWAL_CHECK_OK(db->insert(key, testutil::spanOf(v)));
+                model[key] = v;
+            }
+            break;
+          case 1:
+            if (exists) {
+                NVWAL_CHECK_OK(db->update(key, testutil::spanOf(v)));
+                model[key] = v;
+            }
+            break;
+          default:
+            if (exists) {
+                NVWAL_CHECK_OK(db->remove(key));
+                model.erase(key);
+            }
+            break;
+        }
+    }
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+    for (const auto &[k, v] : model) {
+        ByteBuffer out;
+        NVWAL_CHECK_OK(db->get(k, &out));
+        EXPECT_EQ(out, v) << k;
+    }
+}
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for the memory-persistency models of section 4.4 (the
+ * paper's future work, implemented here): strict persistency and
+ * hardware epoch persistency, vs. the explicit-flush baseline.
+ *
+ * Checked properties:
+ *  - durability semantics per model (strict: durable at the store;
+ *    epoch: durable at the barrier; explicit: durable only after
+ *    flush + fence + persist barrier);
+ *  - software flushes are free (removed) under hardware models;
+ *  - the paper's performance conjecture: strict persistency
+ *    serializes persists and is slowest for bulk log writes, epoch
+ *    persistency is at least as fast as explicit flushing;
+ *  - NVWAL remains crash-consistent under every model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+CostModel
+tunaWith(PersistencyModel model, SimTime latency = 500)
+{
+    CostModel cost = CostModel::tuna(latency);
+    cost.persistency = model;
+    return cost;
+}
+
+TEST(Persistency, StrictStoresAreImmediatelyDurable)
+{
+    SimClock clock;
+    StatsRegistry stats;
+    const CostModel cost = tunaWith(PersistencyModel::Strict);
+    NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
+    Pmem pmem(dev, clock, cost, stats);
+
+    const ByteBuffer data = testutil::makeValue(200, 1);
+    pmem.memcpyToNvram(4096, testutil::spanOf(data));
+    ByteBuffer out(200);
+    dev.readDurable(4096, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+    EXPECT_EQ(dev.dirtyLineCount(), 0u);
+}
+
+TEST(Persistency, StrictChargesSerializedLineLatency)
+{
+    SimClock clock;
+    StatsRegistry stats;
+    const CostModel cost = tunaWith(PersistencyModel::Strict, 1000);
+    NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
+    Pmem pmem(dev, clock, cost, stats);
+
+    const std::size_t lines = 64;
+    const ByteBuffer data =
+        testutil::makeValue(lines * cost.cacheLineSize, 2);
+    const SimTime before = clock.now();
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    // Store cost + one full media latency per line, no overlap.
+    EXPECT_GE(clock.now() - before, lines * cost.nvramWriteLatencyNs);
+}
+
+TEST(Persistency, EpochStoresVolatileUntilBarrier)
+{
+    SimClock clock;
+    StatsRegistry stats;
+    const CostModel cost = tunaWith(PersistencyModel::EpochHW);
+    NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
+    Pmem pmem(dev, clock, cost, stats);
+
+    const ByteBuffer data = testutil::makeValue(300, 3);
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    ByteBuffer out(300);
+    dev.readDurable(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, ByteBuffer(300, 0));  // still buffered
+
+    pmem.memoryBarrier();  // epoch boundary
+    dev.readDurable(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST(Persistency, SoftwareFlushesAreRemovedUnderHardwareModels)
+{
+    for (PersistencyModel model :
+         {PersistencyModel::Strict, PersistencyModel::EpochHW}) {
+        SimClock clock;
+        StatsRegistry stats;
+        const CostModel cost = tunaWith(model);
+        NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
+        Pmem pmem(dev, clock, cost, stats);
+
+        pmem.cacheLineFlush(0, 4096);
+        EXPECT_EQ(stats.get(stats::kFlushSyscalls), 0u)
+            << persistencyModelName(model);
+        EXPECT_EQ(stats.get(stats::kTimeSyscallNs), 0u);
+    }
+}
+
+TEST(Persistency, ConjectureStrictSlowerEpochFasterForBulkLogs)
+{
+    // Section 4.4: "strict persistency may degrade the performance
+    // of NVWAL because it enforces strict (but unnecessary) ordering
+    // constraints between persists"; relaxed persistency should do
+    // at least as well as software flushing.
+    auto txnTime = [](PersistencyModel model) {
+        EnvConfig env_config;
+        env_config.cost = CostModel::tuna(1500);
+        env_config.cost.persistency = model;
+        Env env(env_config);
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        config.nvwal.diffLogging = false;  // 128-line frames
+        std::unique_ptr<Database> db;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        const SimTime start = env.clock.now();
+        for (RowId k = 0; k < 50; ++k) {
+            NVWAL_CHECK_OK(db->insert(
+                k, testutil::spanOf(testutil::makeValue(100, k))));
+        }
+        return env.clock.now() - start;
+    };
+    const SimTime explicit_ns = txnTime(PersistencyModel::Explicit);
+    const SimTime strict_ns = txnTime(PersistencyModel::Strict);
+    const SimTime epoch_ns = txnTime(PersistencyModel::EpochHW);
+    EXPECT_GT(strict_ns, explicit_ns);
+    EXPECT_LT(epoch_ns, explicit_ns);
+}
+
+/** NVWAL correctness must hold under every persistency model. */
+class PersistencyCrash
+    : public ::testing::TestWithParam<PersistencyModel>
+{
+};
+
+TEST_P(PersistencyCrash, CommittedDataSurvivesPowerFailure)
+{
+    EnvConfig env_config;
+    env_config.cost = tunaWith(GetParam());
+    env_config.nvramBytes = 16 << 20;
+    env_config.flashBlocks = 2048;
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+
+    for (RowId k = 0; k < 30; ++k) {
+        NVWAL_CHECK_OK(db->insert(
+            k, testutil::spanOf(testutil::makeValue(100, k))));
+    }
+    env.powerFail(FailurePolicy::Pessimistic);
+
+    std::unique_ptr<Database> recovered;
+    NVWAL_CHECK_OK(Database::open(env, config, &recovered));
+    NVWAL_CHECK_OK(recovered->verifyIntegrity());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(recovered->count(&n));
+    EXPECT_EQ(n, 30u);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(recovered->get(15, &out));
+    EXPECT_EQ(out, testutil::makeValue(100, 15));
+}
+
+TEST_P(PersistencyCrash, CrashSweepKeepsAtomicity)
+{
+    // Injected power failures across the commit path; the victim
+    // transaction must be all-or-nothing under every model.
+    bool completed = false;
+    std::uint64_t k = 1;
+    while (!completed) {
+        EnvConfig env_config;
+        env_config.cost = tunaWith(GetParam());
+        env_config.nvramBytes = 8 << 20;
+        env_config.flashBlocks = 2048;
+        Env env(env_config);
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        std::unique_ptr<Database> db;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        for (RowId key = 0; key < 10; ++key) {
+            NVWAL_CHECK_OK(db->insert(
+                key, testutil::spanOf(testutil::makeValue(60, key))));
+        }
+
+        env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Pessimistic);
+        env.nvramDevice.scheduleCrashAtOp(k);
+        try {
+            NVWAL_CHECK_OK(db->begin());
+            for (RowId key = 100; key < 103; ++key) {
+                NVWAL_CHECK_OK(db->insert(
+                    key,
+                    testutil::spanOf(testutil::makeValue(60, key))));
+            }
+            NVWAL_CHECK_OK(db->commit());
+            completed = true;
+        } catch (const PowerFailure &) {
+            env.fs.crash();
+        }
+        env.nvramDevice.scheduleCrashAtOp(0);
+
+        db.reset();
+        std::unique_ptr<Database> recovered;
+        NVWAL_CHECK_OK(Database::open(env, config, &recovered));
+        NVWAL_CHECK_OK(recovered->verifyIntegrity());
+        std::uint64_t n = 0;
+        NVWAL_CHECK_OK(recovered->count(&n));
+        EXPECT_TRUE(n == 10u || n == 13u)
+            << persistencyModelName(GetParam()) << " op " << k
+            << ": victim torn (" << n << " rows)";
+        for (RowId key = 0; key < 10; ++key)
+            EXPECT_TRUE(recovered->btree().contains(key)) << key;
+        k += 1 + k / 8;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, PersistencyCrash,
+    ::testing::Values(PersistencyModel::Explicit,
+                      PersistencyModel::Strict,
+                      PersistencyModel::EpochHW),
+    [](const auto &info) {
+        switch (info.param) {
+          case PersistencyModel::Explicit: return std::string("Explicit");
+          case PersistencyModel::Strict: return std::string("Strict");
+          case PersistencyModel::EpochHW: return std::string("EpochHW");
+        }
+        return std::string("Unknown");
+    });
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Unit tests for the pmem persistence primitives: cost accounting
+ * and the lazy-vs-eager flush-drain timing model (the mechanism
+ * behind Figure 5).
+ */
+
+#include <gtest/gtest.h>
+
+#include "pmem/pmem.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class PmemTest : public ::testing::Test
+{
+  protected:
+    PmemTest()
+        : cost(CostModel::tuna(500)),
+          dev(1 << 20, cost.cacheLineSize, stats),
+          pmem(dev, clock, cost, stats)
+    {}
+
+    SimClock clock;
+    StatsRegistry stats;
+    CostModel cost;
+    NvramDevice dev;
+    Pmem pmem;
+};
+
+TEST_F(PmemTest, MemcpyChargesPerByte)
+{
+    const ByteBuffer data = testutil::makeValue(1000, 1);
+    const SimTime before = clock.now();
+    pmem.memcpyToNvram(4096, testutil::spanOf(data));
+    const SimTime expected =
+        static_cast<SimTime>(cost.memcpyNvramNsPerByte * 1000.0);
+    EXPECT_EQ(clock.now() - before, expected);
+    EXPECT_EQ(stats.get(stats::kTimeMemcpyNs), expected);
+}
+
+TEST_F(PmemTest, CacheLineFlushChargesSyscallOnce)
+{
+    const ByteBuffer data = testutil::makeValue(256, 2);
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    pmem.cacheLineFlush(0, 256);
+    EXPECT_EQ(stats.get(stats::kFlushSyscalls), 1u);
+    EXPECT_EQ(stats.get(stats::kNvramLinesFlushed), 256u / 32u);
+}
+
+TEST_F(PmemTest, FlushRangeAlignsStartDown)
+{
+    // Algorithm 2: start is aligned to the line boundary, so a
+    // flush of [40, 48) touches the line starting at 32.
+    const ByteBuffer data = testutil::makeValue(8, 3);
+    pmem.memcpyToNvram(40, testutil::spanOf(data));
+    pmem.cacheLineFlush(40, 48);
+    pmem.memoryBarrier();
+    pmem.persistBarrier();
+    ByteBuffer out(8);
+    dev.readDurable(40, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(PmemTest, MemoryBarrierWaitsForDrains)
+{
+    const ByteBuffer data = testutil::makeValue(32, 4);
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    const SimTime t0 = clock.now();
+    pmem.cacheLineFlush(0, 32);
+    const SimTime after_issue = clock.now();
+    // Issuing is cheap (syscall + one issue slot)...
+    EXPECT_EQ(after_issue - t0, cost.syscallNs + cost.flushIssueNs);
+    // ... the fence pays the media latency.
+    pmem.memoryBarrier();
+    EXPECT_GE(clock.now() - after_issue, cost.nvramWriteLatencyNs);
+}
+
+TEST_F(PmemTest, BatchedFlushesPipelineAcrossBanks)
+{
+    // Lazy synchronization: N flushes then one fence is faster than
+    // N (flush + fence) pairs -- the Figure 5 effect.
+    const std::size_t lines = 64;
+    const std::size_t bytes = lines * cost.cacheLineSize;
+    const ByteBuffer data = testutil::makeValue(bytes, 5);
+
+    // Eager: fence after every line.
+    SimClock eager_clock;
+    StatsRegistry s1;
+    NvramDevice d1(1 << 20, cost.cacheLineSize, s1);
+    Pmem eager(d1, eager_clock, cost, s1);
+    eager.memcpyToNvram(0, testutil::spanOf(data));
+    const SimTime eager_start = eager_clock.now();
+    for (std::size_t i = 0; i < lines; ++i) {
+        eager.cacheLineFlush(i * cost.cacheLineSize,
+                             (i + 1) * cost.cacheLineSize);
+        eager.memoryBarrier();
+    }
+    const SimTime eager_time = eager_clock.now() - eager_start;
+
+    // Lazy: one batch, one fence.
+    SimClock lazy_clock;
+    StatsRegistry s2;
+    NvramDevice d2(1 << 20, cost.cacheLineSize, s2);
+    Pmem lazy(d2, lazy_clock, cost, s2);
+    lazy.memcpyToNvram(0, testutil::spanOf(data));
+    const SimTime lazy_start = lazy_clock.now();
+    lazy.cacheLineFlush(0, bytes);
+    lazy.memoryBarrier();
+    const SimTime lazy_time = lazy_clock.now() - lazy_start;
+
+    EXPECT_LT(lazy_time, eager_time);
+    // The drain pipeline gives roughly a nvramBanks-fold speedup on
+    // the media-latency component.
+    EXPECT_LT(lazy_time, eager_time / 2);
+}
+
+TEST_F(PmemTest, PersistBarrierDrainsQueue)
+{
+    const ByteBuffer data = testutil::makeValue(64, 6);
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    pmem.cacheLineFlush(0, 64);
+    pmem.memoryBarrier();
+    EXPECT_GT(dev.queuedLineCount(), 0u);
+    const SimTime before = clock.now();
+    pmem.persistBarrier();
+    EXPECT_EQ(dev.queuedLineCount(), 0u);
+    EXPECT_GE(clock.now() - before, cost.persistBarrierNs);
+    EXPECT_EQ(stats.get(stats::kPersistBarriers), 1u);
+}
+
+TEST_F(PmemTest, EagerHelperMakesRangeDurable)
+{
+    const ByteBuffer data = testutil::makeValue(300, 7);
+    pmem.memcpyToNvram(1000, testutil::spanOf(data));
+    pmem.persistRangeEager(1000, 1300);
+    ByteBuffer out(300);
+    dev.readDurable(1000, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(PmemTest, StoreU64RequiresAlignment)
+{
+    pmem.storeU64(128, 42);
+    EXPECT_EQ(dev.readU64(128), 42u);
+    EXPECT_DEATH(pmem.storeU64(129, 42), "aligned");
+}
+
+TEST_F(PmemTest, TimeAccountingBucketsAreDisjointAndComplete)
+{
+    // All clock advancement from pmem primitives must land in the
+    // accounting buckets (this is what the Figure 5 breakdown sums).
+    const ByteBuffer data = testutil::makeValue(512, 8);
+    const SimTime t0 = clock.now();
+    pmem.memcpyToNvram(0, testutil::spanOf(data));
+    pmem.memoryBarrier();
+    pmem.cacheLineFlush(0, 512);
+    pmem.memoryBarrier();
+    pmem.persistBarrier();
+    const SimTime elapsed = clock.now() - t0;
+    const SimTime accounted = stats.get(stats::kTimeMemcpyNs) +
+                              stats.get(stats::kTimeFlushNs) +
+                              stats.get(stats::kTimeBarrierNs) +
+                              stats.get(stats::kTimePersistNs) +
+                              stats.get(stats::kTimeSyscallNs);
+    EXPECT_EQ(elapsed, accounted);
+}
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Unit tests for src/sim: clock, stats registry, cost-model presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/stats.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+TEST(SimClock, AdvanceAndAdvanceTo)
+{
+    SimClock clock;
+    EXPECT_EQ(clock.now(), 0u);
+    clock.advance(100);
+    EXPECT_EQ(clock.now(), 100u);
+    clock.advanceTo(50);  // never goes backwards
+    EXPECT_EQ(clock.now(), 100u);
+    clock.advanceTo(250);
+    EXPECT_EQ(clock.now(), 250u);
+    clock.reset();
+    EXPECT_EQ(clock.now(), 0u);
+}
+
+TEST(SimClock, ScopedTimerAccumulates)
+{
+    SimClock clock;
+    SimTime bucket = 0;
+    {
+        ScopedSimTimer timer(clock, bucket);
+        clock.advance(70);
+    }
+    {
+        ScopedSimTimer timer(clock, bucket);
+        clock.advance(30);
+    }
+    EXPECT_EQ(bucket, 100u);
+}
+
+TEST(Stats, AddGetSnapshotDelta)
+{
+    StatsRegistry stats;
+    EXPECT_EQ(stats.get("x"), 0u);
+    stats.add("x");
+    stats.add("x", 4);
+    EXPECT_EQ(stats.get("x"), 5u);
+
+    const StatsSnapshot before = stats.snapshot();
+    stats.add("x", 10);
+    stats.add("y", 3);
+    const StatsSnapshot d =
+        StatsRegistry::delta(before, stats.snapshot());
+    EXPECT_EQ(d.at("x"), 10u);
+    EXPECT_EQ(d.at("y"), 3u);
+}
+
+TEST(CostModel, TunaPresetMatchesPaperAnchors)
+{
+    const CostModel m = CostModel::tuna(500);
+    EXPECT_EQ(m.cacheLineSize, 32u);           // Tuna's line size
+    EXPECT_EQ(m.nvramWriteLatencyNs, 500u);
+    EXPECT_EQ(m.persistBarrierNs, 1000u);      // 1 us persist barrier
+    // Single-insert transaction CPU time is ~424 us in the paper.
+    const SimTime single = m.cpuTxnNs + m.cpuOpNs;
+    EXPECT_NEAR(static_cast<double>(single), 424'000.0, 40'000.0);
+    // 32-insert transaction is ~5828 us.
+    const SimTime batch = m.cpuTxnNs + 32 * m.cpuOpNs;
+    EXPECT_NEAR(static_cast<double>(batch), 5'828'000.0, 500'000.0);
+}
+
+TEST(CostModel, Nexus5PresetGeometry)
+{
+    const CostModel m = CostModel::nexus5(2000);
+    EXPECT_EQ(m.cacheLineSize, 64u);           // Snapdragon 800
+    EXPECT_EQ(m.nvramWriteLatencyNs, 2000u);
+    EXPECT_GT(m.fsyncBaseNs, 100'000u);        // eMMC fsync is heavy
+    // Nexus 5 is much faster than the Tuna board per statement.
+    EXPECT_LT(m.cpuOpNs, CostModel::tuna().cpuOpNs);
+}
+
+TEST(CostModel, LatencyKnobIsIndependent)
+{
+    const CostModel a = CostModel::tuna(400);
+    const CostModel b = CostModel::tuna(1900);
+    EXPECT_EQ(a.cpuOpNs, b.cpuOpNs);
+    EXPECT_EQ(a.nvramWriteLatencyNs, 400u);
+    EXPECT_EQ(b.nvramWriteLatencyNs, 1900u);
+}
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Whole-system soak test: one long randomized session per seed mixing
+ * every feature -- multiple tables, small and overflow values,
+ * explicit transactions, checkpoints, vacuum, reopens and injected
+ * power failures -- against a full multi-table oracle. After every
+ * crash the database must equal the committed oracle state or the
+ * state including the single in-flight operation (which may have
+ * become durable before the power died).
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+using TableState = std::map<RowId, ByteBuffer>;
+using DbState = std::map<std::string, TableState>;
+
+DbState
+dumpAll(Database &db)
+{
+    DbState state;
+    std::vector<std::string> names;
+    NVWAL_CHECK_OK(db.listTables(&names));
+    for (const std::string &name : names) {
+        Table *table;
+        NVWAL_CHECK_OK(db.openTable(name, &table));
+        TableState &ts = state[name];
+        NVWAL_CHECK_OK(table->scan(INT64_MIN, INT64_MAX,
+                                   [&](RowId k, ConstByteSpan v) {
+                                       ts[k] =
+                                           ByteBuffer(v.begin(), v.end());
+                                       return true;
+                                   }));
+    }
+    return state;
+}
+
+class Soak : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(Soak, LongRandomSessionStaysConsistent)
+{
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    env_config.nvramBytes = 32 << 20;
+    env_config.flashBlocks = 16384;
+    env_config.seed = GetParam();
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.checkpointThreshold = 64;
+
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    Rng rng(GetParam() * 7919 + 3);
+
+    DbState oracle;
+    oracle["main"] = {};
+    int table_seq = 0;
+
+    for (int step = 0; step < 400; ++step) {
+        // Pick a live table.
+        std::vector<std::string> names;
+        names.reserve(oracle.size());
+        for (const auto &[name, state] : oracle)
+            names.push_back(name);
+        const std::string &tname =
+            names[rng.nextBelow(names.size())];
+
+        DbState expected = oracle;
+        const int action = static_cast<int>(rng.nextBelow(20));
+        bool crashed = false;
+
+        // Maybe arm a crash for this step.
+        const bool arm = rng.nextBool(0.15);
+        if (arm) {
+            env.nvramDevice.setScheduledCrashPolicy(
+                rng.nextBool(0.5) ? FailurePolicy::Pessimistic
+                                  : FailurePolicy::Adversarial,
+                0.5);
+            env.nvramDevice.scheduleCrashAtOp(1 + rng.nextBelow(120));
+        }
+
+        try {
+            if (action < 10) {
+                // Write statement on the chosen table.
+                Table *table;
+                NVWAL_CHECK_OK(db->openTable(tname, &table));
+                const RowId key =
+                    static_cast<RowId>(rng.nextBelow(300));
+                const bool exists = expected[tname].count(key) > 0;
+                const std::size_t size =
+                    rng.nextBool(0.15) ? 800 + rng.nextBelow(20000)
+                                       : 1 + rng.nextBelow(200);
+                const ByteBuffer v =
+                    testutil::makeValue(size, rng.next());
+                if (!exists) {
+                    expected[tname][key] = v;
+                    NVWAL_CHECK_OK(table->insert(key,
+                                                 testutil::spanOf(v)));
+                } else if (rng.nextBool(0.5)) {
+                    expected[tname][key] = v;
+                    NVWAL_CHECK_OK(table->update(key,
+                                                 testutil::spanOf(v)));
+                } else {
+                    expected[tname].erase(key);
+                    NVWAL_CHECK_OK(table->remove(key));
+                }
+            } else if (action < 14) {
+                // Multi-statement transaction on the default table.
+                Table *table;
+                NVWAL_CHECK_OK(db->openTable("main", &table));
+                NVWAL_CHECK_OK(db->begin());
+                for (int i = 0; i < 4; ++i) {
+                    const RowId key =
+                        static_cast<RowId>(500 + rng.nextBelow(200));
+                    const ByteBuffer v = testutil::makeValue(
+                        1 + rng.nextBelow(300), rng.next());
+                    if (expected["main"].count(key)) {
+                        expected["main"][key] = v;
+                        NVWAL_CHECK_OK(
+                            table->update(key, testutil::spanOf(v)));
+                    } else {
+                        expected["main"][key] = v;
+                        NVWAL_CHECK_OK(
+                            table->insert(key, testutil::spanOf(v)));
+                    }
+                }
+                if (rng.nextBool(0.2)) {
+                    expected = oracle;  // roll the whole txn back
+                    NVWAL_CHECK_OK(db->rollback());
+                } else {
+                    NVWAL_CHECK_OK(db->commit());
+                }
+            } else if (action < 15) {
+                const std::string name =
+                    "t" + std::to_string(table_seq++);
+                expected[name] = {};
+                NVWAL_CHECK_OK(db->createTable(name));
+            } else if (action < 16 && tname != "main") {
+                expected.erase(tname);
+                NVWAL_CHECK_OK(db->dropTable(tname));
+            } else if (action < 17) {
+                NVWAL_CHECK_OK(db->checkpoint());
+            } else if (action < 18) {
+                NVWAL_CHECK_OK(db->vacuum());
+            } else {
+                // Clean reopen.
+                db.reset();
+                NVWAL_CHECK_OK(Database::open(env, config, &db));
+            }
+            env.nvramDevice.scheduleCrashAtOp(0);
+            oracle = expected;
+        } catch (const PowerFailure &) {
+            crashed = true;
+            env.fs.crash();
+            db.reset();
+            NVWAL_CHECK_OK(Database::open(env, config, &db));
+        }
+
+        if (crashed || step % 40 == 39) {
+            NVWAL_CHECK_OK(db->verifyIntegrity());
+            const DbState state = dumpAll(*db);
+            if (crashed) {
+                const bool as_oracle = state == oracle;
+                const bool as_expected = state == expected;
+                ASSERT_TRUE(as_oracle || as_expected)
+                    << "seed " << GetParam() << " step " << step
+                    << ": state diverged after crash";
+                oracle = as_expected ? expected : oracle;
+            } else {
+                ASSERT_EQ(state, oracle)
+                    << "seed " << GetParam() << " step " << step;
+            }
+        }
+        EXPECT_EQ(env.heap.countBlocks(BlockState::Pending), 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Soak,
+                         ::testing::Values(1001, 2002, 3003, 4004));
+
+} // namespace
+} // namespace nvwal

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the multi-table catalog and the page free list: table
+ * lifecycle, data isolation, page reuse after drops, transactional
+ * create/drop (rollback and crash atomicity), and persistence across
+ * reopen and power failure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+class TableTest : public ::testing::Test
+{
+  protected:
+    TableTest() : env(makeEnvConfig())
+    {
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::nexus5();
+        c.nvramBytes = 32 << 20;
+        c.flashBlocks = 8192;
+        return c;
+    }
+
+    void
+    reopen()
+    {
+        DbConfig config = db->config();
+        db.reset();
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    }
+
+    Status
+    fillTable(Table *t, RowId first, RowId last, std::size_t size = 100)
+    {
+        for (RowId k = first; k <= last; ++k) {
+            NVWAL_RETURN_IF_ERROR(t->insert(
+                k, testutil::spanOf(testutil::makeValue(size,
+                                                        static_cast<std::uint64_t>(k)))));
+        }
+        return Status::ok();
+    }
+
+    Env env;
+    std::unique_ptr<Database> db;
+};
+
+TEST_F(TableTest, DefaultTableExistsOnOpen)
+{
+    std::vector<std::string> names;
+    NVWAL_CHECK_OK(db->listTables(&names));
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], Database::kDefaultTable);
+    Table *main_table;
+    NVWAL_CHECK_OK(db->openTable("main", &main_table));
+    EXPECT_EQ(main_table->name(), "main");
+}
+
+TEST_F(TableTest, CreateOpenListDrop)
+{
+    NVWAL_CHECK_OK(db->createTable("users"));
+    NVWAL_CHECK_OK(db->createTable("posts"));
+    std::vector<std::string> names;
+    NVWAL_CHECK_OK(db->listTables(&names));
+    EXPECT_EQ(names,
+              (std::vector<std::string>{"main", "users", "posts"}));
+
+    Table *users;
+    NVWAL_CHECK_OK(db->openTable("users", &users));
+    NVWAL_CHECK_OK(db->dropTable("posts"));
+    NVWAL_CHECK_OK(db->listTables(&names));
+    EXPECT_EQ(names, (std::vector<std::string>{"main", "users"}));
+}
+
+TEST_F(TableTest, DuplicateCreateRejected)
+{
+    NVWAL_CHECK_OK(db->createTable("t"));
+    EXPECT_EQ(db->createTable("t").code(), StatusCode::InvalidArgument);
+    EXPECT_EQ(db->createTable("main").code(),
+              StatusCode::InvalidArgument);
+}
+
+TEST_F(TableTest, DropMissingOrDefaultRejected)
+{
+    EXPECT_TRUE(db->dropTable("ghost").isNotFound());
+    EXPECT_EQ(db->dropTable("main").code(), StatusCode::InvalidArgument);
+    EXPECT_FALSE(db->createTable("").isOk());
+}
+
+TEST_F(TableTest, OpenMissingTableFails)
+{
+    Table *t;
+    EXPECT_TRUE(db->openTable("nope", &t).isNotFound());
+}
+
+TEST_F(TableTest, TablesIsolateData)
+{
+    NVWAL_CHECK_OK(db->createTable("a"));
+    NVWAL_CHECK_OK(db->createTable("b"));
+    Table *a;
+    Table *b;
+    NVWAL_CHECK_OK(db->openTable("a", &a));
+    NVWAL_CHECK_OK(db->openTable("b", &b));
+
+    // The same keys carry different values per table.
+    NVWAL_CHECK_OK(a->insert(1, "from-a"));
+    NVWAL_CHECK_OK(b->insert(1, "from-b"));
+    NVWAL_CHECK_OK(db->insert(1, "from-main"));
+
+    ByteBuffer out;
+    NVWAL_CHECK_OK(a->get(1, &out));
+    EXPECT_EQ(out, toBytes("from-a"));
+    NVWAL_CHECK_OK(b->get(1, &out));
+    EXPECT_EQ(out, toBytes("from-b"));
+    NVWAL_CHECK_OK(db->get(1, &out));
+    EXPECT_EQ(out, toBytes("from-main"));
+
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(a->count(&n));
+    EXPECT_EQ(n, 1u);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, TablesSurviveReopen)
+{
+    NVWAL_CHECK_OK(db->createTable("inventory"));
+    Table *inv;
+    NVWAL_CHECK_OK(db->openTable("inventory", &inv));
+    NVWAL_CHECK_OK(fillTable(inv, 1, 200));
+    reopen();
+
+    NVWAL_CHECK_OK(db->openTable("inventory", &inv));
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(inv->count(&n));
+    EXPECT_EQ(n, 200u);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(inv->get(77, &out));
+    EXPECT_EQ(out, testutil::makeValue(100, 77));
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, TablesSurvivePowerFailure)
+{
+    NVWAL_CHECK_OK(db->createTable("audit"));
+    Table *audit;
+    NVWAL_CHECK_OK(db->openTable("audit", &audit));
+    NVWAL_CHECK_OK(fillTable(audit, 1, 50));
+    env.powerFail(FailurePolicy::Pessimistic);
+
+    DbConfig config = db->config();
+    db.reset();
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    NVWAL_CHECK_OK(db->openTable("audit", &audit));
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(audit->count(&n));
+    EXPECT_EQ(n, 50u);
+}
+
+TEST_F(TableTest, DropFreesPagesAndCreateReusesThem)
+{
+    NVWAL_CHECK_OK(db->createTable("big"));
+    Table *big;
+    NVWAL_CHECK_OK(db->openTable("big", &big));
+    NVWAL_CHECK_OK(fillTable(big, 1, 2000));
+    const std::uint32_t pages_with_big = db->pager().pageCount();
+    EXPECT_EQ(db->pager().freePageCount(), 0u);
+
+    NVWAL_CHECK_OK(db->dropTable("big"));
+    const std::uint32_t freed = db->pager().freePageCount();
+    EXPECT_GT(freed, 50u);  // ~57 leaf pages + interior
+    EXPECT_EQ(db->pager().pageCount(), pages_with_big);  // no shrink
+
+    // Rebuilding an equal table consumes the free list instead of
+    // growing the file.
+    NVWAL_CHECK_OK(db->createTable("big2"));
+    Table *big2;
+    NVWAL_CHECK_OK(db->openTable("big2", &big2));
+    NVWAL_CHECK_OK(fillTable(big2, 1, 2000));
+    EXPECT_EQ(db->pager().pageCount(), pages_with_big);
+    EXPECT_LT(db->pager().freePageCount(), freed);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, CreateDropCyclesDoNotGrowTheDatabase)
+{
+    // Warm-up cycle establishes the footprint.
+    for (int cycle = 0; cycle < 5; ++cycle) {
+        NVWAL_CHECK_OK(db->createTable("tmp"));
+        Table *tmp;
+        NVWAL_CHECK_OK(db->openTable("tmp", &tmp));
+        NVWAL_CHECK_OK(fillTable(tmp, 1, 500));
+        NVWAL_CHECK_OK(db->dropTable("tmp"));
+        if (cycle == 0)
+            continue;
+        static std::uint32_t footprint = 0;
+        if (cycle == 1)
+            footprint = db->pager().pageCount();
+        else
+            EXPECT_EQ(db->pager().pageCount(), footprint)
+                << "cycle " << cycle;
+    }
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, ManyFreedPagesSpanMultipleTrunks)
+{
+    // Free more pages than one trunk can index ((usable-8)/4 ~ 1018
+    // for 4 KB pages): drop a table with several thousand pages.
+    NVWAL_CHECK_OK(db->createTable("huge"));
+    Table *huge;
+    NVWAL_CHECK_OK(db->openTable("huge", &huge));
+    NVWAL_CHECK_OK(fillTable(huge, 1, 40000, 90));
+    NVWAL_CHECK_OK(db->dropTable("huge"));
+    EXPECT_GT(db->pager().freePageCount(), 1100u);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+    // And all of it is reusable.
+    NVWAL_CHECK_OK(db->createTable("huge2"));
+    Table *huge2;
+    NVWAL_CHECK_OK(db->openTable("huge2", &huge2));
+    NVWAL_CHECK_OK(fillTable(huge2, 1, 40000, 90));
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, RollbackUndoesCreateTable)
+{
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(db->createTable("phantom"));
+    Table *phantom;
+    NVWAL_CHECK_OK(db->openTable("phantom", &phantom));
+    NVWAL_CHECK_OK(phantom->insert(1, "gone"));
+    NVWAL_CHECK_OK(db->rollback());
+
+    Table *t;
+    EXPECT_TRUE(db->openTable("phantom", &t).isNotFound());
+    std::vector<std::string> names;
+    NVWAL_CHECK_OK(db->listTables(&names));
+    EXPECT_EQ(names.size(), 1u);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, RollbackUndoesDropTable)
+{
+    NVWAL_CHECK_OK(db->createTable("keep"));
+    Table *keep;
+    NVWAL_CHECK_OK(db->openTable("keep", &keep));
+    NVWAL_CHECK_OK(fillTable(keep, 1, 100));
+
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(db->dropTable("keep"));
+    Table *t;
+    EXPECT_TRUE(db->openTable("keep", &t).isNotFound());
+    NVWAL_CHECK_OK(db->rollback());
+
+    NVWAL_CHECK_OK(db->openTable("keep", &keep));
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(keep->count(&n));
+    EXPECT_EQ(n, 100u);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(keep->get(50, &out));
+    EXPECT_EQ(out, testutil::makeValue(100, 50));
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+}
+
+TEST_F(TableTest, MultiTableTransactionIsAtomic)
+{
+    NVWAL_CHECK_OK(db->createTable("ledger"));
+    NVWAL_CHECK_OK(db->createTable("balances"));
+    Table *ledger;
+    Table *balances;
+    NVWAL_CHECK_OK(db->openTable("ledger", &ledger));
+    NVWAL_CHECK_OK(db->openTable("balances", &balances));
+
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(ledger->insert(1, "debit alice 100"));
+    NVWAL_CHECK_OK(balances->insert(1, "alice: 900"));
+    NVWAL_CHECK_OK(db->commit());
+
+    env.powerFail(FailurePolicy::Pessimistic);
+    DbConfig config = db->config();
+    db.reset();
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    NVWAL_CHECK_OK(db->openTable("ledger", &ledger));
+    NVWAL_CHECK_OK(db->openTable("balances", &balances));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(ledger->get(1, &out));
+    EXPECT_EQ(out, toBytes("debit alice 100"));
+    NVWAL_CHECK_OK(balances->get(1, &out));
+    EXPECT_EQ(out, toBytes("alice: 900"));
+}
+
+TEST_F(TableTest, CrashDuringDropTableIsAtomic)
+{
+    // Power failures injected across dropTable(): after recovery the
+    // table is either fully present (with all rows) or fully gone.
+    for (std::uint64_t k = 1; k < 400; k = k + 1 + k / 8) {
+        EnvConfig env_config = makeEnvConfig();
+        env_config.nvramBytes = 8 << 20;
+        Env local_env(env_config);
+        DbConfig config;
+        config.walMode = WalMode::Nvwal;
+        std::unique_ptr<Database> local_db;
+        NVWAL_CHECK_OK(Database::open(local_env, config, &local_db));
+        NVWAL_CHECK_OK(local_db->createTable("victim"));
+        Table *victim;
+        NVWAL_CHECK_OK(local_db->openTable("victim", &victim));
+        for (RowId key = 1; key <= 60; ++key) {
+            NVWAL_CHECK_OK(victim->insert(
+                key, testutil::spanOf(testutil::makeValue(80, key))));
+        }
+
+        local_env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Pessimistic);
+        local_env.nvramDevice.scheduleCrashAtOp(k);
+        bool crashed = false;
+        try {
+            NVWAL_CHECK_OK(local_db->dropTable("victim"));
+        } catch (const PowerFailure &) {
+            crashed = true;
+            local_env.fs.crash();
+        }
+        local_env.nvramDevice.scheduleCrashAtOp(0);
+
+        local_db.reset();
+        std::unique_ptr<Database> recovered;
+        NVWAL_CHECK_OK(Database::open(local_env, config, &recovered));
+        NVWAL_CHECK_OK(recovered->verifyIntegrity());
+        Table *t;
+        const Status s = recovered->openTable("victim", &t);
+        if (s.isOk()) {
+            std::uint64_t n = 0;
+            NVWAL_CHECK_OK(t->count(&n));
+            EXPECT_EQ(n, 60u) << "drop torn at op " << k;
+        } else {
+            EXPECT_TRUE(s.isNotFound());
+        }
+        if (!crashed)
+            break;
+    }
+}
+
+} // namespace
+} // namespace nvwal

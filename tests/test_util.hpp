@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the test suite.
+ */
+
+#ifndef NVWAL_TESTS_TEST_UTIL_HPP
+#define NVWAL_TESTS_TEST_UTIL_HPP
+
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace nvwal::testutil
+{
+
+/** Deterministic pseudo-random payload of @p size bytes. */
+inline ByteBuffer
+makeValue(std::size_t size, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ByteBuffer out(size);
+    for (auto &b : out)
+        b = static_cast<std::uint8_t>(rng.next());
+    return out;
+}
+
+/** Span over a string literal's bytes. */
+inline ConstByteSpan
+bytesOf(const std::string &s)
+{
+    return ConstByteSpan(reinterpret_cast<const std::uint8_t *>(s.data()),
+                         s.size());
+}
+
+inline ConstByteSpan
+spanOf(const ByteBuffer &b)
+{
+    return ConstByteSpan(b.data(), b.size());
+}
+
+} // namespace nvwal::testutil
+
+#endif // NVWAL_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for VACUUM (compact rebuild) and the file-system rename it
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "db/database.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+EnvConfig
+testEnv()
+{
+    EnvConfig c;
+    c.cost = CostModel::nexus5();
+    c.nvramBytes = 32 << 20;
+    c.flashBlocks = 16384;
+    return c;
+}
+
+TEST(FsRename, BasicAndReplaceSemantics)
+{
+    Env env(testEnv());
+    ByteBuffer a(5000, 0xAA);
+    ByteBuffer b(3000, 0xBB);
+    NVWAL_CHECK_OK(env.fs.pwrite("a", 0, ConstByteSpan(a.data(), a.size())));
+    NVWAL_CHECK_OK(env.fs.fsync("a"));
+    NVWAL_CHECK_OK(env.fs.pwrite("b", 0, ConstByteSpan(b.data(), b.size())));
+    NVWAL_CHECK_OK(env.fs.fsync("b"));
+
+    // Replace b with a.
+    NVWAL_CHECK_OK(env.fs.rename("a", "b"));
+    EXPECT_FALSE(env.fs.exists("a"));
+    EXPECT_EQ(env.fs.fileSize("b"), 5000u);
+    ByteBuffer out(5000);
+    NVWAL_CHECK_OK(env.fs.pread("b", 0, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, a);
+
+    EXPECT_TRUE(env.fs.rename("missing", "x").isNotFound());
+    NVWAL_CHECK_OK(env.fs.rename("b", "b"));  // no-op self-rename
+    EXPECT_EQ(env.fs.fileSize("b"), 5000u);
+}
+
+TEST(FsRename, DurableAcrossCrash)
+{
+    Env env(testEnv());
+    ByteBuffer a(4096, 0xCD);
+    NVWAL_CHECK_OK(env.fs.pwrite("a", 0, ConstByteSpan(a.data(), a.size())));
+    NVWAL_CHECK_OK(env.fs.fsync("a"));
+    NVWAL_CHECK_OK(env.fs.rename("a", "c"));
+    env.fs.crash();
+    EXPECT_TRUE(env.fs.exists("c"));
+    EXPECT_FALSE(env.fs.exists("a"));
+    ByteBuffer out(4096);
+    NVWAL_CHECK_OK(env.fs.pread("c", 0, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, a);
+}
+
+class VacuumTest : public ::testing::TestWithParam<WalMode>
+{
+  protected:
+    VacuumTest() : env(testEnv())
+    {
+        config.walMode = GetParam();
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    }
+
+    std::map<RowId, ByteBuffer>
+    dumpTable(const std::string &name)
+    {
+        Table *table;
+        NVWAL_CHECK_OK(db->openTable(name, &table));
+        std::map<RowId, ByteBuffer> content;
+        NVWAL_CHECK_OK(table->scan(INT64_MIN, INT64_MAX,
+                                   [&](RowId k, ConstByteSpan v) {
+                                       content[k] =
+                                           ByteBuffer(v.begin(), v.end());
+                                       return true;
+                                   }));
+        return content;
+    }
+
+    Env env;
+    DbConfig config;
+    std::unique_ptr<Database> db;
+};
+
+TEST_P(VacuumTest, ShrinksAfterMassDeleteAndPreservesContent)
+{
+    NVWAL_CHECK_OK(db->createTable("blobs"));
+    Table *blobs;
+    NVWAL_CHECK_OK(db->openTable("blobs", &blobs));
+    for (RowId k = 1; k <= 3000; ++k) {
+        NVWAL_CHECK_OK(db->insert(
+            k, testutil::spanOf(testutil::makeValue(100, k))));
+    }
+    NVWAL_CHECK_OK(
+        blobs->insert(1, testutil::spanOf(testutil::makeValue(30000, 1))));
+    // Delete 90% of the rows; the file keeps its high-water size.
+    for (RowId k = 1; k <= 3000; ++k) {
+        if (k % 10 != 0)
+            NVWAL_CHECK_OK(db->remove(k));
+    }
+    NVWAL_CHECK_OK(db->checkpoint());
+    const std::uint64_t size_before = env.fs.fileSize(config.name);
+    const auto main_before = dumpTable("main");
+    const auto blobs_before = dumpTable("blobs");
+
+    NVWAL_CHECK_OK(db->vacuum());
+
+    EXPECT_LT(env.fs.fileSize(config.name), size_before / 3);
+    EXPECT_EQ(db->pager().freePageCount(), 0u);
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+    EXPECT_EQ(dumpTable("main"), main_before);
+    EXPECT_EQ(dumpTable("blobs"), blobs_before);
+
+    // Fully usable afterwards, including new transactions.
+    NVWAL_CHECK_OK(db->insert(90001, "post-vacuum"));
+    ByteBuffer out;
+    NVWAL_CHECK_OK(db->get(90001, &out));
+    EXPECT_EQ(out, toBytes("post-vacuum"));
+}
+
+TEST_P(VacuumTest, RejectedInsideTransaction)
+{
+    NVWAL_CHECK_OK(db->begin());
+    NVWAL_CHECK_OK(db->insert(1, "x"));
+    EXPECT_EQ(db->vacuum().code(), StatusCode::Busy);
+    NVWAL_CHECK_OK(db->commit());
+    NVWAL_CHECK_OK(db->vacuum());
+}
+
+TEST_P(VacuumTest, StaleTempFileIsReplaced)
+{
+    // A leftover .vacuum file from an interrupted earlier vacuum
+    // must not break or pollute the rebuild.
+    ByteBuffer junk(8192, 0x5A);
+    NVWAL_CHECK_OK(env.fs.pwrite(config.name + ".vacuum", 0,
+                                 ConstByteSpan(junk.data(), junk.size())));
+    NVWAL_CHECK_OK(env.fs.fsync(config.name + ".vacuum"));
+
+    for (RowId k = 1; k <= 100; ++k) {
+        NVWAL_CHECK_OK(db->insert(
+            k, testutil::spanOf(testutil::makeValue(100, k))));
+    }
+    NVWAL_CHECK_OK(db->vacuum());
+    NVWAL_CHECK_OK(db->verifyIntegrity());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(db->count(&n));
+    EXPECT_EQ(n, 100u);
+    EXPECT_FALSE(env.fs.exists(config.name + ".vacuum"));
+}
+
+TEST_P(VacuumTest, SurvivesReopenAndPowerFailureAfterVacuum)
+{
+    for (RowId k = 1; k <= 500; ++k) {
+        NVWAL_CHECK_OK(db->insert(
+            k, testutil::spanOf(testutil::makeValue(100, k))));
+    }
+    for (RowId k = 1; k <= 400; ++k)
+        NVWAL_CHECK_OK(db->remove(k));
+    NVWAL_CHECK_OK(db->vacuum());
+    NVWAL_CHECK_OK(db->insert(1000, "after"));
+
+    env.powerFail(FailurePolicy::Pessimistic);
+    db.reset();
+    std::unique_ptr<Database> recovered;
+    NVWAL_CHECK_OK(Database::open(env, config, &recovered));
+    NVWAL_CHECK_OK(recovered->verifyIntegrity());
+    std::uint64_t n = 0;
+    NVWAL_CHECK_OK(recovered->count(&n));
+    EXPECT_EQ(n, 101u);
+    ByteBuffer out;
+    NVWAL_CHECK_OK(recovered->get(1000, &out));
+    EXPECT_EQ(out, toBytes("after"));
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, VacuumTest,
+                         ::testing::Values(WalMode::Nvwal,
+                                           WalMode::FileOptimized,
+                                           WalMode::RollbackJournal),
+                         [](const auto &info) {
+                             switch (info.param) {
+                               case WalMode::Nvwal:
+                                 return std::string("Nvwal");
+                               case WalMode::FileOptimized:
+                                 return std::string("FileWal");
+                               default:
+                                 return std::string("Journal");
+                             }
+                         });
+
+} // namespace
+} // namespace nvwal
