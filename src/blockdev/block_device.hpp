@@ -71,6 +71,24 @@ class BlockDevice
     std::uint64_t bytesWritten(IoTag tag) const
     { return _bytesPerTag[static_cast<std::size_t>(tag)]; }
 
+    // ---- image snapshot / restore (crash-sweep harness) ------------
+
+    /** Raw media image. Traces and byte counters are not captured. */
+    struct Snapshot
+    {
+        ByteBuffer data;
+    };
+
+    Snapshot snapshot() const { return Snapshot{_data}; }
+
+    void
+    restore(const Snapshot &snap)
+    {
+        NVWAL_ASSERT(snap.data.size() == _data.size(),
+                     "snapshot is for a different device size");
+        _data = snap.data;
+    }
+
   private:
     std::uint64_t _numBlocks;
     std::uint32_t _blockSize;

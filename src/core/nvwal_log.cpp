@@ -52,7 +52,15 @@ NvwalLog::persistU64(NvOffset off, std::uint64_t value)
 Status
 NvwalLog::initHeader()
 {
-    NVWAL_RETURN_IF_ERROR(_heap.nvMalloc(64, &_headerOff));
+    // The header allocation follows the same tri-state protocol as
+    // log nodes (Algorithm 1): allocate pending, publish the link
+    // (here: the namespace root), then mark in-use. A crash before
+    // the root lands leaves a pending block the heap reclaims; a
+    // crash before nvSetUsedFlag() leaves the root dangling at a
+    // reclaimed block, which recover() detects and re-initializes.
+    // The previous nvMalloc() version leaked the header block forever
+    // when a crash hit between allocation and root publication.
+    NVWAL_RETURN_IF_ERROR(_heap.nvPreMalloc(64, &_headerOff));
     std::uint8_t header[32];
     std::memset(header, 0, sizeof(header));
     storeU64(header, kMagic);
@@ -66,7 +74,8 @@ NvwalLog::initHeader()
     _pmem.memoryBarrier();
     _pmem.persistBarrier();
     // Publishing the root is the atomic "this log exists" step.
-    return _heap.setRoot("nvwal", _headerOff);
+    NVWAL_RETURN_IF_ERROR(_heap.setRoot("nvwal", _headerOff));
+    return _heap.nvSetUsedFlag(_headerOff);
 }
 
 Status
@@ -89,22 +98,23 @@ NvwalLog::appendNode(std::uint32_t min_payload)
     std::size_t bytes = kNodeHeaderSize + min_payload;
     NvOffset node;
     if (_config.userHeap) {
-        // Pre-allocate a large block (pending), link it, then mark
-        // it in-use: Algorithm 1 lines 5-13. The block must amortize
-        // the heap-manager calls over multiple frames (the paper's
-        // 8 KB blocks hold two full-page WAL frames, section 5.3),
-        // so never size it below two of the requesting frame.
+        // Pre-allocate a large block to amortize the heap-manager
+        // calls over multiple frames (the paper's 8 KB blocks hold
+        // two full-page WAL frames, section 5.3), so never size it
+        // below two of the requesting frame.
         bytes = std::max<std::size_t>(
             {bytes, _config.nvBlockSize,
              kNodeHeaderSize + 2ull * min_payload});
-        NVWAL_RETURN_IF_ERROR(_heap.nvPreMalloc(bytes, &node));
-    } else {
-        // The LS baseline: one heap-manager call per frame.
-        NVWAL_RETURN_IF_ERROR(_heap.nvMalloc(bytes, &node));
     }
+    // Both modes follow Algorithm 1 lines 5-13: allocate pending,
+    // link, then mark in-use. An eagerly in-use but unlinked block
+    // would be unreachable (and unreclaimable) after a crash between
+    // allocation and linking. The baseline still pays the manager
+    // calls per frame instead of per block.
+    NVWAL_RETURN_IF_ERROR(_heap.nvPreMalloc(bytes, &node));
     // The usable capacity: the whole block for the user-level heap
     // (frames bump-allocate inside it), but only the requested bytes
-    // for the per-frame baseline -- it must pay another nvmalloc()
+    // for the per-frame baseline -- it must pay another allocation
     // for the next frame even though the heap rounded the extent up.
     const std::uint32_t capacity =
         _config.userHeap
@@ -116,8 +126,7 @@ NvwalLog::appendNode(std::uint32_t min_payload)
     persistU64(node, kNullNvOffset);
     persistU64(_linkFieldOff, node);
 
-    if (_config.userHeap)
-        NVWAL_RETURN_IF_ERROR(_heap.nvSetUsedFlag(node));
+    NVWAL_RETURN_IF_ERROR(_heap.nvSetUsedFlag(node));
 
     _tailNode = node;
     _tailUsed = kNodeHeaderSize;
@@ -406,6 +415,16 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
         return Status::ok();
     }
     NVWAL_RETURN_IF_ERROR(root);
+    if (_heap.blockStateAt(_headerOff) != BlockState::InUse) {
+        // The root points at a block the heap reclaimed: the crash
+        // hit initHeader() between setRoot() and nvSetUsedFlag(), so
+        // heap recovery freed the pending header. The log never
+        // existed; re-initialize it (failure case 2 applied to the
+        // header allocation itself).
+        NVWAL_RETURN_IF_ERROR(initHeader());
+        _linkFieldOff = firstNodeFieldOff();
+        return Status::ok();
+    }
     NVWAL_RETURN_IF_ERROR(loadHeader());
     _linkFieldOff = firstNodeFieldOff();
 
@@ -544,6 +563,11 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
             }
             persistU64(_tailNode, kNullNvOffset);
         }
+        // The walk counted every node it visited, including the
+        // freed tail nodes and any dangling reference it cut off.
+        // Recount from the (now truncated) chain so framesPerNode()
+        // and the leak invariant see the live node set.
+        _nodesSinceCheckpoint = nodeCount();
     } else {
         // No committed transaction: drop the whole chain.
         std::vector<NvOffset> all_nodes;
@@ -579,11 +603,24 @@ NvwalLog::nodeCount() const
 double
 NvwalLog::framesPerNode() const
 {
-    const std::uint64_t nodes = nodeCount();
-    if (nodes == 0)
+    if (_nodesSinceCheckpoint == 0)
         return 0.0;
     return static_cast<double>(_framesSinceCheckpoint) /
-           static_cast<double>(nodes);
+           static_cast<double>(_nodesSinceCheckpoint);
+}
+
+std::uint64_t
+NvwalLog::reachableNvramBlocks() const
+{
+    if (_headerOff == kNullNvOffset)
+        return 0;
+    std::uint64_t blocks = _heap.extentBlocksAt(_headerOff);
+    NvOffset node = _pmem.device().readU64(firstNodeFieldOff());
+    while (node != kNullNvOffset) {
+        blocks += _heap.extentBlocksAt(node);
+        node = _pmem.device().readU64(node);
+    }
+    return blocks;
 }
 
 } // namespace nvwal

@@ -84,8 +84,23 @@ class NvwalLog : public WriteAheadLog
     /** Heap allocations (log nodes) currently linked in the chain. */
     std::uint64_t nodeCount() const;
 
+    /**
+     * Cached count of live log nodes; must always equal nodeCount().
+     * Recovery recounts it after truncating uncommitted tail nodes.
+     */
+    std::uint64_t nodesSinceCheckpoint() const
+    { return _nodesSinceCheckpoint; }
+
     /** Average frames stored per node since the last checkpoint. */
     double framesPerNode() const;
+
+    /**
+     * Heap blocks reachable from the log's persistent structure: the
+     * header allocation's extent plus every linked node's extent.
+     * After recovery this must equal the heap's total in-use block
+     * count -- the sweep harness's NVRAM-leak invariant.
+     */
+    std::uint64_t reachableNvramBlocks() const;
 
     /** NVRAM offset where the next frame will be placed (tests). */
     NvOffset

@@ -122,6 +122,20 @@ Database::open(Env &env, DbConfig config, std::unique_ptr<Database> *out)
 }
 
 Status
+Database::recoverAfterCrash(Env &env, DbConfig config,
+                            std::unique_ptr<Database> *out)
+{
+    // The pre-crash handle references env; destroy it before touching
+    // the media. The device already applied its survival policy when
+    // it threw, so only the file system's volatile state is dropped
+    // here, and the heap's volatile mirror is rebuilt from media.
+    out->reset();
+    env.fs.crash();
+    NVWAL_RETURN_IF_ERROR(env.heap.attach());
+    return open(env, std::move(config), out);
+}
+
+Status
 Database::openInternal()
 {
     const std::uint32_t reserved = _config.resolvedReservedBytes();

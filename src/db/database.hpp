@@ -116,6 +116,18 @@ class Database
     static Status open(Env &env, DbConfig config,
                        std::unique_ptr<Database> *out);
 
+    /**
+     * Reconstruct a database from the media image that survived a
+     * power failure: resets @p out, drops the file system's volatile
+     * state, re-attaches the NVRAM heap and runs full recovery. This
+     * is the entry point crash tests and the faultsim harness use
+     * after catching a PowerFailure thrown by the NVRAM device (which
+     * has already applied its survival policy by then). @p out may
+     * hold the pre-crash database; it is destroyed first.
+     */
+    static Status recoverAfterCrash(Env &env, DbConfig config,
+                                    std::unique_ptr<Database> *out);
+
     ~Database() = default;
     Database(const Database &) = delete;
     Database &operator=(const Database &) = delete;

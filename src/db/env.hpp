@@ -73,6 +73,42 @@ class Env
         NVWAL_CHECK_OK(heap.attach());
     }
 
+    // ---- platform image snapshot / restore -------------------------
+
+    /**
+     * All storage-bearing platform state: the NVRAM device (durable
+     * media + volatile cache/queue), the flash image and the file
+     * system. The crash-sweep harness captures one snapshot after the
+     * workload warm-up and restores it before every injection point,
+     * instead of re-running the warm-up per point. The simulated
+     * clock and stats counters are deliberately not captured: they
+     * never influence behaviour, only reported costs.
+     */
+    struct MediaSnapshot
+    {
+        NvramDevice::Snapshot nvram;
+        BlockDevice::Snapshot flash;
+        JournalingFs::Snapshot fs;
+    };
+
+    MediaSnapshot
+    snapshotMedia() const
+    {
+        return MediaSnapshot{nvramDevice.snapshot(), flash.snapshot(),
+                             fs.snapshot()};
+    }
+
+    /** Restore a media snapshot and re-attach the heap's volatile
+     *  mirror (resetting its allocation hint for determinism). */
+    void
+    restoreMedia(const MediaSnapshot &snap)
+    {
+        nvramDevice.restore(snap.nvram);
+        flash.restore(snap.flash);
+        fs.restore(snap.fs);
+        NVWAL_CHECK_OK(heap.attach());
+    }
+
     SimClock clock;
     StatsRegistry stats;
     CostModel cost;

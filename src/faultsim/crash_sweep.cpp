@@ -1,0 +1,405 @@
+#include "crash_sweep.hpp"
+
+#include <algorithm>
+
+namespace nvwal::faultsim
+{
+namespace
+{
+
+/** table name -> full content; the unit of oracle comparison. */
+using TableImage = std::map<RowId, ByteBuffer>;
+using DbImage = std::map<std::string, TableImage>;
+
+Status
+applyOp(Database &db, const WorkloadOp &op)
+{
+    const ConstByteSpan value(op.value.data(), op.value.size());
+    Table *table = nullptr;
+    switch (op.kind) {
+      case WorkloadOp::Kind::Begin:
+        return db.begin();
+      case WorkloadOp::Kind::Commit:
+        return db.commit();
+      case WorkloadOp::Kind::Checkpoint:
+        return db.checkpoint();
+      case WorkloadOp::Kind::CreateTable:
+        return db.createTable(op.table);
+      case WorkloadOp::Kind::DropTable:
+        return db.dropTable(op.table);
+      case WorkloadOp::Kind::Insert:
+        if (op.table.empty())
+            return db.insert(op.key, value);
+        NVWAL_RETURN_IF_ERROR(db.openTable(op.table, &table));
+        return table->insert(op.key, value);
+      case WorkloadOp::Kind::Update:
+        if (op.table.empty())
+            return db.update(op.key, value);
+        NVWAL_RETURN_IF_ERROR(db.openTable(op.table, &table));
+        return table->update(op.key, value);
+      case WorkloadOp::Kind::Remove:
+        if (op.table.empty())
+            return db.remove(op.key);
+        NVWAL_RETURN_IF_ERROR(db.openTable(op.table, &table));
+        return table->remove(op.key);
+    }
+    return Status::invalidArgument("unknown workload op");
+}
+
+/**
+ * Whether executing @p op will complete a commit event (a new
+ * durable state the oracle must snapshot): an explicit commit, or
+ * any state-changing statement issued outside a transaction
+ * (autocommit). Decidable before execution, so the per-point replay
+ * knows whether the op the crash interrupted was a committing one.
+ */
+bool
+isCommitEventOp(const Database &db, const WorkloadOp &op)
+{
+    switch (op.kind) {
+      case WorkloadOp::Kind::Commit:
+        return true;
+      case WorkloadOp::Kind::Insert:
+      case WorkloadOp::Kind::Update:
+      case WorkloadOp::Kind::Remove:
+      case WorkloadOp::Kind::CreateTable:
+      case WorkloadOp::Kind::DropTable:
+        return !db.inTransaction();
+      case WorkloadOp::Kind::Begin:
+      case WorkloadOp::Kind::Checkpoint:
+        return false;
+    }
+    return false;
+}
+
+/** Full logical content of every table (the shadow model state). */
+DbImage
+dumpAll(Database &db)
+{
+    DbImage image;
+    std::vector<std::string> tables;
+    NVWAL_CHECK_OK(db.listTables(&tables));
+    for (const std::string &name : tables) {
+        Table *table = nullptr;
+        NVWAL_CHECK_OK(db.openTable(name, &table));
+        TableImage &content = image[name];
+        NVWAL_CHECK_OK(table->scan(
+            INT64_MIN, INT64_MAX, [&](RowId k, ConstByteSpan v) {
+                content[k] = ByteBuffer(v.begin(), v.end());
+                return true;
+            }));
+    }
+    return image;
+}
+
+/** Distinct adversarial draw sequence per (seed, crash point). */
+std::uint64_t
+mixSeed(std::uint64_t seed, std::uint64_t point)
+{
+    return seed + 0x9e3779b97f4a7c15ULL * (point + 1);
+}
+
+/**
+ * Check every post-recovery invariant; returns an empty string when
+ * all hold, else the first violation's description.
+ *
+ * @p done_events commit events completed before the crash fired;
+ * @p in_commit_event whether the interrupted op was itself one.
+ */
+std::string
+checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
+                std::uint64_t done_events, bool in_commit_event,
+                bool prefix_semantics)
+{
+    const Status integrity = db.verifyIntegrity();
+    if (!integrity.isOk())
+        return "integrity check failed: " + integrity.toString();
+
+    const DbImage content = dumpAll(db);
+    const std::uint64_t upper = done_events + (in_commit_event ? 1 : 0);
+    bool match = false;
+    if (prefix_semantics) {
+        // ChecksumAsync (section 4.2): any committed prefix is legal;
+        // a torn unflushed frame invalidates everything after it.
+        for (std::uint64_t j = 0; j <= upper && !match; ++j)
+            match = content == states[j];
+        if (!match)
+            return "recovered state is not a committed prefix (<= S_" +
+                   std::to_string(upper) + ")";
+    } else {
+        // Strict durability + atomicity: exactly the pre-crash
+        // committed state, plus the victim if (and only if) the
+        // crash fired inside its committing operation.
+        match = content == states[done_events] ||
+                (in_commit_event && content == states[upper]);
+        if (!match)
+            return "recovered state is neither S_" +
+                   std::to_string(done_events) +
+                   (in_commit_event
+                        ? " nor S_" + std::to_string(upper)
+                        : std::string()) +
+                   " (lost or torn transaction)";
+    }
+
+    const std::uint64_t pending = env.heap.countBlocks(BlockState::Pending);
+    if (pending != 0)
+        return std::to_string(pending) +
+               " pending heap block(s) leaked by recovery";
+
+    if (db.config().walMode == WalMode::Nvwal) {
+        auto *log = dynamic_cast<NvwalLog *>(&db.wal());
+        NVWAL_ASSERT(log != nullptr);
+        if (log->nodesSinceCheckpoint() != log->nodeCount())
+            return "node accounting skew: nodesSinceCheckpoint=" +
+                   std::to_string(log->nodesSinceCheckpoint()) +
+                   " nodeCount=" + std::to_string(log->nodeCount());
+        const std::uint64_t reachable = log->reachableNvramBlocks();
+        const std::uint64_t in_use =
+            env.heap.countBlocks(BlockState::InUse);
+        if (reachable != in_use)
+            return "NVRAM block leak: " + std::to_string(in_use) +
+                   " in use, " + std::to_string(reachable) +
+                   " reachable from the log";
+    }
+    return std::string();
+}
+
+} // namespace
+
+const char *
+failurePolicyName(FailurePolicy policy)
+{
+    switch (policy) {
+      case FailurePolicy::Pessimistic: return "pessimistic";
+      case FailurePolicy::Adversarial: return "adversarial";
+      case FailurePolicy::AllSurvive: return "all-survive";
+    }
+    return "unknown";
+}
+
+std::string
+SweepReport::summary() const
+{
+    std::string out;
+    out += "swept " + std::to_string(pointsSwept) + "/" +
+           std::to_string(totalOps) + " device ops, " +
+           std::to_string(replays) + " replays, " +
+           std::to_string(crashes) + " crashes, " +
+           std::to_string(violations.size()) + " violations\n";
+    for (const auto &[label, cov] : phases) {
+        out += "  " + label + ": " + std::to_string(cov.points) +
+               " points, " + std::to_string(cov.replays) + " replays, " +
+               std::to_string(cov.crashes) + " crashes, " +
+               std::to_string(cov.violations) + " violations\n";
+    }
+    for (const Violation &v : violations) {
+        out += "  VIOLATION op " + std::to_string(v.opIndex) + " [" +
+               failurePolicyName(v.policy) + " seed " +
+               std::to_string(v.seed) + ", " + v.phase + "]: " +
+               v.message + "\n";
+    }
+    return out;
+}
+
+Status
+CrashSweep::run(SweepReport *report)
+{
+    *report = SweepReport{};
+    const Workload &workload = _config.workload;
+    if (workload.empty())
+        return Status::invalidArgument("empty sweep workload");
+
+    std::vector<PolicyRun> policies = _config.policies;
+    if (policies.empty()) {
+        policies.push_back(PolicyRun{FailurePolicy::Pessimistic, {0}, 0.5});
+        policies.push_back(
+            PolicyRun{FailurePolicy::Adversarial, {1, 2, 3, 4}, 0.5});
+    }
+
+    const bool prefix_semantics =
+        _config.db.walMode == WalMode::Nvwal &&
+        _config.db.nvwal.syncMode == SyncMode::ChecksumAsync;
+
+    // ---- warm-up (runs once; the snapshot replaces re-runs) --------
+    Env env(_config.env);
+    std::unique_ptr<Database> db;
+    NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
+    for (std::size_t i = 0; i < _config.warmup.size(); ++i)
+        NVWAL_RETURN_IF_ERROR(applyOp(*db, _config.warmup.op(i)));
+    if (_config.checkpointAfterWarmup)
+        NVWAL_RETURN_IF_ERROR(db->checkpoint());
+    db.reset();
+    const Env::MediaSnapshot snap = env.snapshotMedia();
+
+    // ---- pass A: count device ops, map them to workload ops --------
+    // spans[i] = (device ops before op i, after op i), relative to
+    // the post-open count so recovery's own ops are never swept.
+    struct OpSpan
+    {
+        std::uint64_t before = 0;
+        std::uint64_t after = 0;
+    };
+    std::vector<OpSpan> spans(workload.size());
+    env.restoreMedia(snap);
+    NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
+    const std::uint64_t base = env.nvramDevice.opCount();
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        spans[i].before = env.nvramDevice.opCount() - base;
+        NVWAL_RETURN_IF_ERROR(applyOp(*db, workload.op(i)));
+        spans[i].after = env.nvramDevice.opCount() - base;
+    }
+    const std::uint64_t total_ops = env.nvramDevice.opCount() - base;
+    report->totalOps = total_ops;
+    db.reset();
+
+    // ---- pass B: oracle states S_0 .. S_K at commit boundaries -----
+    // A separate pass because dumping the database perturbs the page
+    // cache (and therefore later device-op counts), but never the
+    // logical states themselves.
+    std::vector<DbImage> states;
+    env.restoreMedia(snap);
+    NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
+    states.push_back(dumpAll(*db));   // S_0: the warm state
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        const bool event = isCommitEventOp(*db, workload.op(i));
+        NVWAL_RETURN_IF_ERROR(applyOp(*db, workload.op(i)));
+        if (event)
+            states.push_back(dumpAll(*db));
+    }
+    db.reset();
+    report->commitEvents = states.size() - 1;
+
+    // ---- pick the crash points -------------------------------------
+    std::vector<std::uint64_t> points;
+    std::uint64_t first = 1;
+    if (_config.stride > 1)
+        first = 1 + Rng(_config.sampleSeed).nextBelow(_config.stride);
+    for (std::uint64_t n = first; n <= total_ops; n += _config.stride)
+        points.push_back(n);
+    if (_config.maxPoints > 0 && points.size() > _config.maxPoints) {
+        std::vector<std::uint64_t> sampled;
+        sampled.reserve(_config.maxPoints);
+        for (std::uint64_t j = 0; j < _config.maxPoints; ++j)
+            sampled.push_back(
+                points[j * points.size() / _config.maxPoints]);
+        points.swap(sampled);
+    }
+    report->pointsSwept = points.size();
+
+    // Phase labels in workload order, plus an index for attribution.
+    std::map<std::string, std::size_t> phase_index;
+    for (std::size_t i = 0; i < workload.size(); ++i) {
+        const std::string &label = workload.phaseOf(i);
+        if (phase_index.emplace(label, report->phases.size()).second)
+            report->phases.emplace_back(label, PhaseCoverage{});
+    }
+    const auto phaseAt = [&](std::uint64_t n) -> PhaseCoverage & {
+        // The op whose span contains device op n: spans are
+        // contiguous and non-decreasing, so the first op with
+        // after >= n is it.
+        std::size_t lo = 0, hi = workload.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (spans[mid].after >= n)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return report->phases[phase_index[workload.phaseOf(lo)]].second;
+    };
+
+    // ---- the sweep -------------------------------------------------
+    for (const std::uint64_t n : points) {
+        PhaseCoverage &cov = phaseAt(n);
+        cov.points++;
+        for (const PolicyRun &run : policies) {
+            for (const std::uint64_t seed : run.seeds) {
+                report->replays++;
+                cov.replays++;
+                const auto violation = [&](std::string message) {
+                    report->violations.push_back(
+                        Violation{n, run.policy, seed,
+                                  workload.phaseOf(0), // patched below
+                                  std::move(message)});
+                    // Recompute the phase from the crash point.
+                    for (std::size_t i = 0; i < workload.size(); ++i) {
+                        if (spans[i].before < n && n <= spans[i].after) {
+                            report->violations.back().phase =
+                                workload.phaseOf(i);
+                            break;
+                        }
+                    }
+                    cov.violations++;
+                };
+
+                env.restoreMedia(snap);
+                env.nvramDevice.reseed(mixSeed(seed, n));
+                NVWAL_RETURN_IF_ERROR(
+                    Database::open(env, _config.db, &db));
+                env.nvramDevice.setScheduledCrashPolicy(
+                    run.policy, run.surviveProb);
+                env.nvramDevice.scheduleCrashAtOp(n);
+
+                std::uint64_t done_events = 0;
+                bool in_commit_event = false;
+                bool crashed = false;
+                Status replay = Status::ok();
+                try {
+                    for (std::size_t i = 0; i < workload.size(); ++i) {
+                        in_commit_event =
+                            isCommitEventOp(*db, workload.op(i));
+                        replay = applyOp(*db, workload.op(i));
+                        if (!replay.isOk())
+                            break;
+                        if (in_commit_event) {
+                            done_events++;
+                            in_commit_event = false;
+                        }
+                    }
+                } catch (const PowerFailure &) {
+                    crashed = true;
+                }
+                env.nvramDevice.scheduleCrashAtOp(0);
+                if (!crashed && !replay.isOk())
+                    return replay;   // workload must be infallible
+                if (!crashed) {
+                    // Every point is <= total_ops, so the failure
+                    // must fire; a silent completion means the
+                    // replay diverged from the counting pass.
+                    violation("scheduled crash never fired "
+                              "(replay diverged)");
+                    db.reset();
+                    continue;
+                }
+                report->crashes++;
+                cov.crashes++;
+
+                const Status recovered =
+                    Database::recoverAfterCrash(env, _config.db, &db);
+                if (!recovered.isOk()) {
+                    violation("recovery failed: " + recovered.toString());
+                    continue;
+                }
+                std::string message = checkInvariants(
+                    env, *db, states, done_events, in_commit_event,
+                    prefix_semantics);
+                if (message.empty() &&
+                    _config.probeInsertAfterRecovery) {
+                    const Status probe = db->insert(
+                        static_cast<RowId>(0x4000000000000000LL +
+                                           static_cast<RowId>(n)),
+                        "post-crash probe");
+                    if (!probe.isOk())
+                        message = "recovered database rejected a new "
+                                  "write: " + probe.toString();
+                }
+                if (!message.empty())
+                    violation(std::move(message));
+                db.reset();
+            }
+        }
+    }
+    return Status::ok();
+}
+
+} // namespace nvwal::faultsim

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * Scripted database workloads for the crash-sweep harness.
+ *
+ * A Workload is a flat list of database operations (begin / commit /
+ * record ops / table ops / checkpoint) the harness can replay
+ * deterministically any number of times: once to count the NVRAM
+ * persistence operations it issues, once to build the oracle states
+ * at every commit boundary, and then once per injected crash point.
+ *
+ * Every operation carries a phase label (set by phase()), which the
+ * sweep report uses to attribute crash points, e.g. "txn 3" or
+ * "drop table". Labels are free-form and purely diagnostic.
+ */
+
+#ifndef NVWAL_FAULTSIM_WORKLOAD_HPP
+#define NVWAL_FAULTSIM_WORKLOAD_HPP
+
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nvwal::faultsim
+{
+
+/** One scripted database operation. */
+struct WorkloadOp
+{
+    enum class Kind
+    {
+        Begin,
+        Commit,
+        Insert,
+        Update,
+        Remove,
+        CreateTable,
+        DropTable,
+        Checkpoint,
+    };
+
+    Kind kind = Kind::Begin;
+    std::string table;      //!< empty = the default table
+    RowId key = 0;
+    ByteBuffer value;
+};
+
+/** Builder + container for a replayable operation script. */
+class Workload
+{
+  public:
+    /** Label subsequent operations; returns *this for chaining. */
+    Workload &
+    phase(std::string label)
+    {
+        _currentPhase = std::move(label);
+        return *this;
+    }
+
+    Workload &begin() { return push(make(WorkloadOp::Kind::Begin)); }
+    Workload &commit() { return push(make(WorkloadOp::Kind::Commit)); }
+
+    Workload &
+    checkpoint()
+    {
+        return push(make(WorkloadOp::Kind::Checkpoint));
+    }
+
+    Workload &
+    insert(RowId key, ByteBuffer value, std::string table = "")
+    {
+        return push(make(WorkloadOp::Kind::Insert, std::move(table), key,
+                         std::move(value)));
+    }
+
+    Workload &
+    update(RowId key, ByteBuffer value, std::string table = "")
+    {
+        return push(make(WorkloadOp::Kind::Update, std::move(table), key,
+                         std::move(value)));
+    }
+
+    Workload &
+    remove(RowId key, std::string table = "")
+    {
+        return push(make(WorkloadOp::Kind::Remove, std::move(table), key));
+    }
+
+    Workload &
+    createTable(std::string name)
+    {
+        return push(make(WorkloadOp::Kind::CreateTable, std::move(name)));
+    }
+
+    Workload &
+    dropTable(std::string name)
+    {
+        return push(make(WorkloadOp::Kind::DropTable, std::move(name)));
+    }
+
+    // ---- factories -------------------------------------------------
+
+    /** Deterministic pseudo-random payload (same recipe as tests). */
+    static ByteBuffer
+    valueFor(std::size_t size, std::uint64_t tag)
+    {
+        Rng rng(tag);
+        ByteBuffer out(size);
+        for (auto &b : out)
+            b = static_cast<std::uint8_t>(rng.next());
+        return out;
+    }
+
+    /**
+     * The canonical crash-test workload: @p txns explicit
+     * transactions of 3 inserts plus (from the second one on) one
+     * update of an earlier key, numbered from @p first_txn so a
+     * warm-up and a sweep workload can share the key space without
+     * colliding. One phase label per transaction.
+     */
+    static Workload
+    standardTxns(int first_txn, int txns, std::size_t value_bytes = 80)
+    {
+        Workload w;
+        for (int txn = first_txn; txn < first_txn + txns; ++txn) {
+            w.phase("txn " + std::to_string(txn));
+            w.begin();
+            for (int i = 0; i < 3; ++i) {
+                const RowId key = txn * 10 + i;
+                w.insert(key, valueFor(value_bytes,
+                                       static_cast<std::uint64_t>(txn) *
+                                               1000 +
+                                           static_cast<std::uint64_t>(key)));
+            }
+            if (txn > first_txn) {
+                const RowId prev = (txn - 1) * 10;
+                w.update(prev,
+                         valueFor(value_bytes,
+                                  static_cast<std::uint64_t>(txn) * 1000 +
+                                      static_cast<std::uint64_t>(prev)));
+            }
+            w.commit();
+        }
+        return w;
+    }
+
+    // ---- access ----------------------------------------------------
+
+    std::size_t size() const { return _ops.size(); }
+    bool empty() const { return _ops.empty(); }
+    const WorkloadOp &op(std::size_t i) const { return _ops[i]; }
+    const std::string &phaseOf(std::size_t i) const { return _phases[i]; }
+
+  private:
+    static WorkloadOp
+    make(WorkloadOp::Kind kind, std::string table = std::string(),
+         RowId key = 0, ByteBuffer value = ByteBuffer())
+    {
+        WorkloadOp op;
+        op.kind = kind;
+        op.table = std::move(table);
+        op.key = key;
+        op.value = std::move(value);
+        return op;
+    }
+
+    Workload &
+    push(WorkloadOp op)
+    {
+        _ops.push_back(std::move(op));
+        _phases.push_back(_currentPhase);
+        return *this;
+    }
+
+    std::vector<WorkloadOp> _ops;
+    std::vector<std::string> _phases;   //!< parallel to _ops
+    std::string _currentPhase = "workload";
+};
+
+} // namespace nvwal::faultsim
+
+#endif // NVWAL_FAULTSIM_WORKLOAD_HPP

@@ -321,4 +321,26 @@ JournalingFs::crash()
     }
 }
 
+JournalingFs::Snapshot
+JournalingFs::snapshot() const
+{
+    Snapshot snap;
+    snap.journalHead = _journalHead;
+    snap.nextDataBlock = _nextDataBlock;
+    snap.freeList = _freeList;
+    snap.files = _files;
+    snap.durableFiles = _durableFiles;
+    return snap;
+}
+
+void
+JournalingFs::restore(const Snapshot &snap)
+{
+    _journalHead = snap.journalHead;
+    _nextDataBlock = snap.nextDataBlock;
+    _freeList = snap.freeList;
+    _files = snap.files;
+    _durableFiles = snap.durableFiles;
+}
+
 } // namespace nvwal

@@ -94,6 +94,16 @@ class JournalingFs
     /** Tag used for a file's data writes, derived from its suffix. */
     static IoTag tagForFile(const std::string &name);
 
+    // ---- state snapshot / restore (crash-sweep harness) ------------
+
+    struct Snapshot;
+
+    /** Capture all file-system state, volatile and durable. */
+    Snapshot snapshot() const;
+
+    /** Restore a snapshot taken on this file system. */
+    void restore(const Snapshot &snap);
+
   private:
     struct Inode
     {
@@ -128,6 +138,21 @@ class JournalingFs
         std::vector<BlockNo> blocks;
     };
     std::map<std::string, DurableInode> _durableFiles;
+};
+
+/**
+ * Complete JournalingFs state: inodes with their buffered dirty data,
+ * the durable inode images, and the allocator frontier. Paired with a
+ * BlockDevice snapshot this reproduces the exact on-media + in-cache
+ * file-system state of the capture point.
+ */
+struct JournalingFs::Snapshot
+{
+    std::uint64_t journalHead = 0;
+    BlockNo nextDataBlock = 0;
+    std::vector<BlockNo> freeList;
+    std::map<std::string, Inode> files;
+    std::map<std::string, DurableInode> durableFiles;
 };
 
 } // namespace nvwal

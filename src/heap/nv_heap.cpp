@@ -408,6 +408,8 @@ Status
 NvHeap::setRoot(std::string_view name, NvOffset off)
 {
     NVWAL_ASSERT(_attached, "heap not attached");
+    if (off == 0)
+        return Status::invalidArgument("root offset 0 is reserved");
     chargeCall();
     std::uint32_t slot;
     bool exists;
@@ -415,6 +417,20 @@ NvHeap::setRoot(std::string_view name, NvOffset off)
 
     const NvOffset entry_off = _nsOff + slot * kNamespaceSlotSize;
     if (!exists) {
+        // Fresh slot: publish the root offset *before* the name. The
+        // slot only becomes visible once the name's first byte lands
+        // (findNamespaceSlot treats entry[0] == 0 as free), so a
+        // crash between the two barriers leaves an unbound slot
+        // instead of a bound name whose root still reads 0 -- a state
+        // that used to make the next recovery read offset 0 (the heap
+        // superblock) as application data and fail with corruption.
+        _pmem.storeU64(entry_off + kNamespaceNameLen, off);
+        _pmem.memoryBarrier();
+        _pmem.cacheLineFlush(entry_off + kNamespaceNameLen,
+                             entry_off + kNamespaceSlotSize);
+        _pmem.memoryBarrier();
+        _pmem.persistBarrier();
+
         std::uint8_t name_buf[kNamespaceNameLen];
         std::memset(name_buf, 0, sizeof(name_buf));
         std::memcpy(name_buf, name.data(), name.size());
@@ -424,8 +440,9 @@ NvHeap::setRoot(std::string_view name, NvOffset off)
         _pmem.cacheLineFlush(entry_off, entry_off + kNamespaceNameLen);
         _pmem.memoryBarrier();
         _pmem.persistBarrier();
+        return Status::ok();
     }
-    // The root offset is a single 8-byte atomic store.
+    // Existing slot: the root offset is a single 8-byte atomic store.
     _pmem.storeU64(entry_off + kNamespaceNameLen, off);
     _pmem.memoryBarrier();
     _pmem.cacheLineFlush(entry_off + kNamespaceNameLen,
@@ -449,6 +466,13 @@ NvHeap::getRoot(std::string_view name, NvOffset *out) const
         _nsOff + slot * kNamespaceSlotSize + kNamespaceNameLen,
         ByteSpan(buf, 8));
     *out = loadU64(buf);
+    // Offset 0 is the heap superblock and can never be a legal root:
+    // a zero here means the slot's name landed but its root did not
+    // (an adversarial crash can persist the two 8-byte units of the
+    // slot independently even with the offset published first).
+    // Report the binding as absent so the caller re-initializes.
+    if (*out == 0)
+        return Status::notFound("namespace root unset");
     return Status::ok();
 }
 

@@ -90,10 +90,15 @@ class NvHeap
 
     // ---- namespace roots ------------------------------------------
 
-    /** Bind @p name to @p off (creating the slot if needed). */
+    /**
+     * Bind @p name to @p off (creating the slot if needed).
+     * @p off must be non-zero: offset 0 is the superblock, and a zero
+     * root is the "never bound" sentinel getRoot() reports NotFound
+     * for (so a torn slot write heals instead of corrupting).
+     */
     Status setRoot(std::string_view name, NvOffset off);
 
-    /** Look up @p name; NotFound if it was never bound. */
+    /** Look up @p name; NotFound if it was never (fully) bound. */
     Status getRoot(std::string_view name, NvOffset *out) const;
 
     // ---- introspection --------------------------------------------

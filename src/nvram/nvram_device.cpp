@@ -14,8 +14,15 @@ NvramDevice::NvramDevice(std::size_t size, std::uint32_t cache_line_size,
     NVWAL_ASSERT(cache_line_size > 0 &&
                  (cache_line_size & (cache_line_size - 1)) == 0,
                  "cache line size must be a power of two");
-    NVWAL_ASSERT(size % cache_line_size == 0,
-                 "device size must be line-aligned");
+}
+
+std::size_t
+NvramDevice::lineSpanBytes(std::uint64_t line_idx) const
+{
+    const std::size_t start =
+        static_cast<std::size_t>(line_idx) * _lineSize;
+    NVWAL_ASSERT(start < _durable.size(), "line index out of range");
+    return std::min<std::size_t>(_lineSize, _durable.size() - start);
 }
 
 void
@@ -49,9 +56,12 @@ NvramDevice::write(NvOffset off, ConstByteSpan data)
         if (inserted) {
             // Fill the line from the current coherent view: the
             // persist queue may hold a newer snapshot than durable.
+            // The last line of a non-line-multiple device is partial
+            // on the media; its buffer tail stays zero.
             it->second.data.resize(_lineSize);
             std::memcpy(it->second.data.data(),
-                        _durable.data() + idx * _lineSize, _lineSize);
+                        _durable.data() + idx * _lineSize,
+                        lineSpanBytes(idx));
             auto qit = _queue.find(idx);
             if (qit != _queue.end()) {
                 std::memcpy(it->second.data.data(),
@@ -151,8 +161,11 @@ void
 NvramDevice::applyLineToDurable(std::uint64_t line_idx,
                                 const ByteBuffer &data)
 {
+    // Clamp to the media: the last line of a non-line-multiple device
+    // is partial, and copying the full line buffer would overrun the
+    // durable image.
     std::memcpy(_durable.data() + line_idx * _lineSize, data.data(),
-                _lineSize);
+                lineSpanBytes(line_idx));
 }
 
 void
@@ -175,10 +188,12 @@ NvramDevice::powerFail(FailurePolicy policy, double survive_prob)
         // independently (the paper assumes 8-byte atomic writes,
         // section 4.1, so no unit ever tears internally).
         for (auto &[idx, line] : _queue) {
-            for (std::uint32_t unit = 0; unit < _lineSize; unit += 8) {
+            const std::size_t span = lineSpanBytes(idx);
+            for (std::size_t unit = 0; unit < span; unit += 8) {
                 if (_rng.nextBool(0.75)) {
                     std::memcpy(_durable.data() + idx * _lineSize + unit,
-                                line.data.data() + unit, 8);
+                                line.data.data() + unit,
+                                std::min<std::size_t>(8, span - unit));
                 }
             }
         }
@@ -199,6 +214,31 @@ NvramDevice::powerFail(FailurePolicy policy, double survive_prob)
     }
     _cache.clear();
     _queue.clear();
+    _crashAtOp = 0;
+}
+
+NvramDevice::Snapshot
+NvramDevice::snapshot() const
+{
+    Snapshot snap;
+    snap.durable = _durable;
+    snap.cache = _cache;
+    snap.queue = _queue;
+    snap.opCount = _opCount;
+    snap.rng = _rng;
+    return snap;
+}
+
+void
+NvramDevice::restore(const Snapshot &snap)
+{
+    NVWAL_ASSERT(snap.durable.size() == _durable.size(),
+                 "snapshot is for a different device size");
+    _durable = snap.durable;
+    _cache = snap.cache;
+    _queue = snap.queue;
+    _opCount = snap.opCount;
+    _rng = snap.rng;
     _crashAtOp = 0;
 }
 

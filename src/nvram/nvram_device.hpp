@@ -70,7 +70,9 @@ class NvramDevice
 {
   public:
     /**
-     * @param size Device capacity in bytes.
+     * @param size Device capacity in bytes. Need not be a multiple of
+     *        the cache line size; the last line is partial and all
+     *        persistence paths clamp to it.
      * @param cache_line_size Cache line size in bytes (power of two).
      * @param stats Counter registry (may outlive traffic queries).
      * @param seed RNG seed for the adversarial failure policy.
@@ -142,13 +144,43 @@ class NvramDevice
     /** Direct durable-media peek, bypassing the cache (tests). */
     void readDurable(NvOffset off, ByteSpan out) const;
 
-  private:
+    // ---- image snapshot / restore ----------------------------------
+
+    /** One simulated cache line (full _lineSize bytes, tail padded). */
     struct Line
     {
         ByteBuffer data;
     };
 
+    /**
+     * Complete device state: durable media plus the volatile cache
+     * and persist-queue contents, the op counter and the adversarial
+     * RNG. Capturing volatile state lets a crash-sweep harness
+     * restore mid-workload images without replaying the warm-up.
+     */
+    struct Snapshot
+    {
+        ByteBuffer durable;
+        std::unordered_map<std::uint64_t, Line> cache;
+        std::unordered_map<std::uint64_t, Line> queue;
+        std::uint64_t opCount = 0;
+        Rng rng{0};
+    };
+
+    Snapshot snapshot() const;
+
+    /** Restore a snapshot; cancels any scheduled crash. */
+    void restore(const Snapshot &snap);
+
+    /** Reset the adversarial-draw RNG (per-sweep-point seeds). */
+    void reseed(std::uint64_t seed) { _rng = Rng(seed); }
+
+  private:
     std::uint64_t lineIndex(NvOffset addr) const { return addr / _lineSize; }
+
+    /** Bytes of line @p line_idx that exist on the media (the last
+     *  line of a non-line-multiple device is partial). */
+    std::size_t lineSpanBytes(std::uint64_t line_idx) const;
 
     void countOp();
     void applyLineToDurable(std::uint64_t line_idx, const ByteBuffer &data);

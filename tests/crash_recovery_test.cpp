@@ -22,6 +22,7 @@
 #include <map>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -58,18 +59,6 @@ valueFor(int txn, RowId key)
     return testutil::makeValue(80,
                                static_cast<std::uint64_t>(txn) * 1000 +
                                    static_cast<std::uint64_t>(key));
-}
-
-/** The logical delta transaction @p txn applies (3 inserts + 1 update). */
-std::map<RowId, ByteBuffer>
-expectedDelta(int txn)
-{
-    std::map<RowId, ByteBuffer> delta;
-    for (int i = 0; i < 3; ++i)
-        delta[txn * 10 + i] = valueFor(txn, txn * 10 + i);
-    if (txn > 0)
-        delta[(txn - 1) * 10] = valueFor(txn, (txn - 1) * 10);
-    return delta;
 }
 
 /** Apply transaction @p txn to @p db (3 inserts + 1 update). */
@@ -117,103 +106,35 @@ class CrashSweep : public ::testing::TestWithParam<CrashParam>
 TEST_P(CrashSweep, EveryInjectionPointRecoversConsistently)
 {
     const CrashParam param = GetParam();
-    constexpr int kBaselineTxns = 4;
-    constexpr int kVictimTxn = kBaselineTxns;
 
-    bool victim_completed = false;
-    std::uint64_t k = 1;
-    int crashes_exercised = 0;
-    while (!victim_completed) {
-        EnvConfig env_config;
-        env_config.cost = CostModel::tuna(500);
-        env_config.seed = 0xc0ffee + k;  // vary adversarial draws
-        env_config.nvramBytes = 8 << 20;
-        env_config.flashBlocks = 2048;
-        Env env(env_config);
-        std::unique_ptr<Database> db;
-        NVWAL_CHECK_OK(Database::open(env, dbConfigFor(param), &db));
+    // Harness-driven sweep: two checkpointed warm-up transactions,
+    // then three swept transactions with a failure injected at evenly
+    // sampled device ops. The harness checks durability/atomicity
+    // (or prefix consistency for ChecksumAsync), B-tree integrity,
+    // NVRAM leak freedom and post-recovery liveness at every point.
+    faultsim::SweepConfig config;
+    config.env.cost = CostModel::tuna(500);
+    config.env.seed = 0xc0ffee;
+    config.env.nvramBytes = 8 << 20;
+    config.env.flashBlocks = 2048;
+    config.db = dbConfigFor(param);
+    config.warmup = faultsim::Workload::standardTxns(0, 2);
+    config.workload = faultsim::Workload::standardTxns(2, 3);
+    faultsim::PolicyRun run;
+    run.policy = param.policy;
+    if (param.policy == FailurePolicy::Adversarial)
+        run.seeds = {1, 2};
+    config.policies.push_back(run);
+    config.maxPoints = 60;   // evenly sampled; CI-affordable
 
-        // Committed baseline.
-        std::map<RowId, ByteBuffer> oracle;
-        std::vector<std::map<RowId, ByteBuffer>> prefixes;
-        prefixes.push_back(oracle);  // empty prefix
-        for (int txn = 0; txn < kBaselineTxns; ++txn) {
-            NVWAL_CHECK_OK(applyTxn(*db, txn, &oracle));
-            prefixes.push_back(oracle);
-        }
-        // The victim's expected post-state, computed up-front: the
-        // commit may become durable even when the crash fires before
-        // commit() returns (e.g. the flushed commit line survives an
-        // adversarial eviction), so both outcomes must be accepted.
-        std::map<RowId, ByteBuffer> with_victim = oracle;
-        for (auto &[dk, dv] : expectedDelta(kVictimTxn))
-            with_victim[dk] = dv;
-
-        // Victim transaction with a crash scheduled at NVRAM op k.
-        env.nvramDevice.setScheduledCrashPolicy(param.policy, 0.5);
-        env.nvramDevice.scheduleCrashAtOp(k);
-        bool crashed = false;
-        try {
-            NVWAL_CHECK_OK(applyTxn(*db, kVictimTxn, nullptr));
-        } catch (const PowerFailure &) {
-            crashed = true;
-            env.fs.crash();
-        }
-        env.nvramDevice.scheduleCrashAtOp(0);
-        if (!crashed) {
-            victim_completed = true;
-            prefixes.push_back(with_victim);
-        }
-        crashes_exercised += crashed ? 1 : 0;
-
-        // Recover into a fresh database over the surviving media.
-        db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(
-            Database::open(env, dbConfigFor(param), &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        const auto content = dumpDb(*recovered);
-
-        if (param.sync == SyncMode::ChecksumAsync) {
-            // Prefix consistency: the recovered state must equal
-            // some prefix of the committed sequence.
-            bool is_prefix = false;
-            for (const auto &prefix : prefixes)
-                is_prefix = is_prefix || content == prefix;
-            is_prefix = is_prefix || content == with_victim;
-            EXPECT_TRUE(is_prefix)
-                << param.label << " crash at op " << k
-                << ": state is not a committed prefix";
-        } else {
-            // Strict atomicity + durability.
-            const bool without = content == oracle;
-            const bool with = content == with_victim;
-            EXPECT_TRUE(without || with)
-                << param.label << " crash at op " << k
-                << ": victim transaction was torn";
-            if (!crashed) {
-                EXPECT_TRUE(with)
-                    << param.label
-                    << ": committed victim lost without a crash";
-            }
-        }
-
-        // No NVRAM leaks: recovery must leave no pending blocks.
-        EXPECT_EQ(env.heap.countBlocks(BlockState::Pending), 0u);
-
-        // The recovered database accepts new transactions.
-        NVWAL_CHECK_OK(recovered->insert(
-            900000 + static_cast<RowId>(k), "post-crash"));
-
-        // Exponential-ish schedule keeps the sweep dense early (the
-        // interesting allocation/link/commit transitions) and
-        // affordable late (the bulk memcpy/flush stretch).
-        k += 1 + k / 16;
-    }
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << param.label << "\n" << report.summary();
+    EXPECT_EQ(report.crashes, report.replays);
     // ChecksumAsync transactions issue very few NVRAM operations
     // (that is their whole point), so fewer injection points exist.
-    EXPECT_GE(crashes_exercised,
-              param.sync == SyncMode::ChecksumAsync ? 5 : 10);
+    EXPECT_GE(report.pointsSwept,
+              param.sync == SyncMode::ChecksumAsync ? 5u : 10u);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -240,41 +161,27 @@ INSTANTIATE_TEST_SUITE_P(
 /** Crash injection across a checkpoint (section 4.3, last case). */
 TEST(CrashCheckpoint, CrashDuringCheckpointIsRecoverable)
 {
-    for (std::uint64_t k = 1; k < 200; k += 7) {
-        EnvConfig env_config;
-        env_config.cost = CostModel::tuna(500);
-        Env env(env_config);
-        DbConfig config;
-        config.walMode = WalMode::Nvwal;
-        config.autoCheckpoint = false;
-        std::unique_ptr<Database> db;
-        NVWAL_CHECK_OK(Database::open(env, config, &db));
+    // Four warm transactions stay in the log (checkpointAfterWarmup
+    // off); the swept workload is the checkpoint itself, so every
+    // injection point lands inside write-back + truncation and the
+    // recovered state must equal the warm state exactly.
+    faultsim::SweepConfig config;
+    config.env.cost = CostModel::tuna(500);
+    config.db.walMode = WalMode::Nvwal;
+    config.db.autoCheckpoint = false;
+    config.warmup = faultsim::Workload::standardTxns(0, 4);
+    config.checkpointAfterWarmup = false;
+    config.workload.phase("checkpoint").checkpoint();
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.policies.push_back(
+        faultsim::PolicyRun{FailurePolicy::Adversarial, {1, 2}, 0.5});
+    config.maxPoints = 50;
 
-        std::map<RowId, ByteBuffer> oracle;
-        for (int txn = 0; txn < 4; ++txn)
-            NVWAL_CHECK_OK(applyTxn(*db, txn, &oracle));
-
-        env.nvramDevice.setScheduledCrashPolicy(
-            FailurePolicy::Pessimistic);
-        env.nvramDevice.scheduleCrashAtOp(k);
-        bool crashed = false;
-        try {
-            NVWAL_CHECK_OK(db->checkpoint());
-        } catch (const PowerFailure &) {
-            crashed = true;
-            env.fs.crash();
-        }
-        env.nvramDevice.scheduleCrashAtOp(0);
-
-        db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(env, config, &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        EXPECT_EQ(dumpDb(*recovered), oracle)
-            << "checkpoint crash at op " << k;
-        if (!crashed)
-            break;
-    }
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_EQ(report.commitEvents, 0u);
+    EXPECT_GT(report.crashes, 10u);
 }
 
 /**

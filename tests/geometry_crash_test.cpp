@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -31,67 +32,40 @@ class GeometryCrash : public ::testing::TestWithParam<GeometryParam>
 TEST_P(GeometryCrash, InjectedCrashSweepStaysAtomic)
 {
     const GeometryParam geo = GetParam();
-    bool completed = false;
-    std::uint64_t at = 1;
-    int crashes = 0;
-    while (!completed) {
-        EnvConfig env_config;
-        env_config.cost = CostModel::tuna(700);
-        env_config.cost.cacheLineSize = geo.cacheLine;
-        env_config.nvramBytes = 8 << 20;
-        env_config.flashBlocks = 4096;
-        env_config.seed = 0xfeed + at;
-        Env env(env_config);
-        DbConfig config;
-        config.walMode = WalMode::Nvwal;
-        config.pageSize = geo.pageSize;
-        config.nvwal.nvBlockSize = geo.nvBlockSize;
 
-        std::unique_ptr<Database> db;
-        NVWAL_CHECK_OK(Database::open(env, config, &db));
-        for (RowId k = 0; k < 8; ++k) {
-            NVWAL_CHECK_OK(db->insert(
-                k, testutil::spanOf(testutil::makeValue(120, k))));
-        }
-
-        env.nvramDevice.setScheduledCrashPolicy(
-            at % 2 == 0 ? FailurePolicy::Pessimistic
-                        : FailurePolicy::Adversarial,
-            0.5);
-        env.nvramDevice.scheduleCrashAtOp(at);
-        bool crashed = false;
-        try {
-            NVWAL_CHECK_OK(db->begin());
-            for (RowId k = 100; k < 103; ++k) {
-                NVWAL_CHECK_OK(db->insert(
-                    k, testutil::spanOf(testutil::makeValue(120, k))));
-            }
-            NVWAL_CHECK_OK(db->commit());
-            completed = true;
-        } catch (const PowerFailure &) {
-            crashed = true;
-            env.fs.crash();
-        }
-        env.nvramDevice.scheduleCrashAtOp(0);
-        crashes += crashed ? 1 : 0;
-
-        db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(env, config, &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        std::uint64_t n = 0;
-        NVWAL_CHECK_OK(recovered->count(&n));
-        EXPECT_TRUE(n == 8u || n == 11u)
-            << "line=" << geo.cacheLine << " block=" << geo.nvBlockSize
-            << " page=" << geo.pageSize << " op=" << at << " rows=" << n;
-        for (RowId k = 0; k < 8; ++k) {
-            ByteBuffer out;
-            NVWAL_CHECK_OK(recovered->get(k, &out));
-            EXPECT_EQ(out, testutil::makeValue(120, k));
-        }
-        at += 1 + at / 10;
+    faultsim::SweepConfig config;
+    config.env.cost = CostModel::tuna(700);
+    config.env.cost.cacheLineSize = geo.cacheLine;
+    config.env.nvramBytes = 8 << 20;
+    config.env.flashBlocks = 4096;
+    config.env.seed = 0xfeed;
+    config.db.walMode = WalMode::Nvwal;
+    config.db.pageSize = geo.pageSize;
+    config.db.nvwal.nvBlockSize = geo.nvBlockSize;
+    for (RowId k = 0; k < 8; ++k) {
+        config.warmup.insert(
+            k, faultsim::Workload::valueFor(
+                   120, static_cast<std::uint64_t>(k)));
     }
-    EXPECT_GT(crashes, 3);
+    config.workload.phase("victim txn").begin();
+    for (RowId k = 100; k < 103; ++k) {
+        config.workload.insert(
+            k, faultsim::Workload::valueFor(
+                   120, static_cast<std::uint64_t>(k)));
+    }
+    config.workload.commit();
+    config.policies.push_back(
+        faultsim::PolicyRun{FailurePolicy::Pessimistic, {0}, 0.5});
+    config.policies.push_back(
+        faultsim::PolicyRun{FailurePolicy::Adversarial, {1}, 0.5});
+    config.maxPoints = 25;
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok())
+        << "line=" << geo.cacheLine << " block=" << geo.nvBlockSize
+        << " page=" << geo.pageSize << "\n" << report.summary();
+    EXPECT_GT(report.crashes, 3u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

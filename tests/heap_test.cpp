@@ -196,6 +196,61 @@ TEST_F(NvHeapTest, NamespaceNameValidation)
     EXPECT_FALSE(heap.getRoot("", &out).isOk());
 }
 
+TEST_F(NvHeapTest, SetRootRejectsZeroOffset)
+{
+    // Offset 0 is the heap superblock; a zero root doubles as the
+    // "name landed but root did not" crash marker, so it can never
+    // be a legal binding.
+    NvOffset off;
+    NVWAL_CHECK_OK(heap.nvMalloc(4096, &off));
+    EXPECT_FALSE(heap.setRoot("app", 0).isOk());
+    NVWAL_CHECK_OK(heap.setRoot("app", off));
+}
+
+TEST_F(NvHeapTest, FreshRootBindingIsCrashAtomic)
+{
+    // Sweep a power failure across every device op of a fresh-slot
+    // setRoot(): afterwards the binding either does not exist or
+    // reads the published offset -- never a bound name with root 0.
+    // Before the root-before-name ordering fix, a crash between the
+    // two slot persists produced exactly that state.
+    for (FailurePolicy policy :
+         {FailurePolicy::Pessimistic, FailurePolicy::Adversarial}) {
+        bool completed = false;
+        for (std::uint64_t at = 1; !completed; ++at) {
+            SimClock local_clock;
+            StatsRegistry local_stats;
+            NvramDevice local_dev(4 << 20, cost.cacheLineSize,
+                                  local_stats);
+            Pmem local_pmem(local_dev, local_clock, cost, local_stats);
+            NvHeap local_heap(local_pmem, local_stats);
+            NVWAL_CHECK_OK(local_heap.format(4096));
+            NvOffset off;
+            NVWAL_CHECK_OK(local_heap.nvMalloc(4096, &off));
+
+            local_dev.reseed(at * 77 + 1);
+            local_dev.setScheduledCrashPolicy(policy, 0.5);
+            local_dev.scheduleCrashAtOp(at);
+            try {
+                NVWAL_CHECK_OK(local_heap.setRoot("app", off));
+                completed = true;
+            } catch (const PowerFailure &) {
+            }
+            local_dev.scheduleCrashAtOp(0);
+
+            NvHeap recovered(local_pmem, local_stats);
+            NVWAL_CHECK_OK(recovered.attach());
+            NVWAL_CHECK_OK(recovered.recover());
+            NvOffset found = 0;
+            const Status s = recovered.getRoot("app", &found);
+            if (s.isOk())
+                EXPECT_EQ(found, off) << "op " << at;
+            else
+                EXPECT_TRUE(s.isNotFound()) << s.toString();
+        }
+    }
+}
+
 TEST_F(NvHeapTest, ExhaustionReturnsNoSpace)
 {
     // Allocate everything, then expect NoSpace.

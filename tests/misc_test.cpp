@@ -10,6 +10,7 @@
 #include <map>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -97,50 +98,28 @@ TEST(MultiRangeDiff, LogsFewerBytesThanSingleRange)
 
 TEST(MultiRangeDiff, CrashSweepStaysAtomic)
 {
-    bool completed = false;
-    std::uint64_t at = 1;
-    while (!completed) {
-        Env env(smallEnv());
-        std::unique_ptr<Database> db;
-        NVWAL_CHECK_OK(Database::open(env, multiRangeConfig(), &db));
-        for (RowId k = 0; k < 6; ++k) {
-            NVWAL_CHECK_OK(db->insert(
-                k, testutil::spanOf(testutil::makeValue(100, k))));
-        }
-        env.nvramDevice.setScheduledCrashPolicy(
-            at % 2 ? FailurePolicy::Pessimistic
-                   : FailurePolicy::Adversarial,
-            0.5);
-        env.nvramDevice.scheduleCrashAtOp(at);
-        try {
-            NVWAL_CHECK_OK(db->begin());
-            NVWAL_CHECK_OK(db->update(
-                3, testutil::spanOf(testutil::makeValue(100, 333))));
-            NVWAL_CHECK_OK(db->insert(
-                100, testutil::spanOf(testutil::makeValue(100, 100))));
-            NVWAL_CHECK_OK(db->commit());
-            completed = true;
-        } catch (const PowerFailure &) {
-            env.fs.crash();
-        }
-        env.nvramDevice.scheduleCrashAtOp(0);
-
-        db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(env, multiRangeConfig(), &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        std::uint64_t n = 0;
-        NVWAL_CHECK_OK(recovered->count(&n));
-        ByteBuffer out;
-        NVWAL_CHECK_OK(recovered->get(3, &out));
-        if (n == 7) {
-            EXPECT_EQ(out, testutil::makeValue(100, 333));
-        } else {
-            EXPECT_EQ(n, 6u) << "torn at op " << at;
-            EXPECT_EQ(out, testutil::makeValue(100, 3));
-        }
-        at += 1 + at / 8;
+    faultsim::SweepConfig config;
+    config.env = smallEnv();
+    config.db = multiRangeConfig();
+    for (RowId k = 0; k < 6; ++k) {
+        config.warmup.insert(
+            k, faultsim::Workload::valueFor(
+                   100, static_cast<std::uint64_t>(k)));
     }
+    config.workload.phase("victim txn")
+        .begin()
+        .update(3, faultsim::Workload::valueFor(100, 333))
+        .insert(100, faultsim::Workload::valueFor(100, 100))
+        .commit();
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.policies.push_back(
+        faultsim::PolicyRun{FailurePolicy::Adversarial, {1}, 0.5});
+    config.maxPoints = 30;
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_GT(report.crashes, 0u);
 }
 
 TEST(BlockDeviceTrace, RecordsTaggedWrites)

@@ -223,5 +223,99 @@ TEST_F(NvramDeviceTest, FlushCountsLines)
     EXPECT_EQ(stats.get(stats::kNvramLinesFlushed), 4u);
 }
 
+TEST(NvramTailLine, PartialTailLineIsClampedNotOverrun)
+{
+    // Regression: a device whose size is not a multiple of the line
+    // size has a partial tail line; applyLineToDurable() used to copy
+    // the full line buffer, writing past the end of the durable
+    // image. 100-byte device, 64-byte lines: the tail line holds
+    // bytes 64..99 only.
+    StatsRegistry stats;
+    NvramDevice d(100, 64, stats, 1);
+    ByteBuffer data(36, 0x5C);
+    d.write(64, testutil::spanOf(data));
+    d.flushLine(64);
+    d.drainPersistQueue();
+    ByteBuffer out(36);
+    d.readDurable(64, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, data);
+}
+
+TEST(NvramTailLine, AdversarialCrashOverPartialTailLine)
+{
+    // The torn-write model must hold on the clamped tail too: every
+    // (possibly clipped) 8-byte unit is all-old or all-new, and the
+    // copy never overruns the media.
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        StatsRegistry stats;
+        NvramDevice d(100, 64, stats, seed);
+        ByteBuffer old_data(36, 0x11);
+        d.write(64, testutil::spanOf(old_data));
+        d.flushLine(64);
+        d.drainPersistQueue();
+        ByteBuffer new_data(36, 0xEE);
+        d.write(64, testutil::spanOf(new_data));
+        d.flushLine(64);
+        d.powerFail(FailurePolicy::Adversarial, 0.5);
+
+        ByteBuffer out(36);
+        d.read(64, ByteSpan(out.data(), out.size()));
+        for (std::size_t unit = 0; unit < 36; unit += 8) {
+            const std::size_t end = std::min<std::size_t>(unit + 8, 36);
+            bool all_old = true;
+            bool all_new = true;
+            for (std::size_t i = unit; i < end; ++i) {
+                all_old = all_old && out[i] == 0x11;
+                all_new = all_new && out[i] == 0xEE;
+            }
+            EXPECT_TRUE(all_old || all_new)
+                << "seed " << seed << " unit " << unit;
+        }
+    }
+}
+
+TEST_F(NvramDeviceTest, SnapshotRestoreRoundTrip)
+{
+    // The crash-sweep harness restores one snapshot hundreds of
+    // times; all three state layers must round-trip exactly and a
+    // pending scheduled crash must not leak across the restore.
+    ByteBuffer a(64, 0xA1);
+    ByteBuffer b(64, 0xB2);
+    ByteBuffer c(64, 0xC3);
+    dev.write(0, testutil::spanOf(a));
+    dev.flushLine(0);
+    dev.drainPersistQueue();              // A durable
+    dev.write(64, testutil::spanOf(b));
+    dev.flushLine(64);                    // B queued
+    dev.write(128, testutil::spanOf(c));  // C cached only
+
+    const NvramDevice::Snapshot snap = dev.snapshot();
+
+    ByteBuffer junk(64, 0x00);
+    dev.write(0, testutil::spanOf(junk));
+    dev.write(64, testutil::spanOf(junk));
+    dev.write(128, testutil::spanOf(junk));
+    dev.flushAllDirtyLines();
+    dev.drainPersistQueue();
+    dev.scheduleCrashAtOp(1000);
+
+    dev.restore(snap);
+    ByteBuffer out(64);
+    dev.readDurable(0, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, a);
+    dev.read(64, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, b);
+    dev.read(128, ByteSpan(out.data(), out.size()));
+    EXPECT_EQ(out, c);
+    EXPECT_EQ(dev.queuedLineCount(), 1u);  // B
+    EXPECT_EQ(dev.dirtyLineCount(), 1u);   // C
+
+    // restore() cancels the scheduled crash: far more than 1000 ops
+    // must now pass without a PowerFailure.
+    ByteBuffer probe(8, 0x01);
+    for (int i = 0; i < 1200; ++i)
+        dev.write(512, testutil::spanOf(probe));
+}
+
 } // namespace
 } // namespace nvwal

@@ -475,5 +475,162 @@ TEST_F(NvwalSchemeTest, ChecksumAsyncDetectsLostFramesProbabilistically)
     EXPECT_FALSE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
 }
 
+TEST_F(NvwalSchemeTest, NodeCountRecountedAfterTailTruncation)
+{
+    // Regression: recovery that truncates uncommitted tail nodes must
+    // recount _nodesSinceCheckpoint from the surviving chain. It used
+    // to keep the walk's count (which included the freed tail), so
+    // framesPerNode() and the next checkpoint's node accounting were
+    // skewed until the following checkpoint.
+    auto log = makeLog(SyncMode::Lazy, false, false);  // 1 frame/node
+    const ByteBuffer page = makePage(4);
+    DirtyRanges ranges;
+    ranges.mark(0, kPageSize);
+    std::vector<FrameWrite> committed{
+        FrameWrite{2, testutil::spanOf(page), &ranges}};
+    NVWAL_CHECK_OK(log->writeFrames(committed, true, 2));
+    // Three uncommitted frames: Lazy flushes them to NVRAM on every
+    // call, so after a pessimistic failure the nodes are durable but
+    // must be truncated (and freed) by recovery.
+    for (PageNo no = 3; no <= 5; ++no) {
+        std::vector<FrameWrite> frames{
+            FrameWrite{no, testutil::spanOf(page), &ranges}};
+        NVWAL_CHECK_OK(log->writeFrames(frames, false, no));
+    }
+    EXPECT_EQ(log->nodeCount(), 4u);
+
+    env.powerFail(FailurePolicy::Pessimistic);
+    NvwalConfig config;
+    config.syncMode = SyncMode::Lazy;
+    config.diffLogging = false;
+    config.userHeap = false;
+    NvwalLog fresh(env.heap, env.pmem, dbFile, kPageSize, kReserved,
+                   config, env.stats);
+    std::uint32_t db_size = 0;
+    NVWAL_CHECK_OK(fresh.recover(&db_size));
+    EXPECT_EQ(db_size, 2u);
+    EXPECT_EQ(fresh.nodeCount(), 1u);
+    EXPECT_EQ(fresh.nodesSinceCheckpoint(), fresh.nodeCount());
+    EXPECT_DOUBLE_EQ(fresh.framesPerNode(), 1.0);
+
+    // The invariant must keep holding as the log grows again.
+    std::vector<FrameWrite> more{
+        FrameWrite{3, testutil::spanOf(page), &ranges}};
+    NVWAL_CHECK_OK(fresh.writeFrames(more, true, 3));
+    EXPECT_EQ(fresh.nodesSinceCheckpoint(), fresh.nodeCount());
+}
+
+TEST(NvwalBaseline, NodeAllocationIsCrashAtomic)
+{
+    // Regression: the per-frame (non-user-heap) baseline used a
+    // single nvMalloc(), marking the block in-use before it was
+    // linked into the log chain. A crash in that window left an
+    // in-use block nothing references -- an NVRAM leak no recovery
+    // could reclaim. Both modes now allocate pending, link, then
+    // mark in-use (Algorithm 1), so sweep the whole append window
+    // and require every in-use block to stay reachable.
+    bool completed = false;
+    for (std::uint64_t at = 1; !completed; ++at) {
+        EnvConfig env_config;
+        env_config.cost = CostModel::tuna(500);
+        Env env(env_config);
+        DbFile db_file(env.fs, "t.db", kPageSize);
+        NVWAL_CHECK_OK(db_file.open());
+        NvwalConfig config;
+        config.syncMode = SyncMode::Lazy;
+        config.diffLogging = false;
+        config.userHeap = false;
+        NvwalLog log(env.heap, env.pmem, db_file, kPageSize, kReserved,
+                     config, env.stats);
+        std::uint32_t db_size = 0;
+        NVWAL_CHECK_OK(log.recover(&db_size));
+        ByteBuffer page = testutil::makeValue(kPageSize, 1);
+        std::memset(page.data() + kPageSize - kReserved, 0, kReserved);
+        DirtyRanges ranges;
+        ranges.mark(0, kPageSize);
+        std::vector<FrameWrite> seed{
+            FrameWrite{2, testutil::spanOf(page), &ranges}};
+        NVWAL_CHECK_OK(log.writeFrames(seed, true, 2));
+
+        env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Pessimistic);
+        env.nvramDevice.scheduleCrashAtOp(at);
+        try {
+            std::vector<FrameWrite> victim{
+                FrameWrite{3, testutil::spanOf(page), &ranges}};
+            NVWAL_CHECK_OK(log.writeFrames(victim, true, 3));
+            completed = true;
+        } catch (const PowerFailure &) {
+            env.fs.crash();
+            NVWAL_CHECK_OK(env.heap.attach());
+        }
+        env.nvramDevice.scheduleCrashAtOp(0);
+
+        NvwalLog fresh(env.heap, env.pmem, db_file, kPageSize,
+                       kReserved, config, env.stats);
+        NVWAL_CHECK_OK(fresh.recover(&db_size));
+        EXPECT_EQ(env.heap.countBlocks(BlockState::Pending), 0u)
+            << "op " << at;
+        EXPECT_EQ(env.heap.countBlocks(BlockState::InUse),
+                  fresh.reachableNvramBlocks())
+            << "op " << at;
+    }
+}
+
+TEST(NvwalHeaderInit, CrashDuringFirstRecoverNeverLeaks)
+{
+    // Regression: header initialization now follows the pending ->
+    // bind-root -> in-use protocol. The old nvMalloc() version leaked
+    // the header block if the crash hit before setRoot(), and a crash
+    // between setRoot() and the used-flag left a root naming a
+    // non-in-use block, which the next recovery must heal by
+    // re-initializing. Sweep every device op of the very first
+    // recover() under both policies.
+    for (FailurePolicy policy :
+         {FailurePolicy::Pessimistic, FailurePolicy::Adversarial}) {
+        bool completed = false;
+        for (std::uint64_t at = 1; !completed; ++at) {
+            EnvConfig env_config;
+            env_config.cost = CostModel::tuna(500);
+            Env env(env_config);
+            DbFile db_file(env.fs, "t.db", kPageSize);
+            NVWAL_CHECK_OK(db_file.open());
+            NvwalConfig config;
+
+            env.nvramDevice.reseed(at * 131 + 7);
+            env.nvramDevice.setScheduledCrashPolicy(policy, 0.5);
+            env.nvramDevice.scheduleCrashAtOp(at);
+            bool crashed = false;
+            {
+                NvwalLog log(env.heap, env.pmem, db_file, kPageSize,
+                             kReserved, config, env.stats);
+                std::uint32_t db_size = 0;
+                try {
+                    NVWAL_CHECK_OK(log.recover(&db_size));
+                    completed = true;
+                } catch (const PowerFailure &) {
+                    crashed = true;
+                }
+            }
+            env.nvramDevice.scheduleCrashAtOp(0);
+            if (crashed) {
+                env.fs.crash();
+                NVWAL_CHECK_OK(env.heap.attach());
+            }
+
+            NvwalLog fresh(env.heap, env.pmem, db_file, kPageSize,
+                           kReserved, config, env.stats);
+            std::uint32_t db_size = 99;
+            NVWAL_CHECK_OK(fresh.recover(&db_size));
+            EXPECT_EQ(db_size, 0u);
+            EXPECT_EQ(env.heap.countBlocks(BlockState::Pending), 0u)
+                << "op " << at;
+            EXPECT_EQ(env.heap.countBlocks(BlockState::InUse),
+                      fresh.reachableNvramBlocks())
+                << "op " << at;
+        }
+    }
+}
+
 } // namespace
 } // namespace nvwal

@@ -8,9 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <map>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -211,45 +213,22 @@ TEST_F(OverflowTest, CrashMidCommitIsAtomicForOverflowValues)
 {
     // A transaction inserting a chained value either lands whole or
     // not at all, across every injection point.
-    bool completed = false;
-    std::uint64_t k = 1;
-    const ByteBuffer v = testutil::makeValue(18000, 11);
-    while (!completed) {
-        EnvConfig env_config = makeEnvConfig();
-        env_config.nvramBytes = 16 << 20;
-        Env local_env(env_config);
-        DbConfig config;
-        config.walMode = WalMode::Nvwal;
-        std::unique_ptr<Database> local_db;
-        NVWAL_CHECK_OK(Database::open(local_env, config, &local_db));
-        NVWAL_CHECK_OK(local_db->insert(1, "anchor"));
+    faultsim::SweepConfig config;
+    config.env = makeEnvConfig();
+    config.env.nvramBytes = 16 << 20;
+    config.db.walMode = WalMode::Nvwal;
+    const char *anchor = "anchor";
+    config.warmup.insert(
+        1, ByteBuffer(anchor, anchor + std::strlen(anchor)));
+    config.workload.phase("overflow insert")
+        .insert(2, faultsim::Workload::valueFor(18000, 11));
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.maxPoints = 40;
 
-        local_env.nvramDevice.setScheduledCrashPolicy(
-            FailurePolicy::Pessimistic);
-        local_env.nvramDevice.scheduleCrashAtOp(k);
-        bool crashed = false;
-        try {
-            NVWAL_CHECK_OK(local_db->insert(2, testutil::spanOf(v)));
-        } catch (const PowerFailure &) {
-            crashed = true;
-            local_env.fs.crash();
-        }
-        local_env.nvramDevice.scheduleCrashAtOp(0);
-        completed = !crashed;
-
-        local_db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(local_env, config, &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        ByteBuffer out;
-        NVWAL_CHECK_OK(recovered->get(1, &out));
-        const Status s = recovered->get(2, &out);
-        if (s.isOk())
-            EXPECT_EQ(out, v) << "torn overflow value at op " << k;
-        else
-            EXPECT_TRUE(s.isNotFound());
-        k += 1 + k / 6;
-    }
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_GT(report.crashes, 0u);
 }
 
 TEST_F(OverflowTest, RollbackDiscardsChainAllocations)

@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -171,53 +172,31 @@ TEST_P(PersistencyCrash, CrashSweepKeepsAtomicity)
 {
     // Injected power failures across the commit path; the victim
     // transaction must be all-or-nothing under every model.
-    bool completed = false;
-    std::uint64_t k = 1;
-    while (!completed) {
-        EnvConfig env_config;
-        env_config.cost = tunaWith(GetParam());
-        env_config.nvramBytes = 8 << 20;
-        env_config.flashBlocks = 2048;
-        Env env(env_config);
-        DbConfig config;
-        config.walMode = WalMode::Nvwal;
-        std::unique_ptr<Database> db;
-        NVWAL_CHECK_OK(Database::open(env, config, &db));
-        for (RowId key = 0; key < 10; ++key) {
-            NVWAL_CHECK_OK(db->insert(
-                key, testutil::spanOf(testutil::makeValue(60, key))));
-        }
-
-        env.nvramDevice.setScheduledCrashPolicy(
-            FailurePolicy::Pessimistic);
-        env.nvramDevice.scheduleCrashAtOp(k);
-        try {
-            NVWAL_CHECK_OK(db->begin());
-            for (RowId key = 100; key < 103; ++key) {
-                NVWAL_CHECK_OK(db->insert(
-                    key,
-                    testutil::spanOf(testutil::makeValue(60, key))));
-            }
-            NVWAL_CHECK_OK(db->commit());
-            completed = true;
-        } catch (const PowerFailure &) {
-            env.fs.crash();
-        }
-        env.nvramDevice.scheduleCrashAtOp(0);
-
-        db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(env, config, &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        std::uint64_t n = 0;
-        NVWAL_CHECK_OK(recovered->count(&n));
-        EXPECT_TRUE(n == 10u || n == 13u)
-            << persistencyModelName(GetParam()) << " op " << k
-            << ": victim torn (" << n << " rows)";
-        for (RowId key = 0; key < 10; ++key)
-            EXPECT_TRUE(recovered->btree().contains(key)) << key;
-        k += 1 + k / 8;
+    faultsim::SweepConfig config;
+    config.env.cost = tunaWith(GetParam());
+    config.env.nvramBytes = 8 << 20;
+    config.env.flashBlocks = 2048;
+    config.db.walMode = WalMode::Nvwal;
+    for (RowId key = 0; key < 10; ++key) {
+        config.warmup.insert(
+            key, faultsim::Workload::valueFor(
+                     60, static_cast<std::uint64_t>(key)));
     }
+    config.workload.phase("victim txn").begin();
+    for (RowId key = 100; key < 103; ++key) {
+        config.workload.insert(
+            key, faultsim::Workload::valueFor(
+                     60, static_cast<std::uint64_t>(key)));
+    }
+    config.workload.commit();
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.maxPoints = 40;
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok())
+        << persistencyModelName(GetParam()) << "\n" << report.summary();
+    EXPECT_GT(report.crashes, 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
 #include "test_util.hpp"
 
 namespace nvwal
@@ -306,50 +307,26 @@ TEST_F(TableTest, CrashDuringDropTableIsAtomic)
 {
     // Power failures injected across dropTable(): after recovery the
     // table is either fully present (with all rows) or fully gone.
-    for (std::uint64_t k = 1; k < 400; k = k + 1 + k / 8) {
-        EnvConfig env_config = makeEnvConfig();
-        env_config.nvramBytes = 8 << 20;
-        Env local_env(env_config);
-        DbConfig config;
-        config.walMode = WalMode::Nvwal;
-        std::unique_ptr<Database> local_db;
-        NVWAL_CHECK_OK(Database::open(local_env, config, &local_db));
-        NVWAL_CHECK_OK(local_db->createTable("victim"));
-        Table *victim;
-        NVWAL_CHECK_OK(local_db->openTable("victim", &victim));
-        for (RowId key = 1; key <= 60; ++key) {
-            NVWAL_CHECK_OK(victim->insert(
-                key, testutil::spanOf(testutil::makeValue(80, key))));
-        }
-
-        local_env.nvramDevice.setScheduledCrashPolicy(
-            FailurePolicy::Pessimistic);
-        local_env.nvramDevice.scheduleCrashAtOp(k);
-        bool crashed = false;
-        try {
-            NVWAL_CHECK_OK(local_db->dropTable("victim"));
-        } catch (const PowerFailure &) {
-            crashed = true;
-            local_env.fs.crash();
-        }
-        local_env.nvramDevice.scheduleCrashAtOp(0);
-
-        local_db.reset();
-        std::unique_ptr<Database> recovered;
-        NVWAL_CHECK_OK(Database::open(local_env, config, &recovered));
-        NVWAL_CHECK_OK(recovered->verifyIntegrity());
-        Table *t;
-        const Status s = recovered->openTable("victim", &t);
-        if (s.isOk()) {
-            std::uint64_t n = 0;
-            NVWAL_CHECK_OK(t->count(&n));
-            EXPECT_EQ(n, 60u) << "drop torn at op " << k;
-        } else {
-            EXPECT_TRUE(s.isNotFound());
-        }
-        if (!crashed)
-            break;
+    faultsim::SweepConfig config;
+    config.env = makeEnvConfig();
+    config.env.nvramBytes = 8 << 20;
+    config.db.walMode = WalMode::Nvwal;
+    config.warmup.createTable("victim");
+    for (RowId key = 1; key <= 60; ++key) {
+        config.warmup.insert(
+            key,
+            faultsim::Workload::valueFor(
+                80, static_cast<std::uint64_t>(key)),
+            "victim");
     }
+    config.workload.phase("drop table").dropTable("victim");
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.maxPoints = 40;
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_GT(report.crashes, 0u);
 }
 
 } // namespace
