@@ -24,10 +24,12 @@ using namespace nvwal;
 using namespace nvwal::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const BenchArgs args = parseBenchArgs(argc, argv);
+    BenchJson json("bench_fig5_sync_overhead", args);
     const int kInsertCounts[] = {1, 2, 4, 8, 16, 32};
-    const int kTxns = 300;
+    const int kTxns = args.smoke ? 30 : 300;
 
     TablePrinter fig5("Figure 5: sync overhead per transaction (usec), "
                       "Tuna @ 500ns, full-page logging");
@@ -85,6 +87,22 @@ main()
                          TablePrinter::num(persist_us, 1),
                          TablePrinter::num(syscall_us, 1),
                          TablePrinter::num(ordering_us, 1)});
+
+            BenchRecord rec;
+            rec.name = std::string("fig5.ins") + std::to_string(ins) +
+                       (sync == SyncMode::Lazy ? ".lazy" : ".eager");
+            rec.scheme = sync == SyncMode::Lazy ? "NVWAL UH+LS"
+                                                : "NVWAL UH+E";
+            rec.fromWorkload(spec, r);
+            rec.values["memcpy_us_per_txn"] = memcpy_us;
+            rec.values["dccmvac_us_per_txn"] = flush_us;
+            rec.values["dmb_us_per_txn"] = dmb_us;
+            rec.values["persist_us_per_txn"] = persist_us;
+            rec.values["kernel_us_per_txn"] = syscall_us;
+            rec.values["ordering_us_per_txn"] = ordering_us;
+            rec.values["flushes_per_txn"] =
+                r.perTxn(stats::kNvramLinesFlushed, kTxns);
+            json.add(std::move(rec));
         }
         table1.addRow({TablePrinter::num(std::uint64_t(ins)),
                        TablePrinter::num(flushes[0], 1),
@@ -95,5 +113,6 @@ main()
     table1.print();
     std::printf("\npaper anchors: 1-insert ordering overhead ~19.3 us; "
                 "eager flush+fence up to ~23%% slower than lazy.\n");
+    json.write();
     return 0;
 }

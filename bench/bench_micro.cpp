@@ -150,6 +150,44 @@ BM_TransactionCommitNvwal(benchmark::State &state)
 BENCHMARK(BM_TransactionCommitNvwal);
 
 void
+BM_TransactionCommitNvwalTraced(benchmark::State &state)
+{
+    // Same commit path with the phase tracer enabled: the overhead
+    // guard. Compare against BM_TransactionCommitNvwal; the delta is
+    // the full tracing bill (ring stores + clock reads). The
+    // disabled-tracer cost is a single branch per record site and is
+    // within run-to-run noise (EXPERIMENTS.md, tracing overhead).
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    env.stats.tracer().setEnabled(true);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.autoCheckpoint = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer value(100, 0x11);
+    RowId key = 0;
+    std::int64_t committed = 0;
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(db->begin());
+        for (int i = 0; i < 4; ++i) {
+            NVWAL_CHECK_OK(db->insert(
+                ++key, ConstByteSpan(value.data(), value.size())));
+        }
+        NVWAL_CHECK_OK(db->commit());
+        ++committed;
+        if (committed % 2000 == 0) {
+            state.PauseTiming();
+            NVWAL_CHECK_OK(db->checkpoint());
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(committed);
+}
+BENCHMARK(BM_TransactionCommitNvwalTraced);
+
+void
 BM_RecoveryScan(benchmark::State &state)
 {
     // Rebuild-from-NVRAM cost as a function of committed frames.

@@ -9,12 +9,16 @@
 #ifndef NVWAL_BENCH_BENCH_UTIL_HPP
 #define NVWAL_BENCH_BENCH_UTIL_HPP
 
+#include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/rng.hpp"
 #include "common/table_printer.hpp"
 #include "db/database.hpp"
+#include "obs/json.hpp"
 
 namespace nvwal::bench
 {
@@ -60,6 +64,8 @@ struct WorkloadResult
     SimTime elapsedNs = 0;
     double txnsPerSec = 0.0;
     StatsSnapshot delta;
+    /** Per-transaction begin-to-commit latency (sim ns). */
+    Histogram commitLatencyNs;
 
     std::uint64_t
     stat(const char *name) const
@@ -103,8 +109,10 @@ runWorkload(const EnvConfig &env_config, DbConfig db_config,
 
     const SimTime start = env.clock.now();
     const StatsSnapshot before = env.stats.snapshot();
+    WorkloadResult result;
     RowId key = 0;
     for (int t = 0; t < spec.txns; ++t) {
+        const SimTime txn_start = env.clock.now();
         NVWAL_CHECK_OK(db->begin());
         for (int i = 0; i < spec.opsPerTxn; ++i, ++key) {
             ByteBuffer v(spec.recordSize,
@@ -123,9 +131,9 @@ runWorkload(const EnvConfig &env_config, DbConfig db_config,
             }
         }
         NVWAL_CHECK_OK(db->commit());
+        result.commitLatencyNs.record(env.clock.now() - txn_start);
     }
 
-    WorkloadResult result;
     result.elapsedNs = env.clock.now() - start;
     result.delta = StatsRegistry::delta(before, env.stats.snapshot());
     result.txnsPerSec = static_cast<double>(spec.txns) /
@@ -161,6 +169,166 @@ nvwalDbConfig(const Scheme &scheme)
     config.nvwal.userHeap = scheme.userHeap;
     return config;
 }
+
+// ---- machine-readable output (--json) ------------------------------
+
+/**
+ * Common bench CLI: `--json <path>` writes a BENCH_*.json-compatible
+ * record file next to the human-readable tables; `--smoke` shrinks
+ * the workload so CI can validate the output shape in seconds. The
+ * JSON schema is documented in docs/OBSERVABILITY.md.
+ */
+struct BenchArgs
+{
+    std::string jsonPath;  //!< empty = no JSON export
+    bool smoke = false;
+};
+
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            args.jsonPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            args.smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json <path>] [--smoke]\n",
+                         argv[0]);
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/** One measured configuration in a bench's JSON export. */
+struct BenchRecord
+{
+    std::string name;    //!< claim / figure row identifier
+    std::string scheme;  //!< WAL scheme label ("" when n/a)
+    /** Workload parameters (txns, ops_per_txn, record_size, ...). */
+    std::map<std::string, std::uint64_t> params;
+    double txnsPerSec = 0.0;
+    /** Per-transaction latency; empty histogram = omitted. */
+    Histogram latencyNs;
+    /** Counter deltas over the measured region (zeros skipped). */
+    StatsSnapshot counters;
+    /** Extra named measurements (ratios, percentages, ...). */
+    std::map<std::string, double> values;
+
+    /** Fill params/latency/counters from a workload run. */
+    void
+    fromWorkload(const WorkloadSpec &spec, const WorkloadResult &r)
+    {
+        params["txns"] = static_cast<std::uint64_t>(spec.txns);
+        params["ops_per_txn"] = static_cast<std::uint64_t>(spec.opsPerTxn);
+        params["record_size"] = spec.recordSize;
+        txnsPerSec = r.txnsPerSec;
+        latencyNs = r.commitLatencyNs;
+        counters = r.delta;
+    }
+};
+
+/** Collects BenchRecords and writes the bench's JSON document. */
+class BenchJson
+{
+  public:
+    BenchJson(std::string bench_name, const BenchArgs &args)
+        : _bench(std::move(bench_name)), _path(args.jsonPath),
+          _smoke(args.smoke)
+    {
+    }
+
+    bool enabled() const { return !_path.empty(); }
+
+    void add(BenchRecord record) { _records.push_back(std::move(record)); }
+
+    std::string
+    document() const
+    {
+        JsonWriter w;
+        w.beginObject();
+        w.member("bench", _bench);
+        w.member("smoke", _smoke);
+        w.key("records");
+        w.beginArray();
+        for (const BenchRecord &r : _records) {
+            w.beginObject();
+            w.member("name", r.name);
+            if (!r.scheme.empty())
+                w.member("scheme", r.scheme);
+            w.key("params");
+            w.beginObject();
+            for (const auto &[k, v] : r.params)
+                w.member(k, v);
+            w.endObject();
+            w.member("throughput_txns_per_sec", r.txnsPerSec);
+            if (r.latencyNs.count() > 0) {
+                w.key("latency_us");
+                w.beginObject();
+                w.member("count", r.latencyNs.count());
+                w.member("mean", r.latencyNs.mean() / 1000.0);
+                w.member("p50",
+                         static_cast<double>(r.latencyNs.p50()) / 1000.0);
+                w.member("p95",
+                         static_cast<double>(r.latencyNs.p95()) / 1000.0);
+                w.member("p99",
+                         static_cast<double>(r.latencyNs.p99()) / 1000.0);
+                w.member("max",
+                         static_cast<double>(r.latencyNs.max()) / 1000.0);
+                w.endObject();
+            }
+            w.key("counters");
+            w.beginObject();
+            for (const auto &[k, v] : r.counters) {
+                if (v != 0)
+                    w.member(k, v);
+            }
+            w.endObject();
+            if (!r.values.empty()) {
+                w.key("values");
+                w.beginObject();
+                for (const auto &[k, v] : r.values)
+                    w.member(k, v);
+                w.endObject();
+            }
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        return w.str();
+    }
+
+    /** Write the document to the --json path (no-op when disabled). */
+    void
+    write() const
+    {
+        if (!enabled())
+            return;
+        const std::string doc = document();
+        std::FILE *f = std::fopen(_path.c_str(), "wb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n", _path.c_str());
+            std::exit(1);
+        }
+        const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        if (n != doc.size()) {
+            std::fprintf(stderr, "short write to %s\n", _path.c_str());
+            std::exit(1);
+        }
+        std::printf("wrote %s (%zu records)\n", _path.c_str(),
+                    _records.size());
+    }
+
+  private:
+    std::string _bench;
+    std::string _path;
+    bool _smoke;
+    std::vector<BenchRecord> _records;
+};
 
 } // namespace nvwal::bench
 

@@ -4,21 +4,46 @@
  * values, pull the plug mid-commit, and inspect what is physically
  * on the NVRAM media before and after recovery -- committed frames,
  * the uncommitted/torn tail of the in-flight transaction, heap block
- * states, and the decoded B-tree pages.
+ * states, the decoded B-tree pages, and the platform counters in
+ * their stable documented order.
+ *
+ * `--metrics <path>` additionally dumps the full metrics registry
+ * (counters + gauges + latency histograms) as JSON; `--trace <path>`
+ * enables the transaction-phase tracer for the whole run and writes
+ * a Chrome trace_event file loadable in about:tracing / Perfetto.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "db/inspect.hpp"
 
 using namespace nvwal;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string metrics_path;
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
+            metrics_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--metrics <path>] [--trace <path>]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
     EnvConfig env_config;
     env_config.cost = CostModel::tuna(500);
     Env env(env_config);
+    if (!trace_path.empty())
+        env.stats.tracer().setEnabled(true);
 
     DbConfig config;
     config.name = "inspected.db";
@@ -79,5 +104,30 @@ main()
     printNvwalMediaReport(media);
     NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
     printDatabaseReport(db_report);
+
+    std::printf("\n==== platform counters (stable order) ====\n");
+    printCounters(env.stats);
+    std::printf("\n==== latency histograms ====\n");
+    printHistograms(env.stats);
+
+    if (!metrics_path.empty()) {
+        const std::string doc = metricsJson(env.stats);
+        std::FILE *f = std::fopen(metrics_path.c_str(), "wb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::fwrite(doc.data(), 1, doc.size(), f);
+        std::fclose(f);
+        std::printf("\nwrote metrics JSON to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        NVWAL_CHECK_OK(writeChromeTrace(env.stats.tracer(), trace_path));
+        std::printf("wrote Chrome trace (%llu events) to %s\n",
+                    static_cast<unsigned long long>(
+                        env.stats.tracer().size()),
+                    trace_path.c_str());
+    }
     return 0;
 }

@@ -49,7 +49,10 @@ const char *kHelp =
     "  crash [adversarial]   power failure + automatic recovery\n"
     "  inspect               raw NVWAL media report\n"
     "  page <no>             decode one B-tree page\n"
-    "  stats                 platform counters and simulated time\n"
+    "  stats                 all counters/histograms, stable key order\n"
+    "  metrics [path]        metrics JSON to stdout or <path>\n"
+    "  trace on|off          toggle the transaction-phase tracer\n"
+    "  trace dump <path>     write a Chrome trace_event JSON file\n"
     "  help, quit\n";
 
 struct Shell
@@ -262,15 +265,55 @@ main()
             DatabaseReport report;
             NVWAL_CHECK_OK(collectDatabaseReport(*shell.db, &report));
             printDatabaseReport(report);
-            std::printf("simulated time: %.3f ms; NVRAM bytes logged: "
-                        "%llu; lines flushed: %llu; txns: %llu\n",
-                        static_cast<double>(env.clock.now()) / 1e6,
-                        static_cast<unsigned long long>(env.stats.get(
-                            stats::kNvramBytesLogged)),
-                        static_cast<unsigned long long>(env.stats.get(
-                            stats::kNvramLinesFlushed)),
-                        static_cast<unsigned long long>(env.stats.get(
-                            stats::kTxnsCommitted)));
+            std::printf("simulated time: %.3f ms\n",
+                        static_cast<double>(env.clock.now()) / 1e6);
+            // Counters then histograms, each in the stable
+            // lexicographic order documented in docs/MODEL.md.
+            printCounters(env.stats);
+            printHistograms(env.stats);
+        } else if (cmd == "metrics") {
+            std::string path;
+            const std::string doc = metricsJson(env.stats);
+            if (in >> path) {
+                std::FILE *f = std::fopen(path.c_str(), "wb");
+                if (f == nullptr) {
+                    std::printf("error: cannot open %s\n", path.c_str());
+                    continue;
+                }
+                std::fwrite(doc.data(), 1, doc.size(), f);
+                std::fclose(f);
+                std::printf("wrote %s\n", path.c_str());
+            } else {
+                std::printf("%s\n", doc.c_str());
+            }
+        } else if (cmd == "trace") {
+            std::string sub;
+            in >> sub;
+            if (sub == "on" || sub == "off") {
+                env.stats.tracer().setEnabled(sub == "on");
+                std::printf("tracing %s\n", sub.c_str());
+            } else if (sub == "dump") {
+                std::string path;
+                if (!(in >> path)) {
+                    std::printf("usage: trace dump <path>\n");
+                    continue;
+                }
+                const Status s =
+                    writeChromeTrace(env.stats.tracer(), path);
+                if (s.isOk()) {
+                    std::printf(
+                        "wrote %s (%llu events, %llu dropped)\n",
+                        path.c_str(),
+                        static_cast<unsigned long long>(
+                            env.stats.tracer().size()),
+                        static_cast<unsigned long long>(
+                            env.stats.tracer().dropped()));
+                } else {
+                    shell.report(s);
+                }
+            } else {
+                std::printf("usage: trace on|off|dump <path>\n");
+            }
         } else {
             std::printf("unknown command '%s' -- try 'help'\n",
                         cmd.c_str());

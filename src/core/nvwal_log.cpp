@@ -33,6 +33,10 @@ NvwalLog::NvwalLog(NvHeap &heap, Pmem &pmem, DbFile &db_file,
                    NvwalConfig config, StatsRegistry &stats)
     : _heap(heap), _pmem(pmem), _dbFile(db_file), _pageSize(page_size),
       _reservedBytes(reserved_bytes), _config(config), _stats(stats),
+      _logWriteHist(stats.histogram(stats::kHistLogWriteNs)),
+      _commitMarkHist(stats.histogram(stats::kHistCommitMarkNs)),
+      _checkpointHist(stats.histogram(stats::kHistCheckpointNs)),
+      _recoverHist(stats.histogram(stats::kHistRecoverNs)),
       _name("NVWAL " + config.schemeName())
 {
     NVWAL_ASSERT(page_size <= 0xffff,
@@ -143,10 +147,23 @@ NvwalLog::placeFrame(PageNo page_no, std::uint16_t page_offset,
     NVWAL_ASSERT(!payload.empty() && payload.size() <= _pageSize);
     const std::uint32_t total =
         kFrameHeaderSize + static_cast<std::uint32_t>(payload.size());
-    if (_tailNode == kNullNvOffset || _tailUsed + total > _tailCapacity)
+    if (_tailNode == kNullNvOffset || _tailUsed + total > _tailCapacity) {
+        // Heap-manager path: the frame forces a new node allocation
+        // (per frame for the LS baseline, per block for the
+        // user-level heap).
+        TraceSpan span(_stats.tracer(), "wal.append_node", "wal",
+                       "bytes", total);
         NVWAL_RETURN_IF_ERROR(appendNode(total));
+        _stats.add(stats::kWalNodeAllocs);
+    } else {
+        // User-level bump-allocation inside the tail node: no heap
+        // manager involved (the paper's amortization win, §3.3).
+        _stats.add(stats::kWalBumpAllocs);
+    }
 
     const NvOffset off = _tailNode + _tailUsed;
+    _stats.tracer().instant("wal.frame_append", "wal", "page",
+                            page_no);
 
     std::uint8_t header[kFrameHeaderSize];
     storeU32(header, page_no);
@@ -178,6 +195,7 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     // lines 1-20). Eager mode synchronizes after every frame; lazy
     // and checksum-async modes defer.
     std::vector<FrameRef> refs;
+    const SimTime log_begin = _pmem.clock().now();
     for (const FrameWrite &fw : frames) {
         NVWAL_ASSERT(fw.page.size() == _pageSize);
         std::vector<ByteRange> ranges;
@@ -225,6 +243,12 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
         _pmem.persistBarrier();
     }
 
+    if (!frames.empty()) {
+        _stats.tracer().complete("wal.log_write", "wal", log_begin,
+                                 "frames", refs.size());
+        _logWriteHist.record(_pmem.clock().now() - log_begin);
+    }
+
     _pendingRefs.insert(_pendingRefs.end(), refs.begin(), refs.end());
     if (!commit)
         return Status::ok();
@@ -237,6 +261,7 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     // header line so the cumulative checksum lands with the mark
     // (Figure 4(d)); frames themselves were never flushed.
     const FrameRef &last = _pendingRefs.back();
+    const SimTime mark_begin = _pmem.clock().now();
     _pmem.storeU64(last.off + 8, kCommitFlag | db_size_pages);
     _pmem.memoryBarrier();
     if (_config.syncMode == SyncMode::ChecksumAsync)
@@ -245,6 +270,9 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
         _pmem.cacheLineFlush(last.off + 8, last.off + 16);
     _pmem.memoryBarrier();
     _pmem.persistBarrier();
+    _stats.tracer().complete("wal.commit_mark", "wal", mark_begin,
+                             "frames", _pendingRefs.size());
+    _commitMarkHist.record(_pmem.clock().now() - mark_begin);
 
     // Publish in the volatile index. Pages committed while an
     // incremental checkpoint round is active must be written back
@@ -296,17 +324,21 @@ NvwalLog::readPage(PageNo page_no, ByteSpan out)
 Status
 NvwalLog::checkpoint()
 {
+    TraceSpan span(_stats.tracer(), "wal.checkpoint", "wal");
+    const SimTime begin = _pmem.clock().now();
     bool done = false;
     while (!done) {
         NVWAL_RETURN_IF_ERROR(
             checkpointStep(~static_cast<std::uint32_t>(0), &done));
     }
+    _checkpointHist.record(_pmem.clock().now() - begin);
     return Status::ok();
 }
 
 Status
 NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
 {
+    TraceSpan span(_stats.tracer(), "wal.checkpoint_step", "wal");
     *done = false;
     NVWAL_ASSERT(_pendingRefs.empty(),
                  "checkpoint with an open transaction");
@@ -390,6 +422,8 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
 Status
 NvwalLog::recover(std::uint32_t *db_size_pages)
 {
+    TraceSpan span(_stats.tracer(), "wal.recover", "wal");
+    const SimTime recover_begin = _pmem.clock().now();
     *db_size_pages = 0;
     _pageIndex.clear();
     _pendingRefs.clear();
@@ -412,6 +446,7 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     if (root.isNotFound()) {
         NVWAL_RETURN_IF_ERROR(initHeader());
         _linkFieldOff = firstNodeFieldOff();
+        _recoverHist.record(_pmem.clock().now() - recover_begin);
         return Status::ok();
     }
     NVWAL_RETURN_IF_ERROR(root);
@@ -423,6 +458,7 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
         // header allocation itself).
         NVWAL_RETURN_IF_ERROR(initHeader());
         _linkFieldOff = firstNodeFieldOff();
+        _recoverHist.record(_pmem.clock().now() - recover_begin);
         return Status::ok();
     }
     NVWAL_RETURN_IF_ERROR(loadHeader());
@@ -585,6 +621,7 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     }
 
     *db_size_pages = _dbSizePages;
+    _recoverHist.record(_pmem.clock().now() - recover_begin);
     return Status::ok();
 }
 

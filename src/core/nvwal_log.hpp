@@ -150,6 +150,12 @@ class NvwalLog : public WriteAheadLog
     std::uint32_t _reservedBytes;
     NvwalConfig _config;
     StatsRegistry &_stats;
+    // Per-phase latency histograms (sim ns); registry-owned, so the
+    // references stay valid for the log's lifetime.
+    Histogram &_logWriteHist;
+    Histogram &_commitMarkHist;
+    Histogram &_checkpointHist;
+    Histogram &_recoverHist;
     std::string _name;
 
     // Volatile state, rebuilt by recover().

@@ -142,7 +142,8 @@ Database::openInternal()
     _dbFile = std::make_unique<DbFile>(_env.fs, _config.name,
                                        _config.pageSize);
     NVWAL_RETURN_IF_ERROR(_dbFile->open());
-    _pager = std::make_unique<Pager>(*_dbFile, _config.pageSize, reserved);
+    _pager = std::make_unique<Pager>(*_dbFile, _config.pageSize, reserved,
+                                     &_env.stats);
 
     switch (_config.walMode) {
       case WalMode::RollbackJournal:
@@ -336,6 +337,10 @@ Database::begin()
         return Status::busy("a write transaction is already open");
     _inTxn = true;
     _txnStartPageCount = _pager->pageCount();
+    ++_txnSeq;
+    _txnBeginNs = _env.clock.now();
+    _env.stats.tracer().setCurrentTxn(_txnSeq);
+    _env.stats.tracer().instant("txn.begin", "db");
     return Status::ok();
 }
 
@@ -344,6 +349,7 @@ Database::commit()
 {
     if (!_inTxn)
         return Status::invalidArgument("no transaction to commit");
+    const SimTime commit_begin = _env.clock.now();
 
     // Per-transaction engine work (locking, journaling bookkeeping).
     _env.clock.advance(_env.cost.cpuTxnNs);
@@ -364,16 +370,28 @@ Database::commit()
     }
     _inTxn = false;
     _env.stats.add(stats::kTxnsCommitted);
+    _env.stats.tracer().complete("db.commit", "db", commit_begin,
+                                 "dirty_pages", dirty.size());
+    _env.stats.tracer().complete("db.txn", "db", _txnBeginNs);
+    _env.stats.recordNs(stats::kHistCommitNs,
+                        _env.clock.now() - commit_begin);
 
+    // The auto-checkpoint below is still attributed to this
+    // transaction (it is the commit that tripped the threshold);
+    // anything after commit() is background again.
+    Status ckpt = Status::ok();
     if (_config.autoCheckpoint &&
         _wal->framesSinceCheckpoint() >= _config.checkpointThreshold) {
-        if (!_config.incrementalCheckpoint)
-            return checkpoint();
-        bool done = false;
-        NVWAL_RETURN_IF_ERROR(
-            _wal->checkpointStep(_config.checkpointStepPages, &done));
+        if (!_config.incrementalCheckpoint) {
+            ckpt = checkpoint();
+        } else {
+            bool done = false;
+            ckpt = _wal->checkpointStep(_config.checkpointStepPages,
+                                        &done);
+        }
     }
-    return Status::ok();
+    _env.stats.tracer().setCurrentTxn(0);
+    return ckpt;
 }
 
 Status
@@ -383,6 +401,8 @@ Database::rollback()
         return Status::invalidArgument("no transaction to roll back");
     _pager->discardDirty(_txnStartPageCount);
     _inTxn = false;
+    _env.stats.tracer().instant("txn.rollback", "db");
+    _env.stats.tracer().setCurrentTxn(0);
     // The rolled-back transaction may have created or dropped
     // tables; drop all handles so they are rebuilt from the (now
     // reverted) catalog.

@@ -228,6 +228,10 @@ class Database
     std::map<std::string, std::unique_ptr<Table>> _tables;
     bool _inTxn = false;
     std::uint32_t _txnStartPageCount = 0;
+    /** Monotonic id of the open/last transaction (trace attribution). */
+    std::uint64_t _txnSeq = 0;
+    /** Sim time at begin() of the open transaction. */
+    SimTime _txnBeginNs = 0;
 };
 
 } // namespace nvwal

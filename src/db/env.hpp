@@ -55,6 +55,9 @@ class Env
                 stats),
           fs(flash, clock, cost, stats, config.journalBlocks)
     {
+        // Timestamps for trace events come from this platform's clock.
+        stats.tracer().bindClock(&clock);
+
         // Attach to an existing heap (simulated reboot reuses the
         // same device) or format a fresh one.
         if (!heap.attach().isOk())

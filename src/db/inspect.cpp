@@ -243,4 +243,34 @@ printPage(Pager &pager, PageNo page_no, std::FILE *out)
     return Status::ok();
 }
 
+void
+printCounters(const StatsRegistry &stats, std::FILE *out)
+{
+    // StatsSnapshot is a std::map, so iteration is already the
+    // documented ascending lexicographic key order.
+    for (const auto &[name, value] : stats.snapshot()) {
+        std::fprintf(out, "%-28s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+    }
+}
+
+void
+printHistograms(const StatsRegistry &stats, std::FILE *out)
+{
+    for (const auto &[name, hist] : stats.histograms()) {
+        if (hist.count() == 0)
+            continue;
+        std::fprintf(out,
+                     "%-28s n=%llu mean=%.0fns p50=%lluns p95=%lluns "
+                     "p99=%lluns max=%lluns\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(hist.count()),
+                     hist.mean(),
+                     static_cast<unsigned long long>(hist.p50()),
+                     static_cast<unsigned long long>(hist.p95()),
+                     static_cast<unsigned long long>(hist.p99()),
+                     static_cast<unsigned long long>(hist.max()));
+    }
+}
+
 } // namespace nvwal

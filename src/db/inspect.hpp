@@ -102,6 +102,20 @@ void printDatabaseReport(const DatabaseReport &report,
 /** Decode and print one B-tree page (header, cells, freeblocks). */
 Status printPage(Pager &pager, PageNo page_no, std::FILE *out = stdout);
 
+/**
+ * Print every counter as "name = value" lines in ascending
+ * lexicographic key order -- the stable order documented in
+ * docs/MODEL.md, shared by nvwal_inspect and nvwal_shell so output
+ * is diffable across runs and versions.
+ */
+void printCounters(const StatsRegistry &stats, std::FILE *out = stdout);
+
+/**
+ * Print each non-empty latency histogram as one summary line
+ * (count/mean/p50/p95/p99/max), keys in lexicographic order.
+ */
+void printHistograms(const StatsRegistry &stats, std::FILE *out = stdout);
+
 } // namespace nvwal
 
 #endif // NVWAL_DB_INSPECT_HPP

@@ -222,6 +222,8 @@ CrashSweep::run(SweepReport *report)
 
     // ---- warm-up (runs once; the snapshot replaces re-runs) --------
     Env env(_config.env);
+    if (_config.trace)
+        env.stats.tracer().setEnabled(true);
     std::unique_ptr<Database> db;
     NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
     for (std::size_t i = 0; i < _config.warmup.size(); ++i)

@@ -86,6 +86,13 @@ struct SweepConfig
     std::uint64_t sampleSeed = 1;
     /** Insert a probe row after each recovery (liveness check). */
     bool probeInsertAfterRecovery = true;
+    /**
+     * Enable the transaction-phase tracer for the whole sweep. The
+     * tracer is pure observation -- obs_test sweeps with it on and
+     * off and proves identical recovery outcomes -- but it is off by
+     * default to keep exhaustive sweeps fast.
+     */
+    bool trace = false;
 };
 
 /** One invariant violation found by the sweep. */

@@ -19,7 +19,8 @@ constexpr NvOffset kDataOffOff = 40;
 } // namespace
 
 NvHeap::NvHeap(Pmem &pmem, StatsRegistry &stats)
-    : _pmem(pmem), _stats(stats)
+    : _pmem(pmem), _stats(stats),
+      _allocHist(stats.histogram(stats::kHistHeapAllocNs))
 {}
 
 void
@@ -275,20 +276,31 @@ NvHeap::allocate(std::size_t bytes, BlockState state, NvOffset *out)
 Status
 NvHeap::nvMalloc(std::size_t bytes, NvOffset *out)
 {
+    TraceSpan span(_stats.tracer(), "heap.nvmalloc", "heap", "bytes",
+                   bytes);
+    const SimTime begin = _pmem.clock().now();
     chargeCall();
-    return allocate(bytes, BlockState::InUse, out);
+    Status s = allocate(bytes, BlockState::InUse, out);
+    _allocHist.record(_pmem.clock().now() - begin);
+    return s;
 }
 
 Status
 NvHeap::nvPreMalloc(std::size_t bytes, NvOffset *out)
 {
+    TraceSpan span(_stats.tracer(), "heap.nvpremalloc", "heap", "bytes",
+                   bytes);
+    const SimTime begin = _pmem.clock().now();
     chargeCall();
-    return allocate(bytes, BlockState::Pending, out);
+    Status s = allocate(bytes, BlockState::Pending, out);
+    _allocHist.record(_pmem.clock().now() - begin);
+    return s;
 }
 
 Status
 NvHeap::nvSetUsedFlag(NvOffset off)
 {
+    TraceSpan span(_stats.tracer(), "heap.set_used_flag", "heap");
     chargeCall();
     const std::uint32_t idx = blockIndexOf(off);
     const std::uint8_t d = descByte(idx);
@@ -311,6 +323,7 @@ NvHeap::nvSetUsedFlag(NvOffset off)
 Status
 NvHeap::nvFree(NvOffset off)
 {
+    TraceSpan span(_stats.tracer(), "heap.nvfree", "heap");
     chargeCall();
     const std::uint32_t idx = blockIndexOf(off);
     const std::uint8_t d = descByte(idx);

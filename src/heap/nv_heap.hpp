@@ -135,6 +135,8 @@ class NvHeap
 
     Pmem &_pmem;
     StatsRegistry &_stats;
+    /** Heap-manager allocation latency (sim ns); registry-owned. */
+    Histogram &_allocHist;
 
     // Volatile mirror of superblock geometry (rebuilt by attach()).
     std::uint32_t _blockSize = 0;

@@ -134,6 +134,7 @@ NvramDevice::flushLine(NvOffset addr)
     _queue[idx] = std::move(cit->second);
     _cache.erase(cit);
     _stats.add(stats::kNvramLinesFlushed);
+    _stats.tracer().instant("nvram.flush_line", "nvram", "addr", addr);
 }
 
 std::size_t
@@ -145,6 +146,7 @@ NvramDevice::flushAllDirtyLines()
         _queue[idx] = std::move(line);
     _cache.clear();
     _stats.add(stats::kNvramLinesFlushed, n);
+    _stats.tracer().instant("nvram.flush_all_dirty", "nvram", "lines", n);
     return n;
 }
 
@@ -152,9 +154,11 @@ void
 NvramDevice::drainPersistQueue()
 {
     countOp();
+    const std::size_t n = _queue.size();
     for (auto &[idx, line] : _queue)
         applyLineToDurable(idx, line.data);
     _queue.clear();
+    _stats.tracer().instant("nvram.drain_queue", "nvram", "lines", n);
 }
 
 void

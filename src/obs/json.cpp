@@ -1,0 +1,359 @@
+#include "json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvwal
+{
+
+// ---- writer --------------------------------------------------------
+
+void
+JsonWriter::punctuate()
+{
+    if (_stack.empty())
+        return;
+    Frame &top = _stack.back();
+    if (top.expectValue) {
+        top.expectValue = false;  // the value following a key
+        return;
+    }
+    if (!top.first)
+        _out += ',';
+    top.first = false;
+}
+
+void
+JsonWriter::key(std::string_view name)
+{
+    punctuate();
+    appendEscaped(name);
+    _out += ':';
+    _stack.back().expectValue = true;
+}
+
+void
+JsonWriter::appendEscaped(std::string_view text)
+{
+    _out += '"';
+    for (const char c : text) {
+        switch (c) {
+          case '"': _out += "\\\""; break;
+          case '\\': _out += "\\\\"; break;
+          case '\n': _out += "\\n"; break;
+          case '\r': _out += "\\r"; break;
+          case '\t': _out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                _out += buf;
+            } else {
+                _out += c;
+            }
+        }
+    }
+    _out += '"';
+}
+
+void
+JsonWriter::value(std::string_view text)
+{
+    punctuate();
+    appendEscaped(text);
+}
+
+void
+JsonWriter::value(double number)
+{
+    punctuate();
+    if (!std::isfinite(number)) {
+        _out += "null";  // JSON has no NaN/Infinity
+        return;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.12g", number);
+    _out += buf;
+}
+
+void
+JsonWriter::value(std::uint64_t number)
+{
+    punctuate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(number));
+    _out += buf;
+}
+
+void
+JsonWriter::value(std::int64_t number)
+{
+    punctuate();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(number));
+    _out += buf;
+}
+
+void
+JsonWriter::value(bool boolean)
+{
+    punctuate();
+    _out += boolean ? "true" : "false";
+}
+
+void
+JsonWriter::null()
+{
+    punctuate();
+    _out += "null";
+}
+
+// ---- parser --------------------------------------------------------
+
+const JsonValue *
+JsonValue::find(const std::string &name) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    auto it = object.find(name);
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+struct Parser
+{
+    std::string_view text;
+    std::size_t pos = 0;
+    int depth = 0;
+    static constexpr int kMaxDepth = 64;
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                            text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    Status
+    fail(const std::string &what) const
+    {
+        return Status::invalidArgument(
+            "JSON parse error at byte " + std::to_string(pos) + ": " +
+            what);
+    }
+
+    Status
+    expect(char c)
+    {
+        skipWs();
+        if (atEnd() || text[pos] != c)
+            return fail(std::string("expected '") + c + "'");
+        ++pos;
+        return Status::ok();
+    }
+
+    Status
+    parseString(std::string *out)
+    {
+        NVWAL_RETURN_IF_ERROR(expect('"'));
+        out->clear();
+        while (true) {
+            if (atEnd())
+                return fail("unterminated string");
+            const char c = text[pos++];
+            if (c == '"')
+                return Status::ok();
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                *out += c;
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            const char e = text[pos++];
+            switch (e) {
+              case '"': *out += '"'; break;
+              case '\\': *out += '\\'; break;
+              case '/': *out += '/'; break;
+              case 'b': *out += '\b'; break;
+              case 'f': *out += '\f'; break;
+              case 'n': *out += '\n'; break;
+              case 'r': *out += '\r'; break;
+              case 't': *out += '\t'; break;
+              case 'u': {
+                if (pos + 4 > text.size())
+                    return fail("truncated \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    const char h = text[pos++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code += h - '0';
+                    else if (h >= 'a' && h <= 'f')
+                        code += 10 + h - 'a';
+                    else if (h >= 'A' && h <= 'F')
+                        code += 10 + h - 'A';
+                    else
+                        return fail("bad \\u escape digit");
+                }
+                // UTF-8 encode (surrogate pairs unsupported: the
+                // writer never emits them for our ASCII key space).
+                if (code < 0x80) {
+                    *out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    *out += static_cast<char>(0xC0 | (code >> 6));
+                    *out += static_cast<char>(0x80 | (code & 0x3F));
+                } else {
+                    *out += static_cast<char>(0xE0 | (code >> 12));
+                    *out += static_cast<char>(0x80 |
+                                              ((code >> 6) & 0x3F));
+                    *out += static_cast<char>(0x80 | (code & 0x3F));
+                }
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    Status
+    parseValue(JsonValue *out)
+    {
+        if (++depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        Status s = Status::ok();
+        const char c = peek();
+        if (c == '{') {
+            ++pos;
+            out->type = JsonValue::Type::Object;
+            skipWs();
+            if (!atEnd() && peek() == '}') {
+                ++pos;
+            } else {
+                while (true) {
+                    std::string name;
+                    NVWAL_RETURN_IF_ERROR(parseString(&name));
+                    NVWAL_RETURN_IF_ERROR(expect(':'));
+                    JsonValue member;
+                    NVWAL_RETURN_IF_ERROR(parseValue(&member));
+                    out->object[name] = std::move(member);
+                    skipWs();
+                    if (atEnd())
+                        return fail("unterminated object");
+                    if (peek() == ',') {
+                        ++pos;
+                        skipWs();
+                        continue;
+                    }
+                    if (peek() == '}') {
+                        ++pos;
+                        break;
+                    }
+                    return fail("expected ',' or '}'");
+                }
+            }
+        } else if (c == '[') {
+            ++pos;
+            out->type = JsonValue::Type::Array;
+            skipWs();
+            if (!atEnd() && peek() == ']') {
+                ++pos;
+            } else {
+                while (true) {
+                    JsonValue element;
+                    NVWAL_RETURN_IF_ERROR(parseValue(&element));
+                    out->array.push_back(std::move(element));
+                    skipWs();
+                    if (atEnd())
+                        return fail("unterminated array");
+                    if (peek() == ',') {
+                        ++pos;
+                        continue;
+                    }
+                    if (peek() == ']') {
+                        ++pos;
+                        break;
+                    }
+                    return fail("expected ',' or ']'");
+                }
+            }
+        } else if (c == '"') {
+            out->type = JsonValue::Type::String;
+            s = parseString(&out->string);
+        } else if (c == 't' || c == 'f') {
+            const std::string_view word = c == 't' ? "true" : "false";
+            if (text.substr(pos, word.size()) != word)
+                return fail("bad literal");
+            pos += word.size();
+            out->type = JsonValue::Type::Bool;
+            out->boolean = c == 't';
+        } else if (c == 'n') {
+            if (text.substr(pos, 4) != "null")
+                return fail("bad literal");
+            pos += 4;
+            out->type = JsonValue::Type::Null;
+        } else if (c == '-' || (c >= '0' && c <= '9')) {
+            const std::size_t start = pos;
+            if (peek() == '-')
+                ++pos;
+            while (!atEnd() && std::isdigit(
+                                   static_cast<unsigned char>(peek())))
+                ++pos;
+            if (!atEnd() && peek() == '.') {
+                ++pos;
+                while (!atEnd() &&
+                       std::isdigit(static_cast<unsigned char>(peek())))
+                    ++pos;
+            }
+            if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+                ++pos;
+                if (!atEnd() && (peek() == '+' || peek() == '-'))
+                    ++pos;
+                while (!atEnd() &&
+                       std::isdigit(static_cast<unsigned char>(peek())))
+                    ++pos;
+            }
+            const std::string token(text.substr(start, pos - start));
+            char *end = nullptr;
+            out->number = std::strtod(token.c_str(), &end);
+            if (end == nullptr || *end != '\0')
+                return fail("bad number");
+            out->type = JsonValue::Type::Number;
+        } else {
+            return fail("unexpected character");
+        }
+        --depth;
+        return s;
+    }
+};
+
+} // namespace
+
+Status
+parseJson(std::string_view text, JsonValue *out)
+{
+    *out = JsonValue{};
+    Parser parser{text};
+    NVWAL_RETURN_IF_ERROR(parser.parseValue(out));
+    parser.skipWs();
+    if (!parser.atEnd())
+        return parser.fail("trailing garbage after document");
+    return Status::ok();
+}
+
+} // namespace nvwal

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Minimal JSON writer + parser for the observability exports.
+ *
+ * The writer streams into a std::string with correct escaping and
+ * locale-independent number formatting; the parser is a small strict
+ * recursive-descent implementation used by tests and the CI schema
+ * validator to prove every emitted document parses back. Neither
+ * aims to be a general JSON library -- they exist so the repo's
+ * machine-readable output (metrics dumps, Chrome traces, BENCH_*
+ * records) is self-checking without external dependencies.
+ */
+
+#ifndef NVWAL_OBS_JSON_HPP
+#define NVWAL_OBS_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace nvwal
+{
+
+/** Streaming JSON writer (objects/arrays open and close in order). */
+class JsonWriter
+{
+  public:
+    void beginObject() { punctuate(); _out += '{'; push(true); }
+    void endObject() { pop(); _out += '}'; }
+    void beginArray() { punctuate(); _out += '['; push(false); }
+    void endArray() { pop(); _out += ']'; }
+
+    /** Object member key; must be followed by exactly one value. */
+    void key(std::string_view name);
+
+    void value(std::string_view text);
+    void value(const char *text) { value(std::string_view(text)); }
+    void value(double number);
+    void value(std::uint64_t number);
+    void value(std::int64_t number);
+    void value(int number) { value(static_cast<std::int64_t>(number)); }
+    void value(bool boolean);
+    void null();
+
+    /** Convenience: key + value in one call. */
+    template <typename T>
+    void
+    member(std::string_view name, T v)
+    {
+        key(name);
+        value(v);
+    }
+
+    const std::string &str() const { return _out; }
+    std::string take() { return std::move(_out); }
+
+  private:
+    struct Frame
+    {
+        bool isObject;
+        bool first = true;
+        bool expectValue = false;  //!< a key was just written
+    };
+
+    void punctuate();
+    void push(bool is_object) { _stack.push_back(Frame{is_object}); }
+    void pop() { _stack.pop_back(); }
+    void appendEscaped(std::string_view text);
+
+    std::string _out;
+    std::vector<Frame> _stack;
+};
+
+/** Parsed JSON value (tree form). */
+struct JsonValue
+{
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Insertion order preserved separately for round-trip checks. */
+    std::map<std::string, JsonValue> object;
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+
+    /** Member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &name) const;
+};
+
+/**
+ * Parse @p text as one JSON document (trailing whitespace allowed,
+ * trailing garbage is an error). Strict: no comments, no trailing
+ * commas, no NaN/Infinity.
+ */
+Status parseJson(std::string_view text, JsonValue *out);
+
+} // namespace nvwal
+
+#endif // NVWAL_OBS_JSON_HPP

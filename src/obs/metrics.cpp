@@ -1,0 +1,59 @@
+#include "metrics.hpp"
+
+#include "obs/json.hpp"
+
+namespace nvwal
+{
+
+std::string
+metricsJson(const MetricsRegistry &metrics)
+{
+    JsonWriter w;
+    w.beginObject();
+
+    w.key("counters");
+    w.beginObject();
+    for (const auto &[name, value] : metrics.snapshot())
+        w.member(name, value);
+    w.endObject();
+
+    w.key("gauges");
+    w.beginObject();
+    for (const auto &[name, value] : metrics.gauges())
+        w.member(name, value);
+    w.endObject();
+
+    w.key("histograms");
+    w.beginObject();
+    for (const auto &[name, hist] : metrics.histograms()) {
+        if (hist.count() == 0)
+            continue;
+        w.key(name);
+        w.beginObject();
+        w.member("count", hist.count());
+        w.member("sum", hist.sum());
+        w.member("min", hist.min());
+        w.member("max", hist.max());
+        w.member("mean", hist.mean());
+        w.member("p50", hist.p50());
+        w.member("p95", hist.p95());
+        w.member("p99", hist.p99());
+        w.key("buckets");
+        w.beginArray();
+        for (const Histogram::Bucket &b : hist.buckets()) {
+            w.beginObject();
+            w.member("lo", b.lo);
+            w.member("hi", b.hi);
+            w.member("count", b.count);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+
+    w.endObject();
+    return w.take();
+}
+
+} // namespace nvwal

@@ -1,0 +1,107 @@
+#include "trace.hpp"
+
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "obs/json.hpp"
+
+namespace nvwal
+{
+
+std::string
+chromeTraceJson(const Tracer &tracer)
+{
+    const std::vector<TraceEvent> events = tracer.events();
+
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Metadata first: name each Chrome "thread" (= transaction id) so
+    // Perfetto labels the swimlanes. Sorted set -> deterministic output.
+    std::set<std::uint64_t> txns;
+    for (const TraceEvent &e : events)
+        txns.insert(e.txn);
+    for (const std::uint64_t txn : txns) {
+        w.beginObject();
+        w.member("name", "thread_name");
+        w.member("ph", "M");
+        w.member("pid", 1);
+        w.member("tid", txn);
+        w.key("args");
+        w.beginObject();
+        if (txn == 0) {
+            w.member("name", "background");
+        } else {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "txn %llu",
+                          static_cast<unsigned long long>(txn));
+            w.member("name", buf);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    // Keep swimlane order = transaction order, not alphabetical.
+    for (const std::uint64_t txn : txns) {
+        w.beginObject();
+        w.member("name", "thread_sort_index");
+        w.member("ph", "M");
+        w.member("pid", 1);
+        w.member("tid", txn);
+        w.key("args");
+        w.beginObject();
+        w.member("sort_index", txn);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const TraceEvent &e : events) {
+        w.beginObject();
+        w.member("name", e.name);
+        w.member("cat", e.category);
+        const char ph[2] = {e.phase, '\0'};
+        w.member("ph", ph);
+        // Chrome wants microseconds; doubles keep sub-us precision.
+        w.member("ts", static_cast<double>(e.ts) / 1000.0);
+        if (e.phase == 'X')
+            w.member("dur", static_cast<double>(e.dur) / 1000.0);
+        if (e.phase == 'i')
+            w.member("s", "t");  // instant scope: thread
+        w.member("pid", 1);
+        w.member("tid", e.txn);
+        if (e.argName != nullptr) {
+            w.key("args");
+            w.beginObject();
+            w.member(e.argName, e.arg);
+            w.endObject();
+        }
+        w.endObject();
+    }
+
+    w.endArray();
+    w.member("displayTimeUnit", "ns");
+    w.key("otherData");
+    w.beginObject();
+    w.member("droppedEvents", tracer.dropped());
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+Status
+writeChromeTrace(const Tracer &tracer, const std::string &path)
+{
+    const std::string doc = chromeTraceJson(tracer);
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr)
+        return Status::ioError("cannot open trace file: " + path);
+    const std::size_t n = std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    if (n != doc.size())
+        return Status::ioError("short write to trace file: " + path);
+    return Status::ok();
+}
+
+} // namespace nvwal

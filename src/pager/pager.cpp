@@ -6,8 +6,9 @@ namespace nvwal
 {
 
 Pager::Pager(DbFile &db_file, std::uint32_t page_size,
-             std::uint32_t reserved_bytes)
-    : _dbFile(db_file), _pageSize(page_size), _reservedBytes(reserved_bytes)
+             std::uint32_t reserved_bytes, StatsRegistry *stats)
+    : _dbFile(db_file), _pageSize(page_size),
+      _reservedBytes(reserved_bytes), _stats(stats)
 {
     NVWAL_ASSERT(page_size >= 512 && reserved_bytes < page_size / 2);
 }
@@ -63,6 +64,8 @@ Pager::getPage(PageNo page_no, CachedPage **out)
     NVWAL_ASSERT(page_no != kNoPage);
     auto it = _cache.find(page_no);
     if (it != _cache.end()) {
+        if (_stats != nullptr)
+            _stats->add(stats::kPagerCacheHits);
         *out = it->second.get();
         return Status::ok();
     }
@@ -75,6 +78,13 @@ Pager::getPage(PageNo page_no, CachedPage **out)
     bool from_wal = false;
     if (_walReader)
         from_wal = _walReader(page_no, page->span());
+    if (_stats != nullptr) {
+        _stats->add(stats::kPagerReads);
+        if (from_wal)
+            _stats->add(stats::kPagerWalReads);
+        _stats->tracer().instant("pager.page_read", "pager", "page",
+                                 page_no);
+    }
     if (!from_wal) {
         if (page_no <= _dbFile.pageCount()) {
             NVWAL_RETURN_IF_ERROR(_dbFile.readPage(page_no, page->span()));
@@ -274,6 +284,8 @@ Pager::flushAllToFile()
         if (!page->isDirty())
             continue;
         NVWAL_RETURN_IF_ERROR(_dbFile.writePage(no, page->cspan()));
+        if (_stats != nullptr)
+            _stats->add(stats::kPagerWrites);
         page->dirty.clear();
     }
     return Status::ok();

@@ -22,6 +22,7 @@
 #include "common/status.hpp"
 #include "pager/db_file.hpp"
 #include "pager/dirty_ranges.hpp"
+#include "sim/stats.hpp"
 
 namespace nvwal
 {
@@ -62,8 +63,13 @@ class Pager
     /** Reads the latest committed WAL copy of a page, if any. */
     using WalReader = std::function<bool(PageNo, ByteSpan)>;
 
+    /**
+     * @p stats is optional: when given, the pager counts cache
+     * hits/misses and emits page-fetch trace events; a nullptr pager
+     * (tests, scratch rebuilds) runs unobserved.
+     */
     Pager(DbFile &db_file, std::uint32_t page_size,
-          std::uint32_t reserved_bytes);
+          std::uint32_t reserved_bytes, StatsRegistry *stats = nullptr);
 
     /**
      * Open the database: create header page (1) and root page (2)
@@ -148,6 +154,7 @@ class Pager
     DbFile &_dbFile;
     std::uint32_t _pageSize;
     std::uint32_t _reservedBytes;
+    StatsRegistry *_stats;
     std::uint32_t _pageCount = 0;
     WalReader _walReader;
     std::map<PageNo, std::unique_ptr<CachedPage>> _cache;

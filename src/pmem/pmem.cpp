@@ -83,6 +83,8 @@ Pmem::cacheLineFlush(NvOffset start, NvOffset end)
         // "can be safely removed" (section 4.4): compile to nothing.
         return;
     }
+    TraceSpan span(_stats.tracer(), "pmem.cacheline_flush", "pmem",
+                   "bytes", end - start);
     // Kernel-mode switch: the flush loop runs in a system call
     // because dccmvac needs privileged register access (section 4).
     _clock.advance(_cost.syscallNs);
@@ -108,6 +110,7 @@ Pmem::cacheLineFlush(NvOffset start, NvOffset end)
 void
 Pmem::memoryBarrier()
 {
+    TraceSpan span(_stats.tracer(), "pmem.memory_barrier", "pmem");
     _clock.advance(_cost.memoryBarrierNs);
     _stats.add(stats::kTimeBarrierNs, _cost.memoryBarrierNs);
     _stats.add(stats::kMemoryBarriers);
@@ -132,6 +135,8 @@ Pmem::memoryBarrier()
 void
 Pmem::persistBarrier()
 {
+    TraceSpan span(_stats.tracer(), "pmem.persist_barrier", "pmem");
+    const SimTime begin = _clock.now();
     if (_cost.persistency != PersistencyModel::Explicit) {
         // Hardware persistency needs no pcommit-style instruction;
         // ordering and durability are the memory system's job. For
@@ -140,6 +145,7 @@ Pmem::persistBarrier()
         if (_cost.persistency == PersistencyModel::EpochHW)
             epochBoundary();
         _device.drainPersistQueue();
+        _persistHist.record(_clock.now() - begin);
         return;
     }
     // A persist barrier only has defined semantics once preceding
@@ -154,6 +160,7 @@ Pmem::persistBarrier()
     _stats.add(stats::kTimePersistNs, _cost.persistBarrierNs);
     _stats.add(stats::kPersistBarriers);
     _device.drainPersistQueue();
+    _persistHist.record(_clock.now() - begin);
 }
 
 void

@@ -40,7 +40,8 @@ class Pmem
   public:
     Pmem(NvramDevice &device, SimClock &clock, const CostModel &cost,
          StatsRegistry &stats)
-        : _device(device), _clock(clock), _cost(cost), _stats(stats)
+        : _device(device), _clock(clock), _cost(cost), _stats(stats),
+          _persistHist(stats.histogram(stats::kHistPersistBarrierNs))
     {}
 
     NvramDevice &device() { return _device; }
@@ -94,6 +95,8 @@ class Pmem
     SimClock &_clock;
     const CostModel &_cost;
     StatsRegistry &_stats;
+    /** Per-call persist-barrier latency (sim ns); registry-owned. */
+    Histogram &_persistHist;
 
     /** Completion time of the most recently scheduled flush. */
     SimTime _lastFlushCompletion = 0;

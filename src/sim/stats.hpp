@@ -6,58 +6,26 @@
  * logged, journal blocks written, heap-manager calls, ...) and the
  * benchmark harness snapshots/deltas them to regenerate the paper's
  * tables.
+ *
+ * Since the observability subsystem landed, the registry is the
+ * richer obs::MetricsRegistry (counters + latency histograms +
+ * gauges + the per-transaction event tracer); `StatsRegistry` is kept
+ * as an alias so every component holding a `StatsRegistry&` gains
+ * histograms and tracing without plumbing changes. The canonical
+ * counter/histogram names below are documented in docs/MODEL.md and
+ * docs/OBSERVABILITY.md.
  */
 
 #ifndef NVWAL_SIM_STATS_HPP
 #define NVWAL_SIM_STATS_HPP
 
-#include <cstdint>
-#include <map>
-#include <string>
+#include "obs/metrics.hpp"
 
 namespace nvwal
 {
 
-/** Snapshot of all counters at a point in time. */
-using StatsSnapshot = std::map<std::string, std::uint64_t>;
-
-/** Registry of monotonically increasing named counters. */
-class StatsRegistry
-{
-  public:
-    /** Add @p delta to counter @p name (creating it at zero). */
-    void
-    add(const std::string &name, std::uint64_t delta = 1)
-    {
-        _counters[name] += delta;
-    }
-
-    /** Current value of @p name (zero if never touched). */
-    std::uint64_t
-    get(const std::string &name) const
-    {
-        auto it = _counters.find(name);
-        return it == _counters.end() ? 0 : it->second;
-    }
-
-    /** Copy of every counter. */
-    StatsSnapshot snapshot() const { return _counters; }
-
-    /** Per-counter difference @p now - @p before. */
-    static StatsSnapshot
-    delta(const StatsSnapshot &before, const StatsSnapshot &now)
-    {
-        StatsSnapshot d = now;
-        for (const auto &[name, value] : before)
-            d[name] -= value;
-        return d;
-    }
-
-    void clear() { _counters.clear(); }
-
-  private:
-    StatsSnapshot _counters;
-};
+/** Counter + histogram + gauge + tracer registry (see obs/metrics.hpp). */
+using StatsRegistry = MetricsRegistry;
 
 namespace stats
 {
@@ -80,6 +48,18 @@ inline constexpr const char *kCheckpoints = "db.checkpoints";
 inline constexpr const char *kTxnsCommitted = "db.txns_committed";
 inline constexpr const char *kWalFullPageFrames = "wal.full_page_frames";
 
+// WAL allocation-path split: frames placed by the user-level bump
+// allocator in the tail node vs. frames that forced a heap-manager
+// node allocation (the Heapo syscall path, Paper §3.3).
+inline constexpr const char *kWalBumpAllocs = "wal.bump_allocs";
+inline constexpr const char *kWalNodeAllocs = "wal.node_allocs";
+
+// Pager traffic (page-cache effectiveness behind each scheme).
+inline constexpr const char *kPagerCacheHits = "pager.cache_hits";
+inline constexpr const char *kPagerReads = "pager.page_reads";
+inline constexpr const char *kPagerWalReads = "pager.wal_reads";
+inline constexpr const char *kPagerWrites = "pager.page_writes";
+
 // Simulated-time accumulators (nanoseconds), updated by the pmem
 // layer to break a transaction's ordering-constraint cost into the
 // paper's Figure 5 categories.
@@ -89,6 +69,15 @@ inline constexpr const char *kTimeBarrierNs = "time.memory_barrier_ns";
 inline constexpr const char *kTimePersistNs = "time.persist_barrier_ns";
 inline constexpr const char *kTimeSyscallNs = "time.syscall_ns";
 inline constexpr const char *kTimeHeapNs = "time.heap_manager_ns";
+
+// Latency histogram names (sim-time nanoseconds per operation).
+inline constexpr const char *kHistCommitNs = "db.commit_ns";
+inline constexpr const char *kHistLogWriteNs = "wal.log_write_ns";
+inline constexpr const char *kHistCommitMarkNs = "wal.commit_mark_ns";
+inline constexpr const char *kHistCheckpointNs = "wal.checkpoint_ns";
+inline constexpr const char *kHistRecoverNs = "wal.recover_ns";
+inline constexpr const char *kHistHeapAllocNs = "heap.alloc_ns";
+inline constexpr const char *kHistPersistBarrierNs = "pmem.persist_barrier_ns";
 
 } // namespace stats
 
