@@ -81,7 +81,7 @@ run(bool incremental, int txns)
     p.p99Us = at(0.99);
     p.maxUs = static_cast<double>(latencies.back()) / 1000.0;
     p.latencyNs = hist;
-    p.delta = StatsRegistry::delta(before, env.stats.snapshot());
+    p.delta = MetricsRegistry::delta(before, env.stats.snapshot());
     return p;
 }
 

@@ -54,7 +54,7 @@ main()
             const double seconds =
                 static_cast<double>(env.clock.now() - start) / 1e9;
             const StatsSnapshot delta =
-                StatsRegistry::delta(before, env.stats.snapshot());
+                MetricsRegistry::delta(before, env.stats.snapshot());
             auto &log = static_cast<NvwalLog &>(db->wal());
             table.addRow(
                 {TablePrinter::num(std::uint64_t(block)),

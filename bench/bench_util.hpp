@@ -135,7 +135,7 @@ runWorkload(const EnvConfig &env_config, DbConfig db_config,
     }
 
     result.elapsedNs = env.clock.now() - start;
-    result.delta = StatsRegistry::delta(before, env.stats.snapshot());
+    result.delta = MetricsRegistry::delta(before, env.stats.snapshot());
     result.txnsPerSec = static_cast<double>(spec.txns) /
                         (static_cast<double>(result.elapsedNs) / 1e9);
     return result;

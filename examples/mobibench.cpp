@@ -174,7 +174,7 @@ main(int argc, char **argv)
     }
     const SimTime elapsed = env.clock.now() - start;
     const StatsSnapshot delta =
-        StatsRegistry::delta(before, env.stats.snapshot());
+        MetricsRegistry::delta(before, env.stats.snapshot());
 
     const double seconds = static_cast<double>(elapsed) / 1e9;
     std::printf("scheme           : %s\n", db->wal().name());

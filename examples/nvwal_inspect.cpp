@@ -69,7 +69,9 @@ main(int argc, char **argv)
 
     std::printf("\n==== decoded pages ====\n");
     NVWAL_CHECK_OK(printPage(db->pager(), db->pager().rootPage()));
-    NVWAL_CHECK_OK(printPage(db->pager(), db->btree().rootPage()));
+    Table *main_table;
+    NVWAL_CHECK_OK(db->openTable("main", &main_table));
+    NVWAL_CHECK_OK(printPage(db->pager(), main_table->btree().rootPage()));
 
     // Kill the power while a transaction is mid-commit.
     std::printf("\n==== pulling the plug mid-commit ====\n");

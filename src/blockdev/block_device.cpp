@@ -20,7 +20,7 @@ ioTagName(IoTag tag)
 
 BlockDevice::BlockDevice(std::uint64_t num_blocks, std::uint32_t block_size,
                          SimClock &clock, const CostModel &cost,
-                         StatsRegistry &stats)
+                         MetricsRegistry &stats)
     : _numBlocks(num_blocks), _blockSize(block_size), _clock(clock),
       _cost(cost), _stats(stats),
       _data(num_blocks * block_size, 0)

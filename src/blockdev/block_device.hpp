@@ -50,7 +50,7 @@ class BlockDevice
   public:
     BlockDevice(std::uint64_t num_blocks, std::uint32_t block_size,
                 SimClock &clock, const CostModel &cost,
-                StatsRegistry &stats);
+                MetricsRegistry &stats);
 
     std::uint32_t blockSize() const { return _blockSize; }
     std::uint64_t numBlocks() const { return _numBlocks; }
@@ -94,7 +94,7 @@ class BlockDevice
     std::uint32_t _blockSize;
     SimClock &_clock;
     const CostModel &_cost;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
 
     ByteBuffer _data;
     bool _tracing = false;

@@ -6,7 +6,7 @@
 namespace nvwal
 {
 
-BTree::BTree(Pager &pager, PageNo root)
+BTree::BTree(PageSource &pager, PageNo root)
     : _pager(pager), _root(root == kNoPage ? pager.rootPage() : root)
 {}
 

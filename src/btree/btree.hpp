@@ -22,7 +22,7 @@
 #include <optional>
 
 #include "btree/page_view.hpp"
-#include "pager/pager.hpp"
+#include "pager/page_source.hpp"
 
 namespace nvwal
 {
@@ -44,9 +44,13 @@ class BTree
     /**
      * @param root Root page of this tree; stays fixed for the
      *        tree's lifetime (root splits copy into fresh pages).
-     *        Defaults to the pager's primary root (page 2).
+     *        Defaults to the source's primary root (page 2).
+     *
+     * The tree mutates only through the PageSource; handed a
+     * read-only source (SnapshotCache) it serves lookups and scans
+     * while inserts fail with Unsupported.
      */
-    explicit BTree(Pager &pager, PageNo root = kNoPage);
+    explicit BTree(PageSource &pager, PageNo root = kNoPage);
 
     PageNo rootPage() const { return _root; }
 
@@ -138,7 +142,7 @@ class BTree
                        std::uint32_t *leaf_depth);
     Status destroyRec(PageNo page_no);
 
-    Pager &_pager;
+    PageSource &_pager;
     PageNo _root;
     BTreeCounters _counters;
     std::uint64_t _version = 0;

@@ -80,6 +80,8 @@ class Status
     bool isOk() const { return _code == StatusCode::Ok; }
     bool isNotFound() const { return _code == StatusCode::NotFound; }
     bool isCorruption() const { return _code == StatusCode::Corruption; }
+    bool isBusy() const { return _code == StatusCode::Busy; }
+    bool isUnsupported() const { return _code == StatusCode::Unsupported; }
 
     StatusCode code() const { return _code; }
     const std::string &message() const { return _message; }

@@ -30,7 +30,7 @@ NvwalConfig::schemeName() const
 
 NvwalLog::NvwalLog(NvHeap &heap, Pmem &pmem, DbFile &db_file,
                    std::uint32_t page_size, std::uint32_t reserved_bytes,
-                   NvwalConfig config, StatsRegistry &stats)
+                   NvwalConfig config, MetricsRegistry &stats)
     : _heap(heap), _pmem(pmem), _dbFile(db_file), _pageSize(page_size),
       _reservedBytes(reserved_bytes), _config(config), _stats(stats),
       _logWriteHist(stats.histogram(stats::kHistLogWriteNs)),
@@ -230,18 +230,7 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
         }
     }
 
-    if (_config.syncMode == SyncMode::Lazy && !refs.empty()) {
-        // Transaction-aware lazy synchronization (Algorithm 1 lines
-        // 21-28): one dmb, a batch of non-blocking flushes, a
-        // closing dmb and one persist barrier for the whole batch.
-        _pmem.memoryBarrier();
-        for (const FrameRef &ref : refs) {
-            _pmem.cacheLineFlush(ref.off,
-                                 ref.off + kFrameHeaderSize + ref.size);
-        }
-        _pmem.memoryBarrier();
-        _pmem.persistBarrier();
-    }
+    lazySyncRefs(refs);
 
     if (!frames.empty()) {
         _stats.tracer().complete("wal.log_write", "wal", log_begin,
@@ -255,29 +244,16 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     if (_pendingRefs.empty())
         return Status::ok();
 
-    // Phase 2 -- commit: set the commit mark on the last frame with
-    // a single 8-byte atomic store, then flush and persist it
-    // (Algorithm 1 lines 29-36). ChecksumAsync flushes the whole
-    // header line so the cumulative checksum lands with the mark
-    // (Figure 4(d)); frames themselves were never flushed.
-    const FrameRef &last = _pendingRefs.back();
-    const SimTime mark_begin = _pmem.clock().now();
-    _pmem.storeU64(last.off + 8, kCommitFlag | db_size_pages);
-    _pmem.memoryBarrier();
-    if (_config.syncMode == SyncMode::ChecksumAsync)
-        _pmem.cacheLineFlush(last.off, last.off + kFrameHeaderSize);
-    else
-        _pmem.cacheLineFlush(last.off + 8, last.off + 16);
-    _pmem.memoryBarrier();
-    _pmem.persistBarrier();
-    _stats.tracer().complete("wal.commit_mark", "wal", mark_begin,
-                             "frames", _pendingRefs.size());
-    _commitMarkHist.record(_pmem.clock().now() - mark_begin);
+    persistCommitMark(_pendingRefs.back(), db_size_pages,
+                      _pendingRefs.size());
 
-    // Publish in the volatile index. Pages committed while an
-    // incremental checkpoint round is active must be written back
-    // (again) before that round may truncate the log.
-    for (const FrameRef &ref : _pendingRefs) {
+    // Publish in the volatile index under a fresh commit sequence.
+    // Pages committed while an incremental checkpoint round is
+    // active must be written back (again) before that round may
+    // truncate the log.
+    const CommitSeq seq = ++_commitSeq;
+    for (FrameRef &ref : _pendingRefs) {
+        ref.seq = seq;
         indexFrame(ref);
         if (!_ckptPending.empty())
             _ckptPending.insert(ref.pageNo);
@@ -289,36 +265,192 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
 }
 
 void
+NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
+{
+    if (_config.syncMode != SyncMode::Lazy || refs.empty())
+        return;
+    // Transaction-aware lazy synchronization (Algorithm 1 lines
+    // 21-28): one dmb, a batch of non-blocking flushes, a closing
+    // dmb and one persist barrier for the whole batch. Group commit
+    // widens the batch to many transactions' frames.
+    _pmem.memoryBarrier();
+    for (const FrameRef &ref : refs) {
+        _pmem.cacheLineFlush(ref.off,
+                             ref.off + kFrameHeaderSize + ref.size);
+    }
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+}
+
+void
+NvwalLog::persistCommitMark(const FrameRef &last,
+                            std::uint32_t db_size_pages,
+                            std::uint64_t frame_count)
+{
+    // Commit: set the commit mark on the last frame with a single
+    // 8-byte atomic store, then flush and persist it (Algorithm 1
+    // lines 29-36). ChecksumAsync flushes the whole header line so
+    // the cumulative checksum lands with the mark (Figure 4(d));
+    // frames themselves were never flushed.
+    const SimTime mark_begin = _pmem.clock().now();
+    _pmem.storeU64(last.off + 8, kCommitFlag | db_size_pages);
+    _pmem.memoryBarrier();
+    if (_config.syncMode == SyncMode::ChecksumAsync)
+        _pmem.cacheLineFlush(last.off, last.off + kFrameHeaderSize);
+    else
+        _pmem.cacheLineFlush(last.off + 8, last.off + 16);
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+    _stats.tracer().complete("wal.commit_mark", "wal", mark_begin,
+                             "frames", frame_count);
+    _commitMarkHist.record(_pmem.clock().now() - mark_begin);
+}
+
+Status
+NvwalLog::writeFrameGroup(const std::vector<TxnFrames> &txns)
+{
+    NVWAL_ASSERT(_pendingRefs.empty(),
+                 "group commit with an open single-writer transaction");
+
+    // Phase 1 -- log every transaction's frames back to back. Eager
+    // mode still synchronizes per frame; Lazy defers to one barrier
+    // pair covering the whole group.
+    std::vector<FrameRef> refs;
+    std::vector<std::size_t> txn_end;   //!< end index in refs, per txn
+    const SimTime log_begin = _pmem.clock().now();
+    for (const TxnFrames &txn : txns) {
+        for (const FrameWrite &fw : txn.frames) {
+            NVWAL_ASSERT(fw.page.size() == _pageSize);
+            std::vector<ByteRange> ranges;
+            if (_config.diffLogging) {
+                NVWAL_ASSERT(fw.ranges != nullptr,
+                             "diff logging needs dirty ranges");
+                if (_config.diffGranularity == DiffGranularity::MultiRange)
+                    ranges = fw.ranges->ranges();
+                else
+                    ranges.push_back(fw.ranges->bounding());
+            } else {
+                ranges.push_back(ByteRange{0, _pageSize});
+            }
+            for (const ByteRange &r : ranges) {
+                if (r.empty())
+                    continue;
+                NVWAL_ASSERT(r.hi <= _pageSize);
+                NvOffset off;
+                NVWAL_RETURN_IF_ERROR(placeFrame(
+                    fw.pageNo, static_cast<std::uint16_t>(r.lo),
+                    fw.page.subspan(r.lo, r.size()), &off));
+                refs.push_back(
+                    FrameRef{off, fw.pageNo,
+                             static_cast<std::uint16_t>(r.lo),
+                             static_cast<std::uint16_t>(r.size()), 0});
+                if (_config.syncMode == SyncMode::Eager) {
+                    _pmem.memoryBarrier();
+                    _pmem.cacheLineFlush(
+                        off, off + kFrameHeaderSize + r.size());
+                    _pmem.memoryBarrier();
+                    _pmem.persistBarrier();
+                }
+            }
+        }
+        txn_end.push_back(refs.size());
+    }
+    if (refs.empty())
+        return Status::ok();
+
+    lazySyncRefs(refs);
+    _stats.tracer().complete("wal.log_write", "wal", log_begin,
+                             "frames", refs.size());
+    _logWriteHist.record(_pmem.clock().now() - log_begin);
+
+    // Phase 2 -- one commit mark for the whole group, carrying the
+    // final transaction's database size. Recovery sees the group as
+    // a single atomic unit: all of it commits or none of it does,
+    // which is sound because no caller is acknowledged before the
+    // group is durable.
+    persistCommitMark(refs.back(), txns.back().dbSizePages,
+                      refs.size());
+
+    // Phase 3 -- publish, one commit sequence per transaction so
+    // snapshots can still distinguish intra-group boundaries.
+    std::size_t begin = 0;
+    for (std::size_t t = 0; t < txns.size(); ++t) {
+        const std::size_t end = txn_end[t];
+        if (end == begin)
+            continue;  // a transaction that dirtied nothing
+        const CommitSeq seq = ++_commitSeq;
+        for (std::size_t i = begin; i < end; ++i) {
+            refs[i].seq = seq;
+            indexFrame(refs[i]);
+            if (!_ckptPending.empty())
+                _ckptPending.insert(refs[i].pageNo);
+        }
+        begin = end;
+    }
+    _framesSinceCheckpoint += refs.size();
+    _dbSizePages = txns.back().dbSizePages;
+    return Status::ok();
+}
+
+void
 NvwalLog::indexFrame(const FrameRef &ref)
 {
     auto &list = _pageIndex[ref.pageNo];
-    if (!_config.diffLogging || (ref.pageOffset == 0 &&
-                                 ref.size == _pageSize)) {
-        // A full-page frame supersedes all earlier frames.
+    if (!hasPins() &&
+        (!_config.diffLogging ||
+         (ref.pageOffset == 0 && ref.size == _pageSize))) {
+        // A full-page frame supersedes all earlier frames -- but an
+        // open snapshot may still need the superseded diffs for
+        // readPageAt(), so the prune only runs while no snapshot is
+        // pinned. Retained stale prefixes are harmless: replaying
+        // absolute-byte diffs in log order is idempotent.
         list.clear();
     }
     list.push_back(ref);
 }
 
-bool
-NvwalLog::readPage(PageNo page_no, ByteSpan out)
+Status
+NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
 {
     auto it = _pageIndex.find(page_no);
     if (it == _pageIndex.end())
-        return false;
+        return Status::notFound("page not in WAL index");
     NVWAL_ASSERT(out.size() == _pageSize);
 
     // Base image: the page as the .db file knows it (or zeros for a
     // page that has never been checkpointed), then the committed
-    // diffs in log order.
+    // diffs with seq <= horizon in log order. Checkpoint write-back
+    // never advances the base image past the oldest pinned snapshot
+    // (checkpointTarget()), so base + prefix-of-diffs is exactly the
+    // page at the horizon.
+    bool applied = false;
     std::memset(out.data(), 0, out.size());
-    if (page_no <= _dbFile.pageCount())
+    if (page_no <= _dbFile.pageCount()) {
         NVWAL_CHECK_OK(_dbFile.readPage(page_no, out));
+        applied = true;
+    }
     for (const FrameRef &ref : it->second) {
+        if (ref.seq > horizon)
+            break;  // append order implies sequence order
         _pmem.readFromNvram(ref.off + kFrameHeaderSize,
                             out.subspan(ref.pageOffset, ref.size));
+        applied = true;
     }
-    return true;
+    if (!applied)
+        return Status::notFound("no committed frame at snapshot horizon");
+    return Status::ok();
+}
+
+Status
+NvwalLog::readPage(PageNo page_no, ByteSpan out)
+{
+    return materializePage(page_no, out, kNoPin);
+}
+
+Status
+NvwalLog::readPageAt(PageNo page_no, ByteSpan out, CommitSeq horizon)
+{
+    return materializePage(page_no, out, horizon);
 }
 
 Status
@@ -348,6 +480,11 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
         return Status::ok();
     }
 
+    // The write-back horizon: the newest commit, clamped to the
+    // oldest pinned snapshot so the base image a pinned reader falls
+    // back to never gets ahead of its horizon.
+    const CommitSeq target = checkpointTarget();
+
     // Start a new round: snapshot the dirty-in-log page set. Pages
     // committed while the round is in progress re-enter the set (see
     // writeFrames), so the round only finishes when the write-back
@@ -365,8 +502,16 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     while (written < max_pages && !_ckptPending.empty()) {
         const PageNo page_no = *_ckptPending.begin();
         _ckptPending.erase(_ckptPending.begin());
-        const bool ok = readPage(page_no, ByteSpan(page.data(), _pageSize));
-        NVWAL_ASSERT(ok, "indexed page must be readable");
+        const Status read =
+            materializePage(page_no, ByteSpan(page.data(), _pageSize),
+                            target);
+        if (read.isNotFound()) {
+            // The page was born after the clamped horizon; it stays
+            // in the log and a later round (once the pin releases)
+            // writes it back.
+            continue;
+        }
+        NVWAL_RETURN_IF_ERROR(read);
         NVWAL_RETURN_IF_ERROR(_dbFile.writePage(
             page_no, ConstByteSpan(page.data(), _pageSize)));
         ++written;
@@ -384,6 +529,15 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
 
     NVWAL_RETURN_IF_ERROR(_dbFile.sync());
     *done = true;
+
+    if (target < _commitSeq) {
+        // A pinned snapshot sits below the newest commit, so frames
+        // past the target must survive; the round ends with the base
+        // file advanced to the target but the log retained. A later
+        // round truncates once the pin releases.
+        _stats.add(stats::kCheckpointsPinBlocked);
+        return Status::ok();
+    }
 
     // Open a new checkpoint epoch *before* truncating: every logged
     // frame carries the epoch id, so bumping it atomically
@@ -435,6 +589,10 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     _tailNode = kNullNvOffset;
     _tailUsed = 0;
     _tailCapacity = 0;
+    // Sequences restart per process lifetime; recovery runs only
+    // while no connection (and hence no snapshot pin) is open.
+    NVWAL_ASSERT(!hasPins(), "recovery with an open snapshot");
+    _commitSeq = 0;
 
     // The heap manager reclaims pending blocks first (section 4.3,
     // failure case 1): a block that was allocated but never linked
@@ -530,10 +688,16 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
             }
             chain = attempt;
             pending.push_back(FrameRef{node + pos, page_no, page_off,
-                                       size});
+                                       size, 0});
             pos = static_cast<std::uint32_t>(
                 alignUp(pos + kFrameHeaderSize + size, 8));
             if (commit_word != 0) {
+                // Every frame up to this mark committed together; a
+                // group commit recovers as one sequence, which is
+                // exactly its atomicity unit.
+                const CommitSeq seq = ++_commitSeq;
+                for (FrameRef &ref : pending)
+                    ref.seq = seq;
                 committed.insert(committed.end(), pending.begin(),
                                  pending.end());
                 pending.clear();

@@ -41,6 +41,7 @@
 #ifndef NVWAL_CORE_NVWAL_LOG_HPP
 #define NVWAL_CORE_NVWAL_LOG_HPP
 
+#include <algorithm>
 #include <map>
 #include <set>
 #include <vector>
@@ -65,11 +66,17 @@ class NvwalLog : public WriteAheadLog
 
     NvwalLog(NvHeap &heap, Pmem &pmem, DbFile &db_file,
              std::uint32_t page_size, std::uint32_t reserved_bytes,
-             NvwalConfig config, StatsRegistry &stats);
+             NvwalConfig config, MetricsRegistry &stats);
 
     Status writeFrames(const std::vector<FrameWrite> &frames, bool commit,
                        std::uint32_t db_size_pages) override;
-    bool readPage(PageNo page_no, ByteSpan out) override;
+    Status writeFrameGroup(const std::vector<TxnFrames> &txns) override;
+    Status readPage(PageNo page_no, ByteSpan out) override;
+    Status readPageAt(PageNo page_no, ByteSpan out,
+                      CommitSeq horizon) override;
+    CommitSeq commitSeq() const override { return _commitSeq; }
+    std::uint32_t committedDbSize() const override { return _dbSizePages; }
+    bool supportsSnapshots() const override { return true; }
     Status checkpoint() override;
     Status checkpointStep(std::uint32_t max_pages, bool *done) override;
     Status recover(std::uint32_t *db_size_pages) override;
@@ -120,6 +127,7 @@ class NvwalLog : public WriteAheadLog
         PageNo pageNo;
         std::uint16_t pageOffset;
         std::uint16_t size;     //!< payload bytes
+        CommitSeq seq = 0;      //!< commit sequence (volatile, index-only)
     };
 
     NvOffset headerFieldOff(std::uint32_t field) const
@@ -143,13 +151,37 @@ class NvwalLog : public WriteAheadLog
     /** Apply one committed frame to the volatile page index. */
     void indexFrame(const FrameRef &ref);
 
+    /**
+     * Shared page materialization: base .db image plus committed
+     * diffs with seq <= @p horizon, in log order. kNoPin reads the
+     * newest committed version.
+     */
+    Status materializePage(PageNo page_no, ByteSpan out,
+                           CommitSeq horizon);
+
+    /** Make [refs_begin, refs_end) durable per the lazy sync mode. */
+    void lazySyncRefs(const std::vector<FrameRef> &refs);
+
+    /** Set + persist the commit mark on @p last (Algorithm 1 §4.1). */
+    void persistCommitMark(const FrameRef &last,
+                           std::uint32_t db_size_pages,
+                           std::uint64_t frame_count);
+
+    /**
+     * The commit horizon a checkpoint round may write back to the
+     * .db file: the newest commit, clamped so the base image never
+     * advances past the oldest pinned snapshot.
+     */
+    CommitSeq checkpointTarget() const
+    { return std::min(oldestPin(), _commitSeq); }
+
     NvHeap &_heap;
     Pmem &_pmem;
     DbFile &_dbFile;
     std::uint32_t _pageSize;
     std::uint32_t _reservedBytes;
     NvwalConfig _config;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
     // Per-phase latency histograms (sim ns); registry-owned, so the
     // references stay valid for the log's lifetime.
     Histogram &_logWriteHist;
@@ -170,6 +202,12 @@ class NvwalLog : public WriteAheadLog
     std::uint64_t _framesSinceCheckpoint = 0;
     std::uint64_t _nodesSinceCheckpoint = 0;
     std::uint32_t _dbSizePages = 0;
+    /**
+     * Sequence of the newest committed transaction. Monotonic across
+     * checkpoints (pinned snapshots outlive log truncation); rebuilt
+     * by recover(), which runs only while no snapshot is open.
+     */
+    CommitSeq _commitSeq = 0;
     /** Frames logged but not yet covered by a commit mark. */
     std::vector<FrameRef> _pendingRefs;
     /**

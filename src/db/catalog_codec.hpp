@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Wire format of one catalog entry (the rows of the table-catalog
+ * B-tree rooted at the primary root page): [root u32][name bytes].
+ * Shared by the Database (live catalog) and Connection (snapshot
+ * catalog) code paths.
+ */
+
+#ifndef NVWAL_DB_CATALOG_CODEC_HPP
+#define NVWAL_DB_CATALOG_CODEC_HPP
+
+#include <cstring>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace nvwal
+{
+
+inline ByteBuffer
+encodeCatalogEntry(PageNo root, const std::string &name)
+{
+    ByteBuffer out(4 + name.size());
+    storeU32(out.data(), root);
+    std::memcpy(out.data() + 4, name.data(), name.size());
+    return out;
+}
+
+inline bool
+decodeCatalogEntry(ConstByteSpan raw, PageNo *root, std::string *name)
+{
+    if (raw.size() < 4)
+        return false;
+    *root = loadU32(raw.data());
+    name->assign(reinterpret_cast<const char *>(raw.data()) + 4,
+                 raw.size() - 4);
+    return true;
+}
+
+} // namespace nvwal
+
+#endif // NVWAL_DB_CATALOG_CODEC_HPP

@@ -1,0 +1,279 @@
+#include "connection.hpp"
+
+#include "db/catalog_codec.hpp"
+
+namespace nvwal
+{
+
+Connection::Connection(Database &db)
+    : _db(db), _writerLock(db._writerMutex, std::defer_lock)
+{}
+
+Connection::~Connection()
+{
+    if (_inWrite)
+        (void)rollback();
+    if (_snapshot)
+        (void)endRead();
+    _db.releaseConnection(this);
+}
+
+// ---- read transactions ---------------------------------------------
+
+Status
+Connection::beginRead()
+{
+    if (_snapshot)
+        return Status::busy("a read transaction is already open");
+    std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+    WriteAheadLog &wal = *_db._wal;
+    if (!wal.supportsSnapshots()) {
+        return Status::unsupported(
+            "WAL mode has no snapshot support: " +
+            std::string(wal.name()));
+    }
+
+    // Pin the commit horizon; the WAL will neither supersede nor
+    // truncate any frame this snapshot can reach until endRead().
+    _horizon = wal.commitSeq();
+    wal.pinSnapshot(_horizon);
+    // The size as of the horizon: commitSeq() and committedDbSize()
+    // are read under one engine-lock hold, so no commit interleaves.
+    std::uint32_t pages = wal.committedDbSize();
+    if (pages == 0)
+        pages = _db._dbFile->pageCount();
+
+    const CommitSeq horizon = _horizon;
+    auto fetch = [this, horizon](PageNo page_no, ByteSpan out) -> Status {
+        std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+        const Status s = _db._wal->readPageAt(page_no, out, horizon);
+        if (!s.isNotFound())
+            return s;
+        // No committed frame at or below the horizon: the .db file
+        // copy is current for this snapshot (checkpointing never
+        // advances the file past the oldest pin).
+        if (page_no <= _db._dbFile->pageCount())
+            return _db._dbFile->readPage(page_no, out);
+        return Status::corruption(
+            "snapshot page missing from WAL and file");
+    };
+    _snapshot = std::make_unique<SnapshotCache>(
+        _db._config.pageSize, _db._pager->reservedBytes(), pages,
+        _db._pager->rootPage(), std::move(fetch));
+
+    _db._env.stats.add(stats::kSnapshotsOpened);
+    _db._env.stats.setGauge(stats::kGaugeOpenSnapshots, wal.pinCount());
+    return Status::ok();
+}
+
+Status
+Connection::endRead()
+{
+    if (!_snapshot)
+        return Status::invalidArgument("no read transaction to end");
+    {
+        std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+        _db._wal->unpinSnapshot(_horizon);
+        // Fold the thread-confined tallies into the shared registry.
+        _db._env.stats.add(stats::kSnapshotReads,
+                           _snapshot->cacheHits() + _snapshot->fetches());
+        _db._env.stats.add(stats::kSnapshotCacheHits,
+                           _snapshot->cacheHits());
+        _db._env.stats.setGauge(stats::kGaugeOpenSnapshots,
+                                _db._wal->pinCount());
+    }
+    _snapshot.reset();
+    _snapshotRoots.clear();
+    _horizon = 0;
+    return Status::ok();
+}
+
+Status
+Connection::snapshotRoot(const std::string &table, PageNo *root)
+{
+    NVWAL_ASSERT(_snapshot != nullptr);
+    auto it = _snapshotRoots.find(table);
+    if (it != _snapshotRoots.end()) {
+        *root = it->second;
+        return Status::ok();
+    }
+    BTree catalog(*_snapshot, _db._pager->rootPage());
+    bool found = false;
+    Status scan_error = Status::ok();
+    NVWAL_RETURN_IF_ERROR(catalog.scan(
+        INT64_MIN, INT64_MAX, [&](RowId, ConstByteSpan raw) {
+            PageNo entry_root;
+            std::string entry_name;
+            if (!decodeCatalogEntry(raw, &entry_root, &entry_name)) {
+                scan_error = Status::corruption("bad catalog entry");
+                return false;
+            }
+            if (entry_name == table) {
+                *root = entry_root;
+                found = true;
+                return false;
+            }
+            return true;
+        }));
+    NVWAL_RETURN_IF_ERROR(scan_error);
+    if (!found)
+        return Status::notFound("no such table in snapshot: " + table);
+    _snapshotRoots[table] = *root;
+    return Status::ok();
+}
+
+template <typename Op>
+Status
+Connection::withReadSnapshot(const Op &op)
+{
+    if (_snapshot)
+        return op();
+    NVWAL_RETURN_IF_ERROR(beginRead());
+    const Status s = op();
+    const Status end = endRead();
+    return s.isOk() ? end : s;
+}
+
+Status
+Connection::get(RowId key, ByteBuffer *value)
+{
+    return withReadSnapshot([&]() -> Status {
+        PageNo root;
+        NVWAL_RETURN_IF_ERROR(
+            snapshotRoot(Database::kDefaultTable, &root));
+        _db.chargeStatement(0);
+        BTree tree(*_snapshot, root);
+        return tree.get(key, value);
+    });
+}
+
+Status
+Connection::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
+{
+    return withReadSnapshot([&]() -> Status {
+        PageNo root;
+        NVWAL_RETURN_IF_ERROR(
+            snapshotRoot(Database::kDefaultTable, &root));
+        _db.chargeStatement(0);
+        BTree tree(*_snapshot, root);
+        return tree.scan(lo, hi, visit);
+    });
+}
+
+Status
+Connection::count(std::uint64_t *out)
+{
+    return withReadSnapshot([&]() -> Status {
+        PageNo root;
+        NVWAL_RETURN_IF_ERROR(
+            snapshotRoot(Database::kDefaultTable, &root));
+        _db.chargeStatement(0);
+        BTree tree(*_snapshot, root);
+        return tree.count(out);
+    });
+}
+
+// ---- write transactions --------------------------------------------
+
+Status
+Connection::begin()
+{
+    if (_inWrite)
+        return Status::busy("a write transaction is already open");
+    // Announce the intent before blocking on the writer slot so a
+    // committing leader's combining window waits for this txn.
+    _db.noteWriteIntent();
+    _writerLock.lock();
+    const Status s = _db.beginFromConnection();
+    if (!s.isOk()) {
+        _writerLock.unlock();
+        _db.endWriteIntent();
+        return s;
+    }
+    _inWrite = true;
+    return Status::ok();
+}
+
+Status
+Connection::commit()
+{
+    if (!_inWrite)
+        return Status::invalidArgument("no write transaction to commit");
+    _inWrite = false;
+    return _db.commitFromConnection(&_writerLock);
+}
+
+Status
+Connection::rollback()
+{
+    if (!_inWrite)
+        return Status::invalidArgument(
+            "no write transaction to roll back");
+    _inWrite = false;
+    return _db.rollbackFromConnection(&_writerLock);
+}
+
+Status
+Connection::insert(RowId key, ConstByteSpan value)
+{
+    bool started = false;
+    if (!_inWrite) {
+        NVWAL_RETURN_IF_ERROR(begin());
+        started = true;
+    }
+    const Status s = _db.insert(key, value);
+    if (!started)
+        return s;
+    if (!s.isOk()) {
+        (void)rollback();
+        return s;
+    }
+    return commit();
+}
+
+Status
+Connection::insert(RowId key, const std::string &value)
+{
+    return insert(key,
+                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
+                                    value.data()),
+                                value.size()));
+}
+
+Status
+Connection::update(RowId key, ConstByteSpan value)
+{
+    bool started = false;
+    if (!_inWrite) {
+        NVWAL_RETURN_IF_ERROR(begin());
+        started = true;
+    }
+    const Status s = _db.update(key, value);
+    if (!started)
+        return s;
+    if (!s.isOk()) {
+        (void)rollback();
+        return s;
+    }
+    return commit();
+}
+
+Status
+Connection::remove(RowId key)
+{
+    bool started = false;
+    if (!_inWrite) {
+        NVWAL_RETURN_IF_ERROR(begin());
+        started = true;
+    }
+    const Status s = _db.remove(key);
+    if (!started)
+        return s;
+    if (!s.isOk()) {
+        (void)rollback();
+        return s;
+    }
+    return commit();
+}
+
+} // namespace nvwal

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Connection: a per-thread handle onto one Database.
+ *
+ * The redesigned concurrency surface of the database: any number of
+ * connections may run *read transactions* concurrently, each against
+ * a consistent WAL snapshot (the commit horizon pinned at
+ * beginRead()), while write transactions are serialized by the
+ * database's writer lock and made durable through the group-commit
+ * queue -- concurrent committers are batched into one WAL append
+ * with a single persist-barrier pair (the paper's lazy sync,
+ * stretched across transactions).
+ *
+ * A read transaction owns a private SnapshotCache, so repeated reads
+ * touch no shared state at all; only the first fetch of a page takes
+ * the engine lock. The snapshot pin bounds checkpointing: the WAL
+ * will not advance the .db file past the oldest open snapshot, so a
+ * long-lived reader sees the same data forever while commits and the
+ * background checkpointer keep running.
+ *
+ * Thread confinement: one Connection is used by one thread at a
+ * time. Distinct Connections are safe to use from distinct threads
+ * concurrently; that is their purpose.
+ */
+
+#ifndef NVWAL_DB_CONNECTION_HPP
+#define NVWAL_DB_CONNECTION_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "db/database.hpp"
+#include "pager/snapshot_cache.hpp"
+
+namespace nvwal
+{
+
+/** One client's handle onto a Database. */
+class Connection
+{
+  public:
+    /** Rolls back an open write txn and closes an open snapshot. */
+    ~Connection();
+    Connection(const Connection &) = delete;
+    Connection &operator=(const Connection &) = delete;
+
+    // ---- read transactions (snapshot isolation) ---------------------
+
+    /**
+     * Open a read transaction: pin the WAL's current commit horizon
+     * and build a private snapshot cache over it. Every read until
+     * endRead() sees exactly the transactions committed before this
+     * call -- commits that land afterwards are invisible, even
+     * across a crash+recovery of the writer. Unsupported when the
+     * WAL mode has no snapshot support (rollback journal).
+     */
+    Status beginRead();
+
+    /** Close the read transaction and release the snapshot pin. */
+    Status endRead();
+
+    bool inRead() const { return _snapshot != nullptr; }
+
+    // ---- write transactions -----------------------------------------
+
+    /**
+     * Begin a write transaction; blocks until the writer slot is
+     * free. Commit goes through the group-commit queue.
+     */
+    Status begin();
+    Status commit();
+    Status rollback();
+    bool inWrite() const { return _inWrite; }
+
+    // ---- statements (default table) ---------------------------------
+    // Reads use the open snapshot (or a throwaway one); writes
+    // require or auto-open a write transaction.
+
+    Status insert(RowId key, ConstByteSpan value);
+    Status insert(RowId key, const std::string &value);
+    Status update(RowId key, ConstByteSpan value);
+    Status remove(RowId key);
+    Status get(RowId key, ByteBuffer *value);
+    Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
+    Status count(std::uint64_t *out);
+
+    // ---- introspection ----------------------------------------------
+
+    /** Horizon of the open snapshot (0 when none / before commits). */
+    CommitSeq snapshotHorizon() const { return _horizon; }
+
+    /** Pages served from the private cache (open snapshot only). */
+    std::uint64_t snapshotCacheHits() const
+    { return _snapshot ? _snapshot->cacheHits() : 0; }
+
+    /** Pages fetched through the engine (open snapshot only). */
+    std::uint64_t snapshotFetches() const
+    { return _snapshot ? _snapshot->fetches() : 0; }
+
+  private:
+    friend class Database;
+    explicit Connection(Database &db);
+
+    /** Root of @p table as of the snapshot (cached per snapshot). */
+    Status snapshotRoot(const std::string &table, PageNo *root);
+
+    /** Run @p op inside the open snapshot, or a throwaway one. */
+    template <typename Op>
+    Status withReadSnapshot(const Op &op);
+
+    Database &_db;
+    /** Deferred lock on the database's writer mutex. */
+    std::unique_lock<std::mutex> _writerLock;
+    bool _inWrite = false;
+
+    std::unique_ptr<SnapshotCache> _snapshot;
+    CommitSeq _horizon = 0;
+    /** Table roots resolved from the snapshot's catalog. */
+    std::map<std::string, PageNo> _snapshotRoots;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_DB_CONNECTION_HPP

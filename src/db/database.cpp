@@ -1,35 +1,13 @@
 #include "database.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "db/catalog_codec.hpp"
+#include "db/connection.hpp"
 
 namespace nvwal
 {
-
-namespace
-{
-
-/** Catalog entry payload: [root u32][name bytes]. */
-ByteBuffer
-encodeCatalogEntry(PageNo root, const std::string &name)
-{
-    ByteBuffer out(4 + name.size());
-    storeU32(out.data(), root);
-    std::memcpy(out.data() + 4, name.data(), name.size());
-    return out;
-}
-
-bool
-decodeCatalogEntry(ConstByteSpan raw, PageNo *root, std::string *name)
-{
-    if (raw.size() < 4)
-        return false;
-    *root = loadU32(raw.data());
-    name->assign(reinterpret_cast<const char *>(raw.data()) + 4,
-                 raw.size() - 4);
-    return true;
-}
-
-} // namespace
 
 // ---- Table ---------------------------------------------------------
 
@@ -44,8 +22,13 @@ Table::insert(RowId key, ConstByteSpan value)
 {
     bool started;
     NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
-    _db.chargeStatement(value.size());
-    return _db.autocommitEnd(started, _tree.insert(key, value));
+    Status s;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+        _db.chargeStatement(value.size());
+        s = _tree.insert(key, value);
+    }
+    return _db.autocommitEnd(started, s);
 }
 
 Status
@@ -62,8 +45,13 @@ Table::update(RowId key, ConstByteSpan value)
 {
     bool started;
     NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
-    _db.chargeStatement(value.size());
-    return _db.autocommitEnd(started, _tree.update(key, value));
+    Status s;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+        _db.chargeStatement(value.size());
+        s = _tree.update(key, value);
+    }
+    return _db.autocommitEnd(started, s);
 }
 
 Status
@@ -71,13 +59,19 @@ Table::remove(RowId key)
 {
     bool started;
     NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
-    _db.chargeStatement(0);
-    return _db.autocommitEnd(started, _tree.remove(key));
+    Status s;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+        _db.chargeStatement(0);
+        s = _tree.remove(key);
+    }
+    return _db.autocommitEnd(started, s);
 }
 
 Status
 Table::get(RowId key, ByteBuffer *value)
 {
+    std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
     _db.chargeStatement(0);
     return _tree.get(key, value);
 }
@@ -85,6 +79,7 @@ Table::get(RowId key, ByteBuffer *value)
 Status
 Table::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 {
+    std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
     _db.chargeStatement(0);
     return _tree.scan(lo, hi, visit);
 }
@@ -92,25 +87,38 @@ Table::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 Status
 Table::count(std::uint64_t *out)
 {
+    std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
     return _tree.count(out);
 }
 
 // ---- Database ------------------------------------------------------
 
-std::uint32_t
-DbConfig::resolvedReservedBytes() const
+namespace
 {
-    if (reservedBytes != kDefaultReserved)
-        return reservedBytes;
-    return walMode == WalMode::FileStock ||
-                   walMode == WalMode::RollbackJournal
+
+/** The paper's per-mode default when DbConfig::reservedBytes is unset. */
+std::uint32_t
+resolveReserved(const DbConfig &config)
+{
+    if (config.reservedBytes.has_value())
+        return *config.reservedBytes;
+    return config.walMode == WalMode::FileStock ||
+                   config.walMode == WalMode::RollbackJournal
                ? 0
                : 24;
 }
 
+} // namespace
+
 Database::Database(Env &env, DbConfig config)
-    : _env(env), _config(std::move(config))
+    : _env(env), _config(std::move(config)),
+      _dbWriterLock(_writerMutex, std::defer_lock)
 {}
+
+Database::~Database()
+{
+    stopCheckpointer();
+}
 
 Status
 Database::open(Env &env, DbConfig config, std::unique_ptr<Database> *out)
@@ -138,7 +146,7 @@ Database::recoverAfterCrash(Env &env, DbConfig config,
 Status
 Database::openInternal()
 {
-    const std::uint32_t reserved = _config.resolvedReservedBytes();
+    const std::uint32_t reserved = resolveReserved(_config);
     _dbFile = std::make_unique<DbFile>(_env.fs, _config.name,
                                        _config.pageSize);
     NVWAL_RETURN_IF_ERROR(_dbFile->open());
@@ -189,6 +197,9 @@ Database::openInternal()
         findCatalogEntry(kDefaultTable, &id, &root, &found));
     if (!found)
         NVWAL_RETURN_IF_ERROR(createTable(kDefaultTable));
+
+    if (_config.backgroundCheckpointer && !_checkpointer.joinable())
+        _checkpointer = std::thread(&Database::checkpointerMain, this);
     return Status::ok();
 }
 
@@ -196,6 +207,7 @@ Status
 Database::findCatalogEntry(const std::string &name, RowId *id,
                            PageNo *root, bool *found)
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     *found = false;
     Status scan_error = Status::ok();
     NVWAL_RETURN_IF_ERROR(_catalog->scan(
@@ -226,6 +238,7 @@ Database::createTable(const std::string &name)
     NVWAL_RETURN_IF_ERROR(autocommitBegin(&started));
 
     auto create = [&]() -> Status {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
         bool exists = false;
         RowId id;
         PageNo root;
@@ -255,6 +268,7 @@ Database::createTable(const std::string &name)
 Status
 Database::openTable(const std::string &name, Table **out)
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     auto it = _tables.find(name);
     if (it != _tables.end()) {
         *out = it->second.get();
@@ -278,12 +292,16 @@ Database::dropTable(const std::string &name)
 {
     if (name == kDefaultTable)
         return Status::invalidArgument("cannot drop the default table");
-    // Invalidate any handle up-front; the pages are about to go.
-    _tables.erase(name);
+    {
+        // Invalidate any handle up-front; the pages are about to go.
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        _tables.erase(name);
+    }
 
     bool started;
     NVWAL_RETURN_IF_ERROR(autocommitBegin(&started));
     auto drop = [&]() -> Status {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
         bool found = false;
         RowId id;
         PageNo root;
@@ -300,6 +318,7 @@ Database::dropTable(const std::string &name)
 Status
 Database::listTables(std::vector<std::string> *out)
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     out->clear();
     Status scan_error = Status::ok();
     NVWAL_RETURN_IF_ERROR(_catalog->scan(
@@ -322,19 +341,12 @@ Database::defaultTable(Table **out)
     return openTable(kDefaultTable, out);
 }
 
-BTree &
-Database::btree()
-{
-    Table *table = nullptr;
-    NVWAL_CHECK_OK(openTable(kDefaultTable, &table));
-    return table->btree();
-}
+// ---- transactions --------------------------------------------------
 
 Status
-Database::begin()
+Database::beginTxnBody()
 {
-    if (_inTxn)
-        return Status::busy("a write transaction is already open");
+    NVWAL_RETURN_IF_ERROR(_poisoned);
     _inTxn = true;
     _txnStartPageCount = _pager->pageCount();
     ++_txnSeq;
@@ -345,33 +357,208 @@ Database::begin()
 }
 
 Status
+Database::begin()
+{
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        if (_inTxn)
+            return Status::busy("a write transaction is already open");
+        NVWAL_RETURN_IF_ERROR(_poisoned);
+    }
+    // Register the write intent before blocking on the writer slot:
+    // a committing leader holds its batch open while intents are
+    // outstanding, so the announcement must precede the lock wait.
+    noteWriteIntent();
+    // Blocks while a Connection writer holds the slot. The direct
+    // API is single-threaded by contract, so _dbWriterLock is only
+    // ever touched by one thread at a time.
+    _dbWriterLock.lock();
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    const Status s = beginTxnBody();
+    if (!s.isOk()) {
+        _dbWriterLock.unlock();
+        endWriteIntent();
+    }
+    return s;
+}
+
+void
+Database::noteWriteIntent()
+{
+    _writeIntents.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+Database::endWriteIntent()
+{
+    std::lock_guard<std::mutex> q(_commitQueueMutex);
+    NVWAL_ASSERT(_writeIntents.load(std::memory_order_relaxed) > 0);
+    _writeIntents.fetch_sub(1, std::memory_order_relaxed);
+    // Deliberately no notify: the leader re-evaluates its combining
+    // window on enqueues. Waking it here would sample the instant a
+    // writer sits between two transactions (intent ended, next begin
+    // not yet announced), closing batches early; a withdrawn last
+    // intent merely lets the window run to its bounded timeout.
+}
+
+bool
+Database::collectDirtyFrames(GroupEntry *entry)
+{
+    const std::vector<PageNo> dirty = _pager->dirtyPageNos();
+    entry->frames.clear();
+    entry->frames.reserve(dirty.size());
+    for (PageNo no : dirty) {
+        CachedPage *page = _pager->cached(no);
+        NVWAL_ASSERT(page != nullptr, "dirty page not cached");
+        GroupEntry::Frame frame;
+        frame.pageNo = no;
+        frame.page = page->buf;
+        frame.ranges = page->dirty;
+        entry->frames.push_back(std::move(frame));
+    }
+    entry->dbSizePages = _pager->pageCount();
+    return !entry->frames.empty();
+}
+
+Status
+Database::appendGroup(const std::vector<GroupEntry *> &batch)
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    std::vector<TxnFrames> txns;
+    txns.reserve(batch.size());
+    for (GroupEntry *e : batch) {
+        TxnFrames txn;
+        txn.dbSizePages = e->dbSizePages;
+        txn.frames.reserve(e->frames.size());
+        for (const GroupEntry::Frame &f : e->frames) {
+            txn.frames.push_back(FrameWrite{
+                f.pageNo, ConstByteSpan(f.page.data(), f.page.size()),
+                &f.ranges});
+        }
+        txns.push_back(std::move(txn));
+    }
+    _env.stats.add(stats::kGroupCommits);
+    _env.stats.add(stats::kGroupCommitTxns, batch.size());
+    _env.stats.recordNs(stats::kHistGroupCommitSize, batch.size());
+    _env.stats.setGauge(stats::kGaugeCommitQueueDepth, batch.size());
+    const Status s = _wal->writeFrameGroup(txns);
+    if (!s.isOk()) {
+        for (const GroupEntry *e : batch) {
+            if (e->finalized) {
+                // The transaction was already published to the shared
+                // cache; there is no way back for it or anything that
+                // read its pages since.
+                _poisoned = s;
+                break;
+            }
+        }
+    }
+    return s;
+}
+
+Status
+Database::submitAndWait(GroupEntry *entry,
+                        std::unique_lock<std::mutex> *release_after_enqueue)
+{
+    std::unique_lock<std::mutex> q(_commitQueueMutex);
+    _commitQueue.push_back(entry);
+    _commitCv.notify_all();
+    // The entry is ordered in the queue; only now may the next writer
+    // begin (WAL append order must equal writer-lock order).
+    if (release_after_enqueue != nullptr)
+        release_after_enqueue->unlock();
+
+    if (_groupLeaderActive) {
+        _commitCv.wait(q, [&] { return entry->done; });
+        return entry->status;
+    }
+
+    _groupLeaderActive = true;
+    while (!_commitQueue.empty()) {
+        // Commit combining: every registered write intent is a
+        // transaction that will either enqueue an entry here or
+        // withdraw (rollback, failed begin, empty commit), so hold
+        // the batch open until the queue has caught up with the
+        // intent count -- writers mid-body get absorbed and the whole
+        // group costs one barrier pair. Never fires single-threaded
+        // (one intent, one queued entry) and is real-time only: the
+        // simulated clock is not charged for the window.
+        _commitCv.wait_for(q, std::chrono::microseconds(500), [&] {
+            std::uint32_t intents =
+                _writeIntents.load(std::memory_order_relaxed);
+            // After the leader's own entry was appended (iteration
+            // 2+), its still-registered intent can never enqueue
+            // again; counting it would force the full timeout.
+            if (entry->done && intents > 0)
+                --intents;
+            return _commitQueue.size() >= intents;
+        });
+        std::vector<GroupEntry *> batch;
+        batch.swap(_commitQueue);
+        q.unlock();
+        const Status s = appendGroup(batch);
+        q.lock();
+        for (GroupEntry *e : batch) {
+            e->status = s;
+            e->done = true;
+        }
+        _commitCv.notify_all();
+    }
+    _groupLeaderActive = false;
+    return entry->status;
+}
+
+Status
+Database::maybeCheckpointAfterCommit()
+{
+    if (_wal->framesSinceCheckpoint() < _config.checkpointThreshold)
+        return Status::ok();
+    if (_config.backgroundCheckpointer) {
+        kickCheckpointer();
+        return Status::ok();
+    }
+    if (!_config.autoCheckpoint)
+        return Status::ok();
+    if (!_config.incrementalCheckpoint)
+        return checkpoint();
+    bool done = false;
+    return _wal->checkpointStep(_config.checkpointStepPages, &done);
+}
+
+Status
 Database::commit()
 {
-    if (!_inTxn)
-        return Status::invalidArgument("no transaction to commit");
-    const SimTime commit_begin = _env.clock.now();
+    GroupEntry entry;
+    bool have_entry = false;
+    SimTime commit_begin = 0;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        if (!_inTxn)
+            return Status::invalidArgument("no transaction to commit");
+        NVWAL_RETURN_IF_ERROR(_poisoned);
+        commit_begin = _env.clock.now();
 
-    // Per-transaction engine work (locking, journaling bookkeeping).
-    _env.clock.advance(_env.cost.cpuTxnNs);
-
-    const std::vector<PageNo> dirty = _pager->dirtyPageNos();
-    if (!dirty.empty()) {
-        std::vector<FrameWrite> frames;
-        frames.reserve(dirty.size());
-        for (PageNo no : dirty) {
-            CachedPage *page = _pager->cached(no);
-            NVWAL_ASSERT(page != nullptr, "dirty page not cached");
-            frames.push_back(
-                FrameWrite{no, page->cspan(), &page->dirty});
-        }
-        NVWAL_RETURN_IF_ERROR(
-            _wal->writeFrames(frames, true, _pager->pageCount()));
-        _pager->markAllClean();
+        // Per-transaction engine work (locking, journaling
+        // bookkeeping).
+        _env.clock.advance(_env.cost.cpuTxnNs);
+        have_entry = collectDirtyFrames(&entry);
     }
+
+    if (have_entry) {
+        // Keep the writer slot (and the dirty marks) until the batch
+        // is durable: on failure the transaction is still open and
+        // retryable after a checkpoint, exactly like the
+        // single-threaded engine behaved.
+        NVWAL_RETURN_IF_ERROR(submitAndWait(&entry, nullptr));
+    }
+
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    if (have_entry)
+        _pager->markAllClean();
     _inTxn = false;
     _env.stats.add(stats::kTxnsCommitted);
     _env.stats.tracer().complete("db.commit", "db", commit_begin,
-                                 "dirty_pages", dirty.size());
+                                 "dirty_pages", entry.frames.size());
     _env.stats.tracer().complete("db.txn", "db", _txnBeginNs);
     _env.stats.recordNs(stats::kHistCommitNs,
                         _env.clock.now() - commit_begin);
@@ -379,26 +566,20 @@ Database::commit()
     // The auto-checkpoint below is still attributed to this
     // transaction (it is the commit that tripped the threshold);
     // anything after commit() is background again.
-    Status ckpt = Status::ok();
-    if (_config.autoCheckpoint &&
-        _wal->framesSinceCheckpoint() >= _config.checkpointThreshold) {
-        if (!_config.incrementalCheckpoint) {
-            ckpt = checkpoint();
-        } else {
-            bool done = false;
-            ckpt = _wal->checkpointStep(_config.checkpointStepPages,
-                                        &done);
-        }
-    }
+    const Status ckpt = maybeCheckpointAfterCommit();
     _env.stats.tracer().setCurrentTxn(0);
+    if (_dbWriterLock.owns_lock())
+        _dbWriterLock.unlock();
+    // The transaction is closed; it is no longer a commit candidate.
+    // (Error returns above keep the intent: the txn stays open and
+    // retryable, and begin() will not be called again.)
+    endWriteIntent();
     return ckpt;
 }
 
-Status
-Database::rollback()
+void
+Database::rollbackBody()
 {
-    if (!_inTxn)
-        return Status::invalidArgument("no transaction to roll back");
     _pager->discardDirty(_txnStartPageCount);
     _inTxn = false;
     _env.stats.tracer().instant("txn.rollback", "db");
@@ -407,6 +588,18 @@ Database::rollback()
     // tables; drop all handles so they are rebuilt from the (now
     // reverted) catalog.
     _tables.clear();
+}
+
+Status
+Database::rollback()
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    if (!_inTxn)
+        return Status::invalidArgument("no transaction to roll back");
+    rollbackBody();
+    if (_dbWriterLock.owns_lock())
+        _dbWriterLock.unlock();
+    endWriteIntent();
     return Status::ok();
 }
 
@@ -441,6 +634,102 @@ Database::chargeStatement(std::size_t payload_bytes)
                                             static_cast<double>(
                                                 payload_bytes)));
 }
+
+// ---- Connection entry points ---------------------------------------
+
+Status
+Database::connect(std::unique_ptr<Connection> *out)
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    out->reset(new Connection(*this));
+    ++_openConnections;
+    _env.stats.setGauge(stats::kGaugeOpenConnections, _openConnections);
+    return Status::ok();
+}
+
+void
+Database::releaseConnection(Connection *conn)
+{
+    (void)conn;
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    NVWAL_ASSERT(_openConnections > 0);
+    --_openConnections;
+    _env.stats.setGauge(stats::kGaugeOpenConnections, _openConnections);
+}
+
+Status
+Database::beginFromConnection()
+{
+    // The caller holds the writer mutex, so no other write
+    // transaction can be open.
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    NVWAL_ASSERT(!_inTxn, "writer lock held but a txn is open");
+    return beginTxnBody();
+}
+
+Status
+Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock)
+{
+    GroupEntry entry;
+    entry.finalized = true;
+    bool have_entry = false;
+    SimTime commit_begin = 0;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        NVWAL_ASSERT(_inTxn, "connection commit without open txn");
+        if (!_poisoned.isOk()) {
+            rollbackBody();
+            writer_lock->unlock();
+            endWriteIntent();
+            return _poisoned;
+        }
+        commit_begin = _env.clock.now();
+        _env.clock.advance(_env.cost.cpuTxnNs);
+        have_entry = collectDirtyFrames(&entry);
+        // Publish to the shared cache now: the next writer overlaps
+        // its transaction body with this batch's durability.
+        if (have_entry)
+            _pager->markAllClean();
+        _inTxn = false;
+        _env.stats.add(stats::kTxnsCommitted);
+        _env.stats.tracer().complete("db.commit", "db", commit_begin,
+                                     "dirty_pages", entry.frames.size());
+        _env.stats.tracer().complete("db.txn", "db", _txnBeginNs);
+        _env.stats.tracer().setCurrentTxn(0);
+    }
+
+    Status s = Status::ok();
+    if (have_entry) {
+        s = submitAndWait(&entry, writer_lock);
+    } else {
+        writer_lock->unlock();
+    }
+    // The transaction was published above (_inTxn already false), so
+    // win or lose it is no longer a commit candidate; on failure the
+    // database is poisoned rather than the txn retryable.
+    endWriteIntent();
+
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    _env.stats.recordNs(stats::kHistCommitNs,
+                        _env.clock.now() - commit_begin);
+    const Status ckpt = maybeCheckpointAfterCommit();
+    return s.isOk() ? ckpt : s;
+}
+
+Status
+Database::rollbackFromConnection(std::unique_lock<std::mutex> *writer_lock)
+{
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        NVWAL_ASSERT(_inTxn, "connection rollback without open txn");
+        rollbackBody();
+    }
+    writer_lock->unlock();
+    endWriteIntent();
+    return Status::ok();
+}
+
+// ---- statements ----------------------------------------------------
 
 Status
 Database::insert(RowId key, ConstByteSpan value)
@@ -499,19 +788,114 @@ Database::count(std::uint64_t *out)
     return table->count(out);
 }
 
+// ---- maintenance ---------------------------------------------------
+
 Status
 Database::checkpoint()
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
     return _wal->checkpoint();
 }
 
 Status
+Database::checkpointStep(std::uint32_t max_pages, bool *done)
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    if (_inTxn)
+        return Status::busy("cannot checkpoint inside a transaction");
+    return _wal->checkpointStep(
+        max_pages != 0 ? max_pages : _config.checkpointStepPages, done);
+}
+
+std::uint64_t
+Database::walFramesSinceCheckpoint() const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _wal->framesSinceCheckpoint();
+}
+
+std::uint64_t
+Database::statValue(const std::string &name) const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _env.stats.get(name);
+}
+
+std::uint64_t
+Database::statGauge(const std::string &name) const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _env.stats.gauge(name);
+}
+
+// ---- background checkpointer ---------------------------------------
+
+void
+Database::checkpointerMain()
+{
+    std::unique_lock<std::mutex> l(_ckptMutex);
+    for (;;) {
+        _ckptCv.wait(l, [&] { return _ckptStop || _ckptKick; });
+        if (_ckptStop)
+            return;
+        _ckptKick = false;
+        l.unlock();
+
+        // Drain: one bounded round per engine-lock acquisition, so
+        // foreground commits interleave instead of stalling behind a
+        // monolithic checkpoint. done=true also covers the
+        // pin-blocked case (round complete, truncation deferred);
+        // the next commit kicks again.
+        bool done = false;
+        while (!done) {
+            {
+                std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+                if (_inTxn || _wal->framesSinceCheckpoint() == 0)
+                    break;
+                const Status s = _wal->checkpointStep(
+                    _config.checkpointStepPages, &done);
+                _env.stats.add(stats::kCheckpointerSteps);
+                if (!s.isOk())
+                    break;
+            }
+            std::lock_guard<std::mutex> g(_ckptMutex);
+            if (_ckptStop)
+                return;
+        }
+        l.lock();
+    }
+}
+
+void
+Database::kickCheckpointer()
+{
+    std::lock_guard<std::mutex> g(_ckptMutex);
+    _ckptKick = true;
+    _ckptCv.notify_all();
+}
+
+void
+Database::stopCheckpointer()
+{
+    {
+        std::lock_guard<std::mutex> g(_ckptMutex);
+        _ckptStop = true;
+        _ckptCv.notify_all();
+    }
+    if (_checkpointer.joinable())
+        _checkpointer.join();
+}
+
+Status
 Database::vacuum()
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot vacuum inside a transaction");
+    if (_wal->hasPins())
+        return Status::busy("open snapshots pin the log");
     // Make the .db file current and the log empty so the rebuild
     // can read pages straight from the file image.
     NVWAL_RETURN_IF_ERROR(checkpoint());
@@ -524,7 +908,7 @@ Database::vacuum()
         DbFile tmp_file(_env.fs, tmp_name, _config.pageSize);
         NVWAL_RETURN_IF_ERROR(tmp_file.open());
         Pager tmp_pager(tmp_file, _config.pageSize,
-                        _config.resolvedReservedBytes());
+                        resolveReserved(_config));
         NVWAL_RETURN_IF_ERROR(tmp_pager.open());
         BTree tmp_catalog(tmp_pager, tmp_pager.rootPage());
 
@@ -583,6 +967,7 @@ Database::vacuum()
 Status
 Database::verifyIntegrity()
 {
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     NVWAL_RETURN_IF_ERROR(_catalog->validate());
     std::vector<std::string> names;
     NVWAL_RETURN_IF_ERROR(listTables(&names));

@@ -10,24 +10,44 @@
  *   - WalMode::Nvwal         -- the paper's NVRAM write-ahead log,
  *                               in any NvwalConfig variant
  *
- * Transactions follow SQLite's serverless model: a single writer
- * with an exclusive database lock (section 4.1), explicit
- * begin/commit/rollback, and autocommit for standalone statements.
- * CPU costs of query processing are charged to the simulated clock
- * per statement and per transaction, calibrated in CostModel.
+ * Transactions follow SQLite's WAL-mode concurrency model: a single
+ * writer with an exclusive write lock (section 4.1), explicit
+ * begin/commit/rollback and autocommit for standalone statements,
+ * plus any number of concurrent snapshot readers obtained through
+ * Database::connect(). CPU costs of query processing are charged to
+ * the simulated clock per statement and per transaction, calibrated
+ * in CostModel.
+ *
+ * Locking discipline (acquire strictly in this order):
+ *   1. _writerMutex  -- serializes write transactions begin..commit;
+ *   2. _engineMutex  -- the big engine lock guarding the pager, WAL,
+ *      catalog, tables, and MetricsRegistry (recursive: public
+ *      operations nest);
+ *   3. _commitQueueMutex / _ckptMutex -- leaf locks, never held while
+ *      acquiring the ones above.
+ * The simulated clock is atomic and is the only lock-free piece of
+ * shared engine state; snapshot readers otherwise run on private
+ * SnapshotCaches and take the engine lock only to fetch a missing
+ * page.
  */
 
 #ifndef NVWAL_DB_DATABASE_HPP
 #define NVWAL_DB_DATABASE_HPP
 
+#include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "btree/btree.hpp"
 #include "core/nvwal_log.hpp"
 #include "db/env.hpp"
+#include "pager/pager.hpp"
 #include "wal/file_wal.hpp"
 #include "wal/rollback_journal.hpp"
 
@@ -53,13 +73,12 @@ struct DbConfig
     NvwalConfig nvwal;
     std::uint32_t pageSize = 4096;
     /**
-     * Reserved bytes per page. kDefaultReserved picks the paper's
-     * setting for the mode: 0 for stock WAL, 24 otherwise (the
-     * early-split/aligned-frame optimization of section 5.4, also
-     * applied to NVWAL).
+     * Reserved bytes per page. Unset picks the paper's setting for
+     * the mode: 0 for the stock WAL and the rollback journal, 24
+     * otherwise (the early-split/aligned-frame optimization of
+     * section 5.4, also applied to NVWAL).
      */
-    static constexpr std::uint32_t kDefaultReserved = ~0u;
-    std::uint32_t reservedBytes = kDefaultReserved;
+    std::optional<std::uint32_t> reservedBytes;
     /** Auto-checkpoint threshold in frames (SQLite default: 1000). */
     std::uint64_t checkpointThreshold = 1000;
     bool autoCheckpoint = true;
@@ -71,11 +90,20 @@ struct DbConfig
      */
     bool incrementalCheckpoint = false;
     std::uint32_t checkpointStepPages = 8;
-
-    std::uint32_t resolvedReservedBytes() const;
+    /**
+     * Run a background checkpointer thread that drains the log with
+     * incremental checkpointStep() rounds whenever a commit pushes
+     * framesSinceCheckpoint() past checkpointThreshold, so foreground
+     * commits never absorb the write-back. While it runs, the
+     * in-commit auto-checkpoint is replaced by a wakeup of the
+     * thread. Snapshot pins bound its progress (the WAL refuses to
+     * truncate past the oldest pin).
+     */
+    bool backgroundCheckpointer = false;
 };
 
 class Database;
+class Connection;
 
 /**
  * Handle to one named table (a rowid-keyed B+-tree registered in the
@@ -106,7 +134,10 @@ class Table
     BTree _tree;
 };
 
-/** A single-writer embedded database. */
+/**
+ * An embedded database: one writer at a time, any number of snapshot
+ * readers (through Connection handles).
+ */
 class Database
 {
   public:
@@ -123,14 +154,26 @@ class Database
      * is the entry point crash tests and the faultsim harness use
      * after catching a PowerFailure thrown by the NVRAM device (which
      * has already applied its survival policy by then). @p out may
-     * hold the pre-crash database; it is destroyed first.
+     * hold the pre-crash database; it is destroyed first. Any
+     * Connection into the pre-crash handle must be destroyed before
+     * calling this.
      */
     static Status recoverAfterCrash(Env &env, DbConfig config,
                                     std::unique_ptr<Database> *out);
 
-    ~Database() = default;
+    ~Database();
     Database(const Database &) = delete;
     Database &operator=(const Database &) = delete;
+
+    // ---- connections ------------------------------------------------
+
+    /**
+     * Open a Connection: a per-thread handle that can run snapshot
+     * read transactions concurrently with the single writer and
+     * enters write transactions through the group-commit queue. The
+     * connection must be destroyed before the Database.
+     */
+    Status connect(std::unique_ptr<Connection> *out);
 
     // ---- transactions ---------------------------------------------
 
@@ -180,11 +223,20 @@ class Database
     Status checkpoint();
 
     /**
+     * One incremental checkpoint round: write back at most
+     * @p max_pages pages (0 = the configured checkpointStepPages).
+     * Busy inside a write transaction. Snapshot pins clamp how far
+     * the .db file advances; see WriteAheadLog::checkpointStep().
+     */
+    Status checkpointStep(std::uint32_t max_pages, bool *done);
+
+    /**
      * Rebuild the database compactly (SQLite VACUUM): checkpoint,
      * copy every table in key order into a fresh file (dropping
      * free-list pages, freeblock fragmentation and dead overflow
      * chains), then atomically swap the files. Fails with Busy
-     * inside a transaction. Table handles are invalidated.
+     * inside a transaction or while any snapshot is pinned. Table
+     * handles are invalidated.
      */
     Status vacuum();
 
@@ -198,13 +250,53 @@ class Database
 
     WriteAheadLog &wal() { return *_wal; }
     Pager &pager() { return *_pager; }
-    /** The default table's tree (legacy single-table accessor). */
-    BTree &btree();
     Env &env() { return _env; }
     const DbConfig &config() const { return _config; }
 
+    /**
+     * Engine-locked view of WAL frames not yet checkpointed: safe to
+     * poll from any thread, e.g. to watch the background checkpointer
+     * drain. wal().framesSinceCheckpoint() gives the same number but
+     * is only safe while nothing else runs.
+     */
+    std::uint64_t walFramesSinceCheckpoint() const;
+
+    /** Engine-locked read of a metrics counter (see statValue note). */
+    std::uint64_t statValue(const std::string &name) const;
+
+    /** Engine-locked read of a metrics gauge. */
+    std::uint64_t statGauge(const std::string &name) const;
+
   private:
     friend class Table;
+    friend class Connection;
+
+    /**
+     * One transaction's frames queued for group commit. The queued
+     * entry owns deep copies of the dirty pages so the committing
+     * writer can release the write lock (letting the next writer
+     * mutate the shared cache) while the batch is still in flight.
+     */
+    struct GroupEntry
+    {
+        struct Frame
+        {
+            PageNo pageNo = kNoPage;
+            ByteBuffer page;
+            DirtyRanges ranges;
+        };
+        std::vector<Frame> frames;
+        std::uint32_t dbSizePages = 0;
+        /**
+         * True when the owner already published the transaction to
+         * the shared cache (marked pages clean) before durability; a
+         * failed append then poisons the database instead of being
+         * retryable.
+         */
+        bool finalized = false;
+        bool done = false;        //!< guarded by _commitQueueMutex
+        Status status;
+    };
 
     Database(Env &env, DbConfig config);
 
@@ -217,6 +309,62 @@ class Database
     Status findCatalogEntry(const std::string &name, RowId *id,
                             PageNo *root, bool *found);
     Status defaultTable(Table **out);
+
+    /** Engine-locked bookkeeping shared by both begin paths. */
+    Status beginTxnBody();
+    /** Engine-locked rollback work (no lock release). */
+    void rollbackBody();
+
+    // ---- group commit ----------------------------------------------
+
+    /** Deep-copy the dirty page set; false when nothing is dirty. */
+    bool collectDirtyFrames(GroupEntry *entry);
+
+    /**
+     * Queue @p entry and drive it to durability: the first committer
+     * becomes the leader and appends every queued transaction as one
+     * WAL group (one barrier pair for the whole batch); the rest wait
+     * as followers. @p release_after_enqueue, when non-null, is the
+     * caller's write lock, released as soon as the entry is queued so
+     * the next writer can overlap its transaction body with this
+     * batch -- that release order (queue, then unlock) is what keeps
+     * WAL append order equal to writer-lock order.
+     */
+    Status submitAndWait(GroupEntry *entry,
+                         std::unique_lock<std::mutex> *release_after_enqueue);
+
+    /**
+     * Write-intent bookkeeping for the group-commit combining window.
+     * An intent is registered *before* the writer mutex is acquired
+     * (both begin paths) and released exactly once when that
+     * transaction stops being a commit candidate: after a durable
+     * commit, after rollback, on a failed begin, or when the commit
+     * turns out to be empty. The leader's combining wait uses the
+     * intent count -- not the queue depth -- so it keeps the batch
+     * open while writers that already announced themselves are still
+     * running their transaction bodies.
+     */
+    void noteWriteIntent();
+    void endWriteIntent();
+
+    /** Leader body: append one batch under the engine lock. */
+    Status appendGroup(const std::vector<GroupEntry *> &batch);
+
+    /** Post-commit auto-checkpoint (inline or checkpointer wakeup). */
+    Status maybeCheckpointAfterCommit();
+
+    // ---- Connection entry points (writer lock held by the caller) --
+
+    Status beginFromConnection();
+    Status commitFromConnection(std::unique_lock<std::mutex> *writer_lock);
+    Status rollbackFromConnection(std::unique_lock<std::mutex> *writer_lock);
+    void releaseConnection(Connection *conn);
+
+    // ---- background checkpointer -----------------------------------
+
+    void checkpointerMain();
+    void kickCheckpointer();
+    void stopCheckpointer();
 
     Env &_env;
     DbConfig _config;
@@ -232,6 +380,49 @@ class Database
     std::uint64_t _txnSeq = 0;
     /** Sim time at begin() of the open transaction. */
     SimTime _txnBeginNs = 0;
+    /**
+     * Set when a group append failed after its transactions were
+     * already published to the shared cache; every later transaction
+     * fails with this status until the database is reopened.
+     */
+    Status _poisoned = Status::ok();
+
+    // ---- concurrency state ------------------------------------------
+
+    /** Serializes write transactions (begin .. commit/rollback). */
+    std::mutex _writerMutex;
+    /**
+     * Big engine lock: pager, WAL, catalog, tables, metrics.
+     * Recursive because public operations nest (commit ->
+     * checkpoint, statements -> autocommit).
+     */
+    mutable std::recursive_mutex _engineMutex;
+    /**
+     * Held across Database-level (non-Connection) write transactions.
+     * The direct API is single-threaded by contract; concurrent
+     * writers must use Connections.
+     */
+    std::unique_lock<std::mutex> _dbWriterLock;
+
+    std::mutex _commitQueueMutex;
+    std::condition_variable _commitCv;
+    std::vector<GroupEntry *> _commitQueue;
+    bool _groupLeaderActive = false;
+    /**
+     * Writers between begin-intent and transaction close. Atomic so
+     * begin paths can register themselves before taking any lock;
+     * decrements happen under _commitQueueMutex so the leader's
+     * combining wait cannot miss the wakeup.
+     */
+    std::atomic<std::uint32_t> _writeIntents{0};
+
+    std::thread _checkpointer;
+    std::mutex _ckptMutex;
+    std::condition_variable _ckptCv;
+    bool _ckptStop = false;
+    bool _ckptKick = false;
+
+    std::uint32_t _openConnections = 0;  //!< guarded by _engineMutex
 };
 
 } // namespace nvwal

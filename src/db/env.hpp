@@ -113,7 +113,7 @@ class Env
     }
 
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     CostModel cost;
     NvramDevice nvramDevice;
     Pmem pmem;

@@ -244,7 +244,7 @@ printPage(Pager &pager, PageNo page_no, std::FILE *out)
 }
 
 void
-printCounters(const StatsRegistry &stats, std::FILE *out)
+printCounters(const MetricsRegistry &stats, std::FILE *out)
 {
     // StatsSnapshot is a std::map, so iteration is already the
     // documented ascending lexicographic key order.
@@ -255,7 +255,7 @@ printCounters(const StatsRegistry &stats, std::FILE *out)
 }
 
 void
-printHistograms(const StatsRegistry &stats, std::FILE *out)
+printHistograms(const MetricsRegistry &stats, std::FILE *out)
 {
     for (const auto &[name, hist] : stats.histograms()) {
         if (hist.count() == 0)

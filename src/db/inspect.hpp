@@ -108,13 +108,13 @@ Status printPage(Pager &pager, PageNo page_no, std::FILE *out = stdout);
  * docs/MODEL.md, shared by nvwal_inspect and nvwal_shell so output
  * is diffable across runs and versions.
  */
-void printCounters(const StatsRegistry &stats, std::FILE *out = stdout);
+void printCounters(const MetricsRegistry &stats, std::FILE *out = stdout);
 
 /**
  * Print each non-empty latency histogram as one summary line
  * (count/mean/p50/p95/p99/max), keys in lexicographic order.
  */
-void printHistograms(const StatsRegistry &stats, std::FILE *out = stdout);
+void printHistograms(const MetricsRegistry &stats, std::FILE *out = stdout);
 
 } // namespace nvwal
 

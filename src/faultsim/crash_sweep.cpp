@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "db/connection.hpp"
+
 namespace nvwal::faultsim
 {
 namespace
@@ -11,8 +13,26 @@ namespace
 using TableImage = std::map<RowId, ByteBuffer>;
 using DbImage = std::map<std::string, TableImage>;
 
+/**
+ * Per-replay state the snapshot ops need: a lazily-opened Connection
+ * (destroyed strictly before the Database it points at), the oracle
+ * states when available, and which state the open snapshot pinned.
+ * The replay's snapshot is a *scripted* reader: it runs on the replay
+ * thread so the device-op stream stays deterministic, standing in for
+ * the concurrent readers the live engine serves from other threads.
+ */
+struct ReplaySession
+{
+    std::unique_ptr<Connection> conn;
+    /** Oracle states; null during the counting pass (not built yet). */
+    const std::vector<DbImage> *oracle = nullptr;
+    /** Index of the state the currently open snapshot pinned. */
+    std::uint64_t pinnedEvents = 0;
+};
+
 Status
-applyOp(Database &db, const WorkloadOp &op)
+applyOp(Database &db, ReplaySession &session, const WorkloadOp &op,
+        std::uint64_t done_events)
 {
     const ConstByteSpan value(op.value.data(), op.value.size());
     Table *table = nullptr;
@@ -23,6 +43,44 @@ applyOp(Database &db, const WorkloadOp &op)
         return db.commit();
       case WorkloadOp::Kind::Checkpoint:
         return db.checkpoint();
+      case WorkloadOp::Kind::CheckpointStep: {
+        bool done = false;
+        return db.checkpointStep(0, &done);
+      }
+      case WorkloadOp::Kind::SnapshotOpen:
+        if (!session.conn)
+            NVWAL_RETURN_IF_ERROR(db.connect(&session.conn));
+        session.pinnedEvents = done_events;
+        return session.conn->beginRead();
+      case WorkloadOp::Kind::SnapshotVerify: {
+        if (!session.conn || !session.conn->inRead())
+            return Status::invalidArgument("no snapshot to verify");
+        TableImage seen;
+        NVWAL_RETURN_IF_ERROR(session.conn->scan(
+            INT64_MIN, INT64_MAX, [&](RowId k, ConstByteSpan v) {
+                seen[k] = ByteBuffer(v.begin(), v.end());
+                return true;
+            }));
+        if (session.oracle != nullptr) {
+            // The snapshot must still read as the state it pinned,
+            // no matter how many commits or checkpoint steps have
+            // run since SnapshotOpen.
+            const DbImage &want = (*session.oracle)[session.pinnedEvents];
+            static const TableImage kEmpty;
+            const auto it = want.find(Database::kDefaultTable);
+            const TableImage &expect =
+                it == want.end() ? kEmpty : it->second;
+            if (seen != expect)
+                return Status::corruption(
+                    "snapshot drifted from pinned state S_" +
+                    std::to_string(session.pinnedEvents));
+        }
+        return Status::ok();
+      }
+      case WorkloadOp::Kind::SnapshotClose:
+        if (!session.conn || !session.conn->inRead())
+            return Status::invalidArgument("no snapshot to close");
+        return session.conn->endRead();
       case WorkloadOp::Kind::CreateTable:
         return db.createTable(op.table);
       case WorkloadOp::Kind::DropTable:
@@ -67,6 +125,10 @@ isCommitEventOp(const Database &db, const WorkloadOp &op)
         return !db.inTransaction();
       case WorkloadOp::Kind::Begin:
       case WorkloadOp::Kind::Checkpoint:
+      case WorkloadOp::Kind::CheckpointStep:
+      case WorkloadOp::Kind::SnapshotOpen:
+      case WorkloadOp::Kind::SnapshotVerify:
+      case WorkloadOp::Kind::SnapshotClose:
         return false;
     }
     return false;
@@ -226,8 +288,12 @@ CrashSweep::run(SweepReport *report)
         env.stats.tracer().setEnabled(true);
     std::unique_ptr<Database> db;
     NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
-    for (std::size_t i = 0; i < _config.warmup.size(); ++i)
-        NVWAL_RETURN_IF_ERROR(applyOp(*db, _config.warmup.op(i)));
+    {
+        ReplaySession warm;
+        for (std::size_t i = 0; i < _config.warmup.size(); ++i)
+            NVWAL_RETURN_IF_ERROR(
+                applyOp(*db, warm, _config.warmup.op(i), 0));
+    }
     if (_config.checkpointAfterWarmup)
         NVWAL_RETURN_IF_ERROR(db->checkpoint());
     db.reset();
@@ -245,10 +311,18 @@ CrashSweep::run(SweepReport *report)
     env.restoreMedia(snap);
     NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
     const std::uint64_t base = env.nvramDevice.opCount();
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        spans[i].before = env.nvramDevice.opCount() - base;
-        NVWAL_RETURN_IF_ERROR(applyOp(*db, workload.op(i)));
-        spans[i].after = env.nvramDevice.opCount() - base;
+    {
+        ReplaySession count_session;   // no oracle yet: verify scans only
+        std::uint64_t count_events = 0;
+        for (std::size_t i = 0; i < workload.size(); ++i) {
+            spans[i].before = env.nvramDevice.opCount() - base;
+            const bool event = isCommitEventOp(*db, workload.op(i));
+            NVWAL_RETURN_IF_ERROR(
+                applyOp(*db, count_session, workload.op(i), count_events));
+            if (event)
+                count_events++;
+            spans[i].after = env.nvramDevice.opCount() - base;
+        }
     }
     const std::uint64_t total_ops = env.nvramDevice.opCount() - base;
     report->totalOps = total_ops;
@@ -262,11 +336,17 @@ CrashSweep::run(SweepReport *report)
     env.restoreMedia(snap);
     NVWAL_RETURN_IF_ERROR(Database::open(env, _config.db, &db));
     states.push_back(dumpAll(*db));   // S_0: the warm state
-    for (std::size_t i = 0; i < workload.size(); ++i) {
-        const bool event = isCommitEventOp(*db, workload.op(i));
-        NVWAL_RETURN_IF_ERROR(applyOp(*db, workload.op(i)));
-        if (event)
-            states.push_back(dumpAll(*db));
+    {
+        ReplaySession oracle_session;
+        oracle_session.oracle = &states;   // verify while building
+        for (std::size_t i = 0; i < workload.size(); ++i) {
+            const bool event = isCommitEventOp(*db, workload.op(i));
+            NVWAL_RETURN_IF_ERROR(applyOp(*db, oracle_session,
+                                          workload.op(i),
+                                          states.size() - 1));
+            if (event)
+                states.push_back(dumpAll(*db));
+        }
     }
     db.reset();
     report->commitEvents = states.size() - 1;
@@ -346,11 +426,14 @@ CrashSweep::run(SweepReport *report)
                 bool in_commit_event = false;
                 bool crashed = false;
                 Status replay = Status::ok();
+                ReplaySession session;
+                session.oracle = &states;
                 try {
                     for (std::size_t i = 0; i < workload.size(); ++i) {
                         in_commit_event =
                             isCommitEventOp(*db, workload.op(i));
-                        replay = applyOp(*db, workload.op(i));
+                        replay = applyOp(*db, session, workload.op(i),
+                                         done_events);
                         if (!replay.isOk())
                             break;
                         if (in_commit_event) {
@@ -362,6 +445,10 @@ CrashSweep::run(SweepReport *report)
                     crashed = true;
                 }
                 env.nvramDevice.scheduleCrashAtOp(0);
+                // The Connection references the crashed Database;
+                // destroy it (its pin and snapshot die with it)
+                // before the Database it points at.
+                session.conn.reset();
                 if (!crashed && !replay.isOk())
                     return replay;   // workload must be infallible
                 if (!crashed) {

@@ -3,7 +3,8 @@
  * Scripted database workloads for the crash-sweep harness.
  *
  * A Workload is a flat list of database operations (begin / commit /
- * record ops / table ops / checkpoint) the harness can replay
+ * record ops / table ops / checkpoint / incremental checkpoint steps /
+ * snapshot reads over a Connection) the harness can replay
  * deterministically any number of times: once to count the NVRAM
  * persistence operations it issues, once to build the oracle states
  * at every commit boundary, and then once per injected crash point.
@@ -39,6 +40,14 @@ struct WorkloadOp
         CreateTable,
         DropTable,
         Checkpoint,
+        /** One incremental checkpointStep() (a checkpointer slice). */
+        CheckpointStep,
+        /** Open a read snapshot on the harness connection. */
+        SnapshotOpen,
+        /** Re-scan the snapshot; must still equal the pinned state. */
+        SnapshotVerify,
+        /** Close the snapshot and release its pin. */
+        SnapshotClose,
     };
 
     Kind kind = Kind::Begin;
@@ -66,6 +75,30 @@ class Workload
     checkpoint()
     {
         return push(make(WorkloadOp::Kind::Checkpoint));
+    }
+
+    Workload &
+    checkpointStep()
+    {
+        return push(make(WorkloadOp::Kind::CheckpointStep));
+    }
+
+    Workload &
+    snapshotOpen()
+    {
+        return push(make(WorkloadOp::Kind::SnapshotOpen));
+    }
+
+    Workload &
+    snapshotVerify()
+    {
+        return push(make(WorkloadOp::Kind::SnapshotVerify));
+    }
+
+    Workload &
+    snapshotClose()
+    {
+        return push(make(WorkloadOp::Kind::SnapshotClose));
     }
 
     Workload &

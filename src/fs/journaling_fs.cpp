@@ -7,7 +7,7 @@ namespace nvwal
 {
 
 JournalingFs::JournalingFs(BlockDevice &device, SimClock &clock,
-                           const CostModel &cost, StatsRegistry &stats,
+                           const CostModel &cost, MetricsRegistry &stats,
                            std::uint64_t journal_blocks)
     : _device(device), _clock(clock), _cost(cost), _stats(stats),
       _journalBlocks(journal_blocks), _nextDataBlock(journal_blocks)

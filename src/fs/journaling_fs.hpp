@@ -41,7 +41,7 @@ class JournalingFs
      *        writes cycle through it (like a real EXT4 journal).
      */
     JournalingFs(BlockDevice &device, SimClock &clock,
-                 const CostModel &cost, StatsRegistry &stats,
+                 const CostModel &cost, MetricsRegistry &stats,
                  std::uint64_t journal_blocks = 256);
 
     /** Create an empty file. Fails if it already exists. */
@@ -123,7 +123,7 @@ class JournalingFs
     BlockDevice &_device;
     SimClock &_clock;
     const CostModel &_cost;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
 
     std::uint64_t _journalBlocks;
     std::uint64_t _journalHead = 0;  //!< next journal block (cycled)

@@ -18,7 +18,7 @@ constexpr NvOffset kDataOffOff = 40;
 
 } // namespace
 
-NvHeap::NvHeap(Pmem &pmem, StatsRegistry &stats)
+NvHeap::NvHeap(Pmem &pmem, MetricsRegistry &stats)
     : _pmem(pmem), _stats(stats),
       _allocHist(stats.histogram(stats::kHistHeapAllocNs))
 {}

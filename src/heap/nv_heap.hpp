@@ -55,7 +55,7 @@ class NvHeap
     static constexpr std::uint32_t kNamespaceNameLen = 24;
     static constexpr std::uint32_t kNamespaceSlotSize = 32;
 
-    explicit NvHeap(Pmem &pmem, StatsRegistry &stats);
+    explicit NvHeap(Pmem &pmem, MetricsRegistry &stats);
 
     /** Initialize a fresh heap with the given block size. */
     Status format(std::uint32_t block_size);
@@ -134,7 +134,7 @@ class NvHeap
                              bool *exists_out) const;
 
     Pmem &_pmem;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
     /** Heap-manager allocation latency (sim ns); registry-owned. */
     Histogram &_allocHist;
 

@@ -7,7 +7,7 @@ namespace nvwal
 {
 
 NvramDevice::NvramDevice(std::size_t size, std::uint32_t cache_line_size,
-                         StatsRegistry &stats, std::uint64_t seed)
+                         MetricsRegistry &stats, std::uint64_t seed)
     : _durable(size, 0), _lineSize(cache_line_size), _stats(stats),
       _rng(seed)
 {

@@ -78,7 +78,7 @@ class NvramDevice
      * @param seed RNG seed for the adversarial failure policy.
      */
     NvramDevice(std::size_t size, std::uint32_t cache_line_size,
-                StatsRegistry &stats, std::uint64_t seed = 0x7a51);
+                MetricsRegistry &stats, std::uint64_t seed = 0x7a51);
 
     std::size_t size() const { return _durable.size(); }
     std::uint32_t cacheLineSize() const { return _lineSize; }
@@ -187,7 +187,7 @@ class NvramDevice
 
     ByteBuffer _durable;
     std::uint32_t _lineSize;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
     Rng _rng;
 
     /** Dirty lines not yet flushed (volatile). */

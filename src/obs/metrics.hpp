@@ -2,12 +2,17 @@
  * @file
  * MetricsRegistry: counters + histograms + gauges + the event tracer.
  *
- * This absorbs the original StatsRegistry (named monotonic counters,
- * snapshot/delta) and extends it with log-bucketed latency histograms
- * (Histogram), point-in-time gauges, and an owned per-transaction
- * Tracer. `src/sim/stats.hpp` aliases `StatsRegistry` to this class,
- * so every component that already holds a `StatsRegistry&` gains the
- * new facilities without any constructor plumbing.
+ * This absorbs the original PR-2 stats registry (named monotonic
+ * counters, snapshot/delta) and extends it with log-bucketed latency
+ * histograms (Histogram), point-in-time gauges, and an owned
+ * per-transaction Tracer. Every component takes a `MetricsRegistry&`
+ * directly; the canonical counter names live in `src/sim/stats.hpp`.
+ *
+ * Thread-safety: the registry is NOT internally synchronized. Every
+ * mutation happens on the engine side of Database's big engine lock
+ * (snapshot readers aggregate thread-local tallies under that lock
+ * when a read transaction ends), so no two threads touch it
+ * concurrently.
  *
  * Reference stability contract: `histogram(name)` returns a reference
  * that stays valid for the registry's lifetime — components cache it
@@ -35,7 +40,7 @@ using StatsSnapshot = std::map<std::string, std::uint64_t>;
 class MetricsRegistry
 {
   public:
-    // ---- counters (the original StatsRegistry surface) ------------
+    // ---- counters ------------------------------------------------
 
     /** Add @p delta to counter @p name (creating it at zero). */
     void

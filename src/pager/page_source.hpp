@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PageSource: the page-access surface the B-tree runs on.
+ *
+ * Two implementations exist:
+ *  - Pager: the shared read-write DRAM cache over the database file
+ *    and the WAL (the single writer and everything engine-internal
+ *    run on it);
+ *  - SnapshotCache: a private read-only cache that resolves pages as
+ *    of one pinned WAL snapshot (each open read transaction owns
+ *    one, so concurrent readers never contend on shared cache
+ *    state).
+ *
+ * Mutating calls (allocatePage/freePage) default to Unsupported so
+ * read-only sources only implement the lookup path; a B-tree given a
+ * read-only source can serve get/scan/count/validate but any insert
+ * surfaces the error as a Status, not a crash.
+ */
+
+#ifndef NVWAL_PAGER_PAGE_SOURCE_HPP
+#define NVWAL_PAGER_PAGE_SOURCE_HPP
+
+#include "common/status.hpp"
+#include "common/types.hpp"
+#include "pager/dirty_ranges.hpp"
+
+namespace nvwal
+{
+
+/** One page resident in a page cache. */
+struct CachedPage
+{
+    ByteBuffer buf;
+    DirtyRanges dirty;
+
+    bool isDirty() const { return !dirty.empty(); }
+
+    ByteSpan span() { return ByteSpan(buf.data(), buf.size()); }
+    ConstByteSpan cspan() const
+    { return ConstByteSpan(buf.data(), buf.size()); }
+};
+
+/** Interface the B-tree (and its cursors) reads and writes through. */
+class PageSource
+{
+  public:
+    virtual ~PageSource() = default;
+
+    /** Fetch a page into the cache and return the cached entry. */
+    virtual Status getPage(PageNo page_no, CachedPage **out) = 0;
+
+    virtual std::uint32_t pageSize() const = 0;
+
+    /** Bytes of a page usable by the B-tree (pageSize - reserved). */
+    virtual std::uint32_t usableSize() const = 0;
+
+    /** Root page of the default table's tree. */
+    virtual PageNo rootPage() const = 0;
+
+    /**
+     * Allocate a zeroed, fully-dirty page. Read-only sources reject
+     * with Unsupported.
+     */
+    virtual Status
+    allocatePage(CachedPage **out, PageNo *page_no)
+    {
+        (void)out;
+        (void)page_no;
+        return Status::unsupported("read-only page source");
+    }
+
+    /** Return @p page_no to the free list. Read-only sources reject. */
+    virtual Status
+    freePage(PageNo page_no)
+    {
+        (void)page_no;
+        return Status::unsupported("read-only page source");
+    }
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_PAGER_PAGE_SOURCE_HPP

@@ -6,7 +6,7 @@ namespace nvwal
 {
 
 Pager::Pager(DbFile &db_file, std::uint32_t page_size,
-             std::uint32_t reserved_bytes, StatsRegistry *stats)
+             std::uint32_t reserved_bytes, MetricsRegistry *stats)
     : _dbFile(db_file), _pageSize(page_size),
       _reservedBytes(reserved_bytes), _stats(stats)
 {
@@ -76,8 +76,13 @@ Pager::getPage(PageNo page_no, CachedPage **out)
     auto page = std::make_unique<CachedPage>();
     page->buf.resize(_pageSize);
     bool from_wal = false;
-    if (_walReader)
-        from_wal = _walReader(page_no, page->span());
+    if (_walReader) {
+        const Status wal = _walReader(page_no, page->span());
+        if (wal.isOk())
+            from_wal = true;
+        else if (!wal.isNotFound())
+            return wal;
+    }
     if (_stats != nullptr) {
         _stats->add(stats::kPagerReads);
         if (from_wal)

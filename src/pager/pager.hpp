@@ -22,23 +22,11 @@
 #include "common/status.hpp"
 #include "pager/db_file.hpp"
 #include "pager/dirty_ranges.hpp"
+#include "pager/page_source.hpp"
 #include "sim/stats.hpp"
 
 namespace nvwal
 {
-
-/** One page resident in the DRAM cache. */
-struct CachedPage
-{
-    ByteBuffer buf;
-    DirtyRanges dirty;
-
-    bool isDirty() const { return !dirty.empty(); }
-
-    ByteSpan span() { return ByteSpan(buf.data(), buf.size()); }
-    ConstByteSpan cspan() const
-    { return ConstByteSpan(buf.data(), buf.size()); }
-};
 
 /** Database file header geometry (page 1, first 100 bytes). */
 struct DbHeader
@@ -57,11 +45,16 @@ struct DbHeader
 };
 
 /** Page cache + allocator for one database. */
-class Pager
+class Pager : public PageSource
 {
   public:
-    /** Reads the latest committed WAL copy of a page, if any. */
-    using WalReader = std::function<bool(PageNo, ByteSpan)>;
+    /**
+     * Reads the latest committed WAL copy of a page. Returns
+     * NotFound when the log holds no committed frame for it (the
+     * pager then falls back to the .db file); any other error
+     * propagates to the getPage() caller.
+     */
+    using WalReader = std::function<Status(PageNo, ByteSpan)>;
 
     /**
      * @p stats is optional: when given, the pager counts cache
@@ -69,7 +62,7 @@ class Pager
      * (tests, scratch rebuilds) runs unobserved.
      */
     Pager(DbFile &db_file, std::uint32_t page_size,
-          std::uint32_t reserved_bytes, StatsRegistry *stats = nullptr);
+          std::uint32_t reserved_bytes, MetricsRegistry *stats = nullptr);
 
     /**
      * Open the database: create header page (1) and root page (2)
@@ -80,13 +73,14 @@ class Pager
      */
     Status open();
 
-    std::uint32_t pageSize() const { return _pageSize; }
+    std::uint32_t pageSize() const override { return _pageSize; }
     std::uint32_t reservedBytes() const { return _reservedBytes; }
 
     /** Bytes of a page usable by the B-tree (pageSize - reserved). */
-    std::uint32_t usableSize() const { return _pageSize - _reservedBytes; }
+    std::uint32_t usableSize() const override
+    { return _pageSize - _reservedBytes; }
 
-    PageNo rootPage() const { return 2; }
+    PageNo rootPage() const override { return 2; }
 
     /** Logical page count (includes pages not yet checkpointed). */
     std::uint32_t pageCount() const { return _pageCount; }
@@ -97,21 +91,21 @@ class Pager
     void setWalReader(WalReader reader) { _walReader = std::move(reader); }
 
     /** Fetch a page, reading through WAL then the .db file. */
-    Status getPage(PageNo page_no, CachedPage **out);
+    Status getPage(PageNo page_no, CachedPage **out) override;
 
     /**
      * Allocate a page: reuse one from the persistent free list if
      * available (SQLite-style trunk pages), otherwise grow the
      * database. The returned page is zeroed and fully dirty.
      */
-    Status allocatePage(CachedPage **out, PageNo *page_no);
+    Status allocatePage(CachedPage **out, PageNo *page_no) override;
 
     /**
      * Return @p page_no to the free list (it must not be referenced
      * by any tree afterwards). Free-list mutations go through cached
      * pages, so they are transactional like any other page write.
      */
-    Status freePage(PageNo page_no);
+    Status freePage(PageNo page_no) override;
 
     /** Pages currently on the free list. */
     std::uint32_t freePageCount();
@@ -154,7 +148,7 @@ class Pager
     DbFile &_dbFile;
     std::uint32_t _pageSize;
     std::uint32_t _reservedBytes;
-    StatsRegistry *_stats;
+    MetricsRegistry *_stats;
     std::uint32_t _pageCount = 0;
     WalReader _walReader;
     std::map<PageNo, std::unique_ptr<CachedPage>> _cache;

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * SnapshotCache: a private, read-only page cache for one pinned WAL
+ * snapshot.
+ *
+ * Every read transaction (Connection::beginRead) owns one. Pages are
+ * resolved through a fetch callback that materializes the page as of
+ * the snapshot's commit horizon (WAL readPageAt, falling back to the
+ * .db base image); the callback is the only part of a snapshot read
+ * that touches shared engine state, so the Database wraps it in the
+ * engine lock while cache hits proceed with no synchronization at
+ * all -- that private-cache hit path is what lets aggregate read
+ * throughput scale with reader threads.
+ *
+ * The cache is thread-confined to the reader that owns the
+ * transaction; it tallies its reads/hits locally and the Database
+ * folds them into the shared MetricsRegistry (under the engine lock)
+ * when the transaction ends.
+ */
+
+#ifndef NVWAL_PAGER_SNAPSHOT_CACHE_HPP
+#define NVWAL_PAGER_SNAPSHOT_CACHE_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "pager/page_source.hpp"
+
+namespace nvwal
+{
+
+/** Read-only PageSource over one snapshot horizon. */
+class SnapshotCache : public PageSource
+{
+  public:
+    /** Materializes a page as of the snapshot's horizon. */
+    using Fetcher = std::function<Status(PageNo, ByteSpan)>;
+
+    SnapshotCache(std::uint32_t page_size, std::uint32_t reserved_bytes,
+                  std::uint32_t page_count, PageNo root_page,
+                  Fetcher fetch)
+        : _pageSize(page_size), _reservedBytes(reserved_bytes),
+          _pageCount(page_count), _rootPage(root_page),
+          _fetch(std::move(fetch))
+    {
+    }
+
+    Status
+    getPage(PageNo page_no, CachedPage **out) override
+    {
+        NVWAL_ASSERT(page_no != kNoPage);
+        auto it = _cache.find(page_no);
+        if (it != _cache.end()) {
+            ++_cacheHits;
+            *out = it->second.get();
+            return Status::ok();
+        }
+        if (page_no > _pageCount)
+            return Status::invalidArgument("page beyond snapshot size");
+        auto page = std::make_unique<CachedPage>();
+        page->buf.resize(_pageSize);
+        NVWAL_RETURN_IF_ERROR(_fetch(page_no, page->span()));
+        ++_fetches;
+        *out = page.get();
+        _cache[page_no] = std::move(page);
+        return Status::ok();
+    }
+
+    std::uint32_t pageSize() const override { return _pageSize; }
+    std::uint32_t usableSize() const override
+    { return _pageSize - _reservedBytes; }
+    PageNo rootPage() const override { return _rootPage; }
+
+    /** Database size in pages as of the snapshot. */
+    std::uint32_t pageCount() const { return _pageCount; }
+
+    // Thread-local tallies, folded into the shared registry when the
+    // read transaction ends.
+    std::uint64_t cacheHits() const { return _cacheHits; }
+    std::uint64_t fetches() const { return _fetches; }
+
+  private:
+    std::uint32_t _pageSize;
+    std::uint32_t _reservedBytes;
+    std::uint32_t _pageCount;
+    PageNo _rootPage;
+    Fetcher _fetch;
+    std::map<PageNo, std::unique_ptr<CachedPage>> _cache;
+    std::uint64_t _cacheHits = 0;
+    std::uint64_t _fetches = 0;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_PAGER_SNAPSHOT_CACHE_HPP

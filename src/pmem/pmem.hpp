@@ -39,7 +39,7 @@ class Pmem
 {
   public:
     Pmem(NvramDevice &device, SimClock &clock, const CostModel &cost,
-         StatsRegistry &stats)
+         MetricsRegistry &stats)
         : _device(device), _clock(clock), _cost(cost), _stats(stats),
           _persistHist(stats.histogram(stats::kHistPersistBarrierNs))
     {}
@@ -47,7 +47,7 @@ class Pmem
     NvramDevice &device() { return _device; }
     const CostModel &cost() const { return _cost; }
     SimClock &clock() { return _clock; }
-    StatsRegistry &stats() { return _stats; }
+    MetricsRegistry &stats() { return _stats; }
 
     /** Store @p src at NVRAM offset @p dst (cached, not persistent). */
     void memcpyToNvram(NvOffset dst, ConstByteSpan src);
@@ -94,7 +94,7 @@ class Pmem
     NvramDevice &_device;
     SimClock &_clock;
     const CostModel &_cost;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
     /** Per-call persist-barrier latency (sim ns); registry-owned. */
     Histogram &_persistHist;
 

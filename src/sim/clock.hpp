@@ -12,26 +12,37 @@
 #ifndef NVWAL_SIM_CLOCK_HPP
 #define NVWAL_SIM_CLOCK_HPP
 
+#include <atomic>
+
 #include "common/logging.hpp"
 #include "common/types.hpp"
 
 namespace nvwal
 {
 
-/** Monotonic simulated nanosecond clock. */
+/**
+ * Monotonic simulated nanosecond clock.
+ *
+ * The counter is atomic so snapshot-reader threads can read (and,
+ * on a cache miss that enters the engine, advance) the clock without
+ * a data race; it is the only lock-free piece of shared engine
+ * state. Relaxed ordering suffices: the clock carries no
+ * happens-before obligations, every structure it timestamps is
+ * protected by the engine lock.
+ */
 class SimClock
 {
   public:
     SimClock() = default;
 
     /** Current simulated time in nanoseconds. */
-    SimTime now() const { return _now; }
+    SimTime now() const { return _now.load(std::memory_order_relaxed); }
 
     /** Advance the clock by @p ns nanoseconds. */
     void
     advance(SimTime ns)
     {
-        _now += ns;
+        _now.fetch_add(ns, std::memory_order_relaxed);
     }
 
     /**
@@ -42,15 +53,18 @@ class SimClock
     void
     advanceTo(SimTime t)
     {
-        if (t > _now)
-            _now = t;
+        SimTime cur = _now.load(std::memory_order_relaxed);
+        while (t > cur &&
+               !_now.compare_exchange_weak(cur, t,
+                                           std::memory_order_relaxed)) {
+        }
     }
 
     /** Reset to time zero (benchmark reuse). */
-    void reset() { _now = 0; }
+    void reset() { _now.store(0, std::memory_order_relaxed); }
 
   private:
-    SimTime _now = 0;
+    std::atomic<SimTime> _now{0};
 };
 
 /**

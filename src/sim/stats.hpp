@@ -9,9 +9,7 @@
  *
  * Since the observability subsystem landed, the registry is the
  * richer obs::MetricsRegistry (counters + latency histograms +
- * gauges + the per-transaction event tracer); `StatsRegistry` is kept
- * as an alias so every component holding a `StatsRegistry&` gains
- * histograms and tracing without plumbing changes. The canonical
+ * gauges + the per-transaction event tracer). The canonical
  * counter/histogram names below are documented in docs/MODEL.md and
  * docs/OBSERVABILITY.md.
  */
@@ -23,9 +21,6 @@
 
 namespace nvwal
 {
-
-/** Counter + histogram + gauge + tracer registry (see obs/metrics.hpp). */
-using StatsRegistry = MetricsRegistry;
 
 namespace stats
 {
@@ -47,6 +42,23 @@ inline constexpr const char *kFsyncs = "fs.fsyncs";
 inline constexpr const char *kCheckpoints = "db.checkpoints";
 inline constexpr const char *kTxnsCommitted = "db.txns_committed";
 inline constexpr const char *kWalFullPageFrames = "wal.full_page_frames";
+
+// Concurrency layer: snapshot readers, group commit, the background
+// checkpointer (docs/OBSERVABILITY.md §concurrency).
+inline constexpr const char *kSnapshotsOpened = "db.snapshots_opened";
+inline constexpr const char *kSnapshotReads = "db.snapshot_reads";
+inline constexpr const char *kSnapshotCacheHits = "db.snapshot_cache_hits";
+inline constexpr const char *kGroupCommits = "db.group_commits";
+inline constexpr const char *kGroupCommitTxns = "db.group_commit_txns";
+inline constexpr const char *kCheckpointerSteps = "db.checkpointer_steps";
+inline constexpr const char *kCheckpointsPinBlocked =
+    "wal.checkpoints_pin_blocked";
+
+// Gauges (sampled values, not monotonic).
+inline constexpr const char *kGaugeOpenConnections = "db.open_connections";
+inline constexpr const char *kGaugeOpenSnapshots = "db.open_snapshots";
+inline constexpr const char *kGaugeCommitQueueDepth =
+    "db.commit_queue_depth";
 
 // WAL allocation-path split: frames placed by the user-level bump
 // allocator in the tail node vs. frames that forced a heap-manager
@@ -72,6 +84,9 @@ inline constexpr const char *kTimeHeapNs = "time.heap_manager_ns";
 
 // Latency histogram names (sim-time nanoseconds per operation).
 inline constexpr const char *kHistCommitNs = "db.commit_ns";
+/** Transactions per group-commit batch (a size, not a latency). */
+inline constexpr const char *kHistGroupCommitSize =
+    "db.group_commit_size";
 inline constexpr const char *kHistLogWriteNs = "wal.log_write_ns";
 inline constexpr const char *kHistCommitMarkNs = "wal.commit_mark_ns";
 inline constexpr const char *kHistCheckpointNs = "wal.checkpoint_ns";

@@ -8,7 +8,7 @@ namespace nvwal
 
 FileWal::FileWal(JournalingFs &fs, std::string wal_name, DbFile &db_file,
                  std::uint32_t page_size, std::uint32_t reserved_bytes,
-                 FileWalConfig config, StatsRegistry &stats)
+                 FileWalConfig config, MetricsRegistry &stats)
     : _fs(fs), _walName(std::move(wal_name)), _dbFile(db_file),
       _pageSize(page_size), _reservedBytes(reserved_bytes),
       _config(config), _stats(stats),
@@ -107,29 +107,60 @@ FileWal::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
         _stats.add(stats::kWalFullPageFrames);
     }
 
+    for (std::size_t i = 0; i < frames.size(); ++i)
+        _pendingPublish.emplace_back(frames[i].pageNo, first_frame + i);
     if (!commit)
         return Status::ok();
     NVWAL_RETURN_IF_ERROR(_fs.fsync(_walName));
 
-    // Publish the transaction in the volatile index.
-    for (std::size_t i = 0; i < frames.size(); ++i)
-        _pageIndex[frames[i].pageNo] = first_frame + i;
+    // Publish the transaction (including frames queued by earlier
+    // commit=false appends) in the volatile index under a fresh
+    // commit sequence.
+    const CommitSeq seq = ++_commitSeq;
+    for (const auto &[page_no, frame_idx] : _pendingPublish)
+        _pageIndex[page_no].push_back(Version{seq, frame_idx});
+    _pendingPublish.clear();
     _dbSizePages = db_size_pages;
     return Status::ok();
 }
 
-bool
+Status
+FileWal::readFrameContent(std::uint64_t frame_idx, ByteSpan out)
+{
+    NVWAL_ASSERT(out.size() == _pageSize);
+    std::memset(out.data(), 0, out.size());
+    return _fs.pread(_walName, frameOffset(frame_idx) + kFrameHeaderSize,
+                     out.subspan(0, contentSize()));
+}
+
+Status
 FileWal::readPage(PageNo page_no, ByteSpan out)
 {
     auto it = _pageIndex.find(page_no);
     if (it == _pageIndex.end())
-        return false;
-    NVWAL_ASSERT(out.size() == _pageSize);
-    std::memset(out.data(), 0, out.size());
-    NVWAL_CHECK_OK(_fs.pread(_walName,
-                             frameOffset(it->second) + kFrameHeaderSize,
-                             out.subspan(0, contentSize())));
-    return true;
+        return Status::notFound("page not in WAL index");
+    return readFrameContent(it->second.back().frameIdx, out);
+}
+
+Status
+FileWal::readPageAt(PageNo page_no, ByteSpan out, CommitSeq horizon)
+{
+    auto it = _pageIndex.find(page_no);
+    if (it == _pageIndex.end())
+        return Status::notFound("page not in WAL index");
+    // Frames are full page images, so the newest version at or below
+    // the horizon is the page at the horizon (versions are stored in
+    // commit order).
+    const std::vector<Version> &versions = it->second;
+    const Version *best = nullptr;
+    for (const Version &v : versions) {
+        if (v.seq > horizon)
+            break;
+        best = &v;
+    }
+    if (best == nullptr)
+        return Status::notFound("no committed frame at snapshot horizon");
+    return readFrameContent(best->frameIdx, out);
 }
 
 Status
@@ -138,19 +169,40 @@ FileWal::checkpoint()
     if (_pageIndex.empty())
         return Status::ok();
 
+    // Write-back horizon: clamp to the oldest pinned snapshot so the
+    // .db base image a pinned reader falls back to never gets ahead
+    // of its horizon.
+    const CommitSeq target = std::min(oldestPin(), _commitSeq);
+
     ByteBuffer page(_pageSize);
-    for (const auto &[page_no, frame_idx] : _pageIndex) {
-        std::memset(page.data(), 0, page.size());
-        NVWAL_RETURN_IF_ERROR(
-            _fs.pread(_walName, frameOffset(frame_idx) + kFrameHeaderSize,
-                      ByteSpan(page.data(), contentSize())));
+    for (const auto &[page_no, versions] : _pageIndex) {
+        const Version *best = nullptr;
+        for (const Version &v : versions) {
+            if (v.seq > target)
+                break;
+            best = &v;
+        }
+        if (best == nullptr)
+            continue;  // page born after the clamped horizon
+        NVWAL_RETURN_IF_ERROR(readFrameContent(
+            best->frameIdx, ByteSpan(page.data(), _pageSize)));
         NVWAL_RETURN_IF_ERROR(_dbFile.writePage(
             page_no, ConstByteSpan(page.data(), _pageSize)));
     }
     NVWAL_RETURN_IF_ERROR(_dbFile.sync());
 
+    if (target < _commitSeq) {
+        // A pinned snapshot sits below the newest commit; frames past
+        // the target must survive, so the log is retained and a later
+        // checkpoint truncates once the pin releases.
+        _stats.add(stats::kCheckpointsPinBlocked);
+        return Status::ok();
+    }
+
     // All dirty pages are durable in the database file; the log can
-    // be truncated.
+    // be truncated. Snapshots still pinned at the newest commit keep
+    // reading correctly: readPageAt turns NotFound and the base file
+    // holds exactly their horizon's image.
     NVWAL_RETURN_IF_ERROR(_fs.truncate(_walName, 0));
     NVWAL_RETURN_IF_ERROR(_fs.fsync(_walName));
     _headerWritten = false;
@@ -169,7 +221,10 @@ FileWal::recover(std::uint32_t *db_size_pages)
     _frameCount = 0;
     _checksum.reset();
     _pageIndex.clear();
+    _pendingPublish.clear();
     _dbSizePages = 0;
+    NVWAL_ASSERT(!hasPins(), "recovery with an open snapshot");
+    _commitSeq = 0;
     *db_size_pages = 0;
 
     if (!_fs.exists(_walName) ||
@@ -192,7 +247,9 @@ FileWal::recover(std::uint32_t *db_size_pages)
     const std::uint64_t file_size = _fs.fileSize(_walName);
     ByteBuffer frame(frameSize());
     CumulativeChecksum chain;
-    std::map<PageNo, std::uint64_t> index;
+    std::map<PageNo, std::vector<Version>> index;
+    std::vector<std::pair<PageNo, std::uint64_t>> pending;
+    CommitSeq seq = 0;
     std::uint64_t idx = 0;
     std::uint64_t committed_frames = 0;
     while (frameOffset(idx + 1) <= file_size) {
@@ -204,15 +261,20 @@ FileWal::recover(std::uint32_t *db_size_pages)
             ConstByteSpan(frame.data() + kFrameHeaderSize, contentSize()));
         if (chain.value() != loadU64(frame.data() + 16))
             break;  // torn tail
-        index[loadU32(frame.data())] = idx;
+        pending.emplace_back(loadU32(frame.data()), idx);
         const std::uint32_t db_size = loadU32(frame.data() + 4);
         ++idx;
         if (db_size != 0) {
             // Commit frame: everything up to here is durable.
+            ++seq;
+            for (const auto &[page_no, frame_idx] : pending)
+                index[page_no].push_back(Version{seq, frame_idx});
+            pending.clear();
             committed_frames = idx;
             _pageIndex = index;
             _dbSizePages = db_size;
             _checksum = chain;
+            _commitSeq = seq;
         }
     }
     _frameCount = committed_frames;

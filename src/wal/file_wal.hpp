@@ -53,11 +53,16 @@ class FileWal : public WriteAheadLog
 
     FileWal(JournalingFs &fs, std::string wal_name, DbFile &db_file,
             std::uint32_t page_size, std::uint32_t reserved_bytes,
-            FileWalConfig config, StatsRegistry &stats);
+            FileWalConfig config, MetricsRegistry &stats);
 
     Status writeFrames(const std::vector<FrameWrite> &frames, bool commit,
                        std::uint32_t db_size_pages) override;
-    bool readPage(PageNo page_no, ByteSpan out) override;
+    Status readPage(PageNo page_no, ByteSpan out) override;
+    Status readPageAt(PageNo page_no, ByteSpan out,
+                      CommitSeq horizon) override;
+    CommitSeq commitSeq() const override { return _commitSeq; }
+    std::uint32_t committedDbSize() const override { return _dbSizePages; }
+    bool supportsSnapshots() const override { return true; }
     Status checkpoint() override;
     Status recover(std::uint32_t *db_size_pages) override;
     std::uint64_t framesSinceCheckpoint() const override
@@ -69,6 +74,15 @@ class FileWal : public WriteAheadLog
     }
 
   private:
+    /** One committed frame of a page (full content, no diffs). */
+    struct Version
+    {
+        CommitSeq seq;
+        std::uint64_t frameIdx;
+    };
+
+    /** Read the content of frame @p frame_idx into @p out. */
+    Status readFrameContent(std::uint64_t frame_idx, ByteSpan out);
     /** Bytes of page content stored per frame. */
     std::uint32_t contentSize() const;
     /** Total frame size in the file. */
@@ -93,15 +107,22 @@ class FileWal : public WriteAheadLog
     std::uint32_t _pageSize;
     std::uint32_t _reservedBytes;
     FileWalConfig _config;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
 
     bool _headerWritten = false;
     std::uint64_t _frameCount = 0;           //!< committed+pending frames
     std::uint64_t _preallocFrames;
     CumulativeChecksum _checksum;
     std::uint32_t _dbSizePages = 0;          //!< last committed size
-    /** page -> latest committed frame index. */
-    std::map<PageNo, std::uint64_t> _pageIndex;
+    CommitSeq _commitSeq = 0;                //!< newest committed seq
+    /**
+     * page -> committed frame versions in commit order. The newest
+     * (back) serves current reads; earlier entries serve pinned
+     * snapshots via readPageAt and are dropped at checkpoint.
+     */
+    std::map<PageNo, std::vector<Version>> _pageIndex;
+    /** Frames appended with commit=false, published at the commit. */
+    std::vector<std::pair<PageNo, std::uint64_t>> _pendingPublish;
 };
 
 } // namespace nvwal

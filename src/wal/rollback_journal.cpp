@@ -7,7 +7,7 @@ namespace nvwal
 
 RollbackJournal::RollbackJournal(JournalingFs &fs, std::string journal_name,
                                  DbFile &db_file, std::uint32_t page_size,
-                                 StatsRegistry &stats)
+                                 MetricsRegistry &stats)
     : _fs(fs), _journalName(std::move(journal_name)), _dbFile(db_file),
       _pageSize(page_size), _stats(stats)
 {}
@@ -74,11 +74,11 @@ RollbackJournal::writeFrames(const std::vector<FrameWrite> &frames,
     return _fs.remove(_journalName);
 }
 
-bool
+Status
 RollbackJournal::readPage(PageNo, ByteSpan)
 {
     // The database file is always current in rollback-journal mode.
-    return false;
+    return Status::notFound("rollback journal holds no page images");
 }
 
 Status

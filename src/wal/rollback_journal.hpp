@@ -42,11 +42,11 @@ class RollbackJournal : public WriteAheadLog
 
     RollbackJournal(JournalingFs &fs, std::string journal_name,
                     DbFile &db_file, std::uint32_t page_size,
-                    StatsRegistry &stats);
+                    MetricsRegistry &stats);
 
     Status writeFrames(const std::vector<FrameWrite> &frames, bool commit,
                        std::uint32_t db_size_pages) override;
-    bool readPage(PageNo page_no, ByteSpan out) override;
+    Status readPage(PageNo page_no, ByteSpan out) override;
     Status checkpoint() override;
     Status recover(std::uint32_t *db_size_pages) override;
     std::uint64_t framesSinceCheckpoint() const override { return 0; }
@@ -59,7 +59,7 @@ class RollbackJournal : public WriteAheadLog
     std::string _journalName;
     DbFile &_dbFile;
     std::uint32_t _pageSize;
-    StatsRegistry &_stats;
+    MetricsRegistry &_stats;
 };
 
 } // namespace nvwal

@@ -7,11 +7,20 @@
  *    system, in stock or optimized (aligned frames + pre-allocation)
  *    flavors -- the paper's baselines.
  *  - NvwalLog (src/core): the paper's NVRAM write-ahead log.
+ *
+ * Snapshot reads: every committed transaction is assigned a
+ * monotonically increasing CommitSeq. A reader opens a snapshot by
+ * pinning the log's current commitSeq() and resolving pages through
+ * readPageAt(), which ignores frames committed after that horizon.
+ * While any pin at or below a frame's sequence is open the log must
+ * neither supersede nor truncate that frame, so checkpointing is
+ * bounded by oldestPin().
  */
 
 #ifndef NVWAL_WAL_WRITE_AHEAD_LOG_HPP
 #define NVWAL_WAL_WRITE_AHEAD_LOG_HPP
 
+#include <set>
 #include <vector>
 
 #include "common/status.hpp"
@@ -21,12 +30,28 @@
 namespace nvwal
 {
 
+/**
+ * Monotonic sequence number assigned to each committed transaction.
+ * 0 means "before any commit in this log's lifetime".
+ */
+using CommitSeq = std::uint64_t;
+
+/** Horizon value meaning "no snapshot is pinned". */
+inline constexpr CommitSeq kNoPin = ~static_cast<CommitSeq>(0);
+
 /** One dirty page handed to the log at commit. */
 struct FrameWrite
 {
     PageNo pageNo;
     ConstByteSpan page;          //!< full page buffer
     const DirtyRanges *ranges;   //!< dirty byte ranges within the page
+};
+
+/** One transaction's frames inside a group commit. */
+struct TxnFrames
+{
+    std::vector<FrameWrite> frames;
+    std::uint32_t dbSizePages = 0;  //!< db size after this transaction
 };
 
 /** Interface every WAL implementation provides. */
@@ -45,11 +70,57 @@ class WriteAheadLog
                                std::uint32_t db_size_pages) = 0;
 
     /**
-     * Materialize the latest committed version of @p page_no into
-     * @p out (a full page buffer). Returns false when the log holds
-     * no committed frame for that page.
+     * Group commit: append every transaction in @p txns, in order,
+     * and make the whole batch durable at once. Implementations that
+     * can amortize the persist barriers over the batch (the paper's
+     * lazy sync stretched across transactions) override this; the
+     * default commits each transaction separately.
      */
-    virtual bool readPage(PageNo page_no, ByteSpan out) = 0;
+    virtual Status
+    writeFrameGroup(const std::vector<TxnFrames> &txns)
+    {
+        for (const TxnFrames &txn : txns) {
+            NVWAL_RETURN_IF_ERROR(
+                writeFrames(txn.frames, true, txn.dbSizePages));
+        }
+        return Status::ok();
+    }
+
+    /**
+     * Materialize the latest committed version of @p page_no into
+     * @p out (a full page buffer). Returns NotFound when the log
+     * holds no committed frame for that page.
+     */
+    virtual Status readPage(PageNo page_no, ByteSpan out) = 0;
+
+    /**
+     * Materialize @p page_no as of snapshot horizon @p horizon,
+     * ignoring frames with a later commit sequence. Only meaningful
+     * between pinSnapshot(horizon) and the matching unpinSnapshot().
+     * Returns NotFound when no committed frame at or below the
+     * horizon covers the page, Unsupported when the implementation
+     * has no snapshot support (see supportsSnapshots()).
+     */
+    virtual Status
+    readPageAt(PageNo page_no, ByteSpan out, CommitSeq horizon)
+    {
+        (void)page_no;
+        (void)out;
+        (void)horizon;
+        return Status::unsupported("WAL does not support snapshots");
+    }
+
+    /** Sequence of the newest committed transaction (0 = none yet). */
+    virtual CommitSeq commitSeq() const { return 0; }
+
+    /**
+     * Database size in pages as of the newest committed transaction
+     * (0 when the log holds none; callers fall back to the .db file).
+     */
+    virtual std::uint32_t committedDbSize() const { return 0; }
+
+    /** Whether readPageAt()/pinSnapshot() are usable. */
+    virtual bool supportsSnapshots() const { return false; }
 
     /** Write committed pages back to the .db file and reset the log. */
     virtual Status checkpoint() = 0;
@@ -62,6 +133,10 @@ class WriteAheadLog
      * spike a full checkpoint causes (the paper amortizes that spike
      * over 1000 transactions; this bounds it instead). The default
      * implementation simply runs a full checkpoint.
+     *
+     * With snapshots pinned the implementation must not advance the
+     * .db file past oldestPin() nor truncate frames a pin can still
+     * reach; such a round reports done=true with the log retained.
      */
     virtual Status
     checkpointStep(std::uint32_t max_pages, bool *done)
@@ -83,6 +158,40 @@ class WriteAheadLog
 
     /** Scheme name for reports (e.g. "WAL", "NVWAL UH+LS+Diff"). */
     virtual const char *name() const = 0;
+
+    // ----- snapshot pin bookkeeping (shared by implementations) -----
+
+    /**
+     * Register an open snapshot at @p horizon. The caller obtains the
+     * horizon from commitSeq() and must balance with unpinSnapshot().
+     */
+    void pinSnapshot(CommitSeq horizon) { _pins.insert(horizon); }
+
+    /** Release one pin previously taken at @p horizon. */
+    void
+    unpinSnapshot(CommitSeq horizon)
+    {
+        auto it = _pins.find(horizon);
+        if (it != _pins.end()) {
+            _pins.erase(it);
+        }
+    }
+
+    /** The lowest pinned horizon, or kNoPin when none is open. */
+    CommitSeq
+    oldestPin() const
+    {
+        return _pins.empty() ? kNoPin : *_pins.begin();
+    }
+
+    /** Whether any snapshot is currently pinned. */
+    bool hasPins() const { return !_pins.empty(); }
+
+    /** Number of currently pinned snapshots. */
+    std::size_t pinCount() const { return _pins.size(); }
+
+  private:
+    std::multiset<CommitSeq> _pins;
 };
 
 } // namespace nvwal

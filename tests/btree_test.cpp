@@ -9,6 +9,7 @@
 #include <map>
 
 #include "btree/btree.hpp"
+#include "pager/pager.hpp"
 #include "db/env.hpp"
 #include "test_util.hpp"
 

@@ -28,6 +28,15 @@ class CursorTest : public ::testing::Test
         NVWAL_CHECK_OK(Database::open(env, config, &db));
     }
 
+    /** The default table's tree (replaces the removed Database::btree()). */
+    BTree &
+    tree()
+    {
+        Table *table = nullptr;
+        NVWAL_CHECK_OK(db->openTable(Database::kDefaultTable, &table));
+        return table->btree();
+    }
+
     static EnvConfig
     makeEnvConfig()
     {
@@ -55,7 +64,7 @@ class CursorTest : public ::testing::Test
 
 TEST_F(CursorTest, EmptyTreeIsInvalidEverywhere)
 {
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     EXPECT_FALSE(cursor.valid());
     NVWAL_CHECK_OK(cursor.seekLast());
@@ -68,7 +77,7 @@ TEST_F(CursorTest, EmptyTreeIsInvalidEverywhere)
 TEST_F(CursorTest, SingleRecord)
 {
     NVWAL_CHECK_OK(db->insert(7, "seven"));
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     ASSERT_TRUE(cursor.valid());
     EXPECT_EQ(cursor.key(), 7);
@@ -94,7 +103,7 @@ TEST_F(CursorTest, ForwardTraversalMatchesScanOnDeepTree)
                             }));
 
     std::vector<RowId> walked;
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     while (cursor.valid()) {
         walked.push_back(cursor.key());
@@ -108,7 +117,7 @@ TEST_F(CursorTest, BackwardTraversalIsExactReverse)
 {
     NVWAL_CHECK_OK(insertN(1, 2000, 100));
     std::vector<RowId> walked;
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekLast());
     while (cursor.valid()) {
         walked.push_back(cursor.key());
@@ -125,7 +134,7 @@ TEST_F(CursorTest, SeekLandsOnLowerBound)
         NVWAL_CHECK_OK(db->insert(
             k, testutil::spanOf(testutil::makeValue(60, k))));
 
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seek(100));  // not present: next is 102
     ASSERT_TRUE(cursor.valid());
     EXPECT_EQ(cursor.key(), 102);
@@ -146,7 +155,7 @@ TEST_F(CursorTest, SeekLandsOnLowerBound)
 TEST_F(CursorTest, BidirectionalWobble)
 {
     NVWAL_CHECK_OK(insertN(1, 500, 100));
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seek(250));
     ASSERT_TRUE(cursor.valid());
     EXPECT_EQ(cursor.key(), 250);
@@ -178,7 +187,7 @@ TEST_F(CursorTest, SkipsLeavesEmptiedByDeletes)
         NVWAL_CHECK_OK(db->remove(k));
 
     std::vector<RowId> walked;
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     while (cursor.valid()) {
         walked.push_back(cursor.key());
@@ -207,7 +216,7 @@ TEST_F(CursorTest, AssemblesOverflowValues)
     const ByteBuffer big = testutil::makeValue(20000, 1);
     NVWAL_CHECK_OK(db->insert(5, testutil::spanOf(big)));
     NVWAL_CHECK_OK(db->insert(6, "small"));
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     ByteBuffer out;
     NVWAL_CHECK_OK(cursor.value(&out));
@@ -220,7 +229,7 @@ TEST_F(CursorTest, AssemblesOverflowValues)
 TEST_F(CursorTest, WritesInvalidateOpenCursors)
 {
     NVWAL_CHECK_OK(insertN(1, 50, 100));
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     NVWAL_CHECK_OK(cursor.seekFirst());
     ASSERT_TRUE(cursor.valid());
     NVWAL_CHECK_OK(db->insert(1000, "new"));
@@ -246,7 +255,7 @@ TEST_F(CursorTest, RandomSeeksMatchOracle)
         NVWAL_CHECK_OK(db->insert(key, testutil::spanOf(v)));
         model[key] = v;
     }
-    Cursor cursor(db->btree());
+    Cursor cursor(tree());
     for (int i = 0; i < 500; ++i) {
         const RowId target = static_cast<RowId>(rng.nextBelow(5200));
         NVWAL_CHECK_OK(cursor.seek(target));

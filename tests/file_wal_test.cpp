@@ -73,7 +73,7 @@ class FileWalTest : public ::testing::TestWithParam<bool>
 TEST_P(FileWalTest, EmptyLogReadsNothing)
 {
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(wal->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())).isNotFound());
     EXPECT_EQ(wal->framesSinceCheckpoint(), 0u);
 }
 
@@ -82,7 +82,7 @@ TEST_P(FileWalTest, WriteThenReadBack)
     const ByteBuffer page = makePage(1);
     NVWAL_CHECK_OK(commitPage(3, page, 3));
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, page);
     EXPECT_EQ(wal->framesSinceCheckpoint(), 1u);
 }
@@ -94,7 +94,7 @@ TEST_P(FileWalTest, LatestCommittedVersionWins)
     NVWAL_CHECK_OK(commitPage(3, v1, 3));
     NVWAL_CHECK_OK(commitPage(3, v2, 3));
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, v2);
 }
 
@@ -107,7 +107,7 @@ TEST_P(FileWalTest, UncommittedFramesAreInvisible)
         FrameWrite{4, testutil::spanOf(page), &ranges}};
     NVWAL_CHECK_OK(wal->writeFrames(frames, false, 0));
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(wal->readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(wal->readPage(4, ByteSpan(out.data(), out.size())).isNotFound());
 }
 
 TEST_P(FileWalTest, RecoverRebuildsIndex)
@@ -124,9 +124,9 @@ TEST_P(FileWalTest, RecoverRebuildsIndex)
     EXPECT_EQ(db_size, 4u);
     EXPECT_EQ(fresh.framesSinceCheckpoint(), 2u);
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p3);
-    ASSERT_TRUE(fresh.readPage(4, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(fresh.readPage(4, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p4);
 }
 
@@ -151,8 +151,8 @@ TEST_P(FileWalTest, RecoverAfterCrashDropsUnsyncedTail)
     NVWAL_CHECK_OK(fresh.recover(&db_size));
     EXPECT_EQ(db_size, 3u);
     ByteBuffer out(kPageSize);
-    EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
-    EXPECT_FALSE(fresh.readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())).isOk());
+    EXPECT_TRUE(fresh.readPage(4, ByteSpan(out.data(), out.size())).isNotFound());
 }
 
 TEST_P(FileWalTest, RecoverRejectsCorruptedFrame)
@@ -184,8 +184,8 @@ TEST_P(FileWalTest, RecoverRejectsCorruptedFrame)
     // Only the first commit survives the checksum chain.
     EXPECT_EQ(db_size, 3u);
     ByteBuffer out(kPageSize);
-    EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
-    EXPECT_FALSE(fresh.readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())).isOk());
+    EXPECT_TRUE(fresh.readPage(4, ByteSpan(out.data(), out.size())).isNotFound());
 }
 
 TEST_P(FileWalTest, CheckpointWritesBackAndTruncates)
@@ -198,7 +198,7 @@ TEST_P(FileWalTest, CheckpointWritesBackAndTruncates)
 
     EXPECT_EQ(wal->framesSinceCheckpoint(), 0u);
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(wal->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(wal->readPage(3, ByteSpan(out.data(), out.size())).isNotFound());
     // The pages are now in the .db file.
     NVWAL_CHECK_OK(dbFile.readPage(3, ByteSpan(out.data(), out.size())));
     EXPECT_EQ(out, p3);
@@ -207,7 +207,7 @@ TEST_P(FileWalTest, CheckpointWritesBackAndTruncates)
     // Log keeps working after the checkpoint.
     const ByteBuffer p5 = makePage(12);
     NVWAL_CHECK_OK(commitPage(5, p5, 5));
-    ASSERT_TRUE(wal->readPage(5, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(wal->readPage(5, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p5);
 }
 

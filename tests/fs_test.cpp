@@ -24,7 +24,7 @@ class FsTest : public ::testing::Test
     {}
 
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     CostModel cost;
     BlockDevice device;
     JournalingFs fs;

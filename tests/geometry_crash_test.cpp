@@ -128,7 +128,7 @@ TEST(NodeBoundary, ExactFitFramesRecover)
         EXPECT_EQ(db_size, 3u) << "delta " << delta;
         EXPECT_EQ(fresh.framesSinceCheckpoint(), 2u) << "delta " << delta;
         ByteBuffer out(4096);
-        EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), 4096)));
+        EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), 4096)).isOk());
     }
 }
 

@@ -28,7 +28,7 @@ class NvHeapTest : public ::testing::Test
     }
 
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     CostModel cost;
     NvramDevice dev;
     Pmem pmem;
@@ -48,7 +48,7 @@ TEST_F(NvHeapTest, FormatThenAttach)
 
 TEST_F(NvHeapTest, AttachFailsOnUnformattedDevice)
 {
-    StatsRegistry s2;
+    MetricsRegistry s2;
     NvramDevice d2(1 << 20, 32, s2);
     Pmem p2(d2, clock, cost, s2);
     NvHeap h2(p2, s2);
@@ -219,7 +219,7 @@ TEST_F(NvHeapTest, FreshRootBindingIsCrashAtomic)
         bool completed = false;
         for (std::uint64_t at = 1; !completed; ++at) {
             SimClock local_clock;
-            StatsRegistry local_stats;
+            MetricsRegistry local_stats;
             NvramDevice local_dev(4 << 20, cost.cacheLineSize,
                                   local_stats);
             Pmem local_pmem(local_dev, local_clock, cost, local_stats);

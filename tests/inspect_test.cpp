@@ -161,7 +161,9 @@ TEST_F(InspectTest, PrintPageDecodesLeafAndInterior)
     // leaf. Both decode.
     NVWAL_CHECK_OK(printPage(db->pager(), db->pager().rootPage(),
                              stderr));
-    NVWAL_CHECK_OK(printPage(db->pager(), db->btree().rootPage(),
+    Table *main_table = nullptr;
+    NVWAL_CHECK_OK(db->openTable(Database::kDefaultTable, &main_table));
+    NVWAL_CHECK_OK(printPage(db->pager(), main_table->btree().rootPage(),
                              stderr));
     EXPECT_FALSE(printPage(db->pager(), 0xFFFF, stderr).isOk());
 }

@@ -125,7 +125,7 @@ TEST(MultiRangeDiff, CrashSweepStaysAtomic)
 TEST(BlockDeviceTrace, RecordsTaggedWrites)
 {
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     const CostModel cost = CostModel::nexus5();
     BlockDevice dev(256, 4096, clock, cost, stats);
     ByteBuffer block(4096, 0x11);

@@ -18,7 +18,7 @@ namespace
 class NvramDeviceTest : public ::testing::Test
 {
   protected:
-    StatsRegistry stats;
+    MetricsRegistry stats;
     NvramDevice dev{1 << 16, 64, stats, 99};
 };
 
@@ -171,7 +171,7 @@ TEST_F(NvramDeviceTest, AdversarialTearsOnlyAtEightByteUnits)
 TEST_F(NvramDeviceTest, AdversarialDirtyLinesSurviveProbabilistically)
 {
     // With survive probability 1.0 every dirty line must land.
-    StatsRegistry s2;
+    MetricsRegistry s2;
     NvramDevice d2(1 << 16, 64, s2, 5);
     ByteBuffer data(64, 0x7A);
     d2.write(0, testutil::spanOf(data));
@@ -230,7 +230,7 @@ TEST(NvramTailLine, PartialTailLineIsClampedNotOverrun)
     // the full line buffer, writing past the end of the durable
     // image. 100-byte device, 64-byte lines: the tail line holds
     // bytes 64..99 only.
-    StatsRegistry stats;
+    MetricsRegistry stats;
     NvramDevice d(100, 64, stats, 1);
     ByteBuffer data(36, 0x5C);
     d.write(64, testutil::spanOf(data));
@@ -247,7 +247,7 @@ TEST(NvramTailLine, AdversarialCrashOverPartialTailLine)
     // (possibly clipped) 8-byte unit is all-old or all-new, and the
     // copy never overruns the media.
     for (std::uint64_t seed = 1; seed <= 8; ++seed) {
-        StatsRegistry stats;
+        MetricsRegistry stats;
         NvramDevice d(100, 64, stats, seed);
         ByteBuffer old_data(36, 0x11);
         d.write(64, testutil::spanOf(old_data));

@@ -104,7 +104,7 @@ TEST_P(NvwalLogTest, WriteThenReadBack)
     const ByteBuffer page = makePage(1);
     NVWAL_CHECK_OK(commitFullPage(3, page, 3));
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, page);
     EXPECT_GE(log->framesSinceCheckpoint(), 1u);
 }
@@ -122,7 +122,7 @@ TEST_P(NvwalLogTest, DiffFramesLayerOverBase)
     NVWAL_CHECK_OK(commitPage(3, page, ranges, 3));
 
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, page);
 }
 
@@ -143,9 +143,9 @@ TEST_P(NvwalLogTest, CommittedStateSurvivesPessimisticPowerFailure)
     auto fresh = reopen(&db_size);
     EXPECT_EQ(db_size, 4u);
     ByteBuffer out(kPageSize);
-    ASSERT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p3);
-    ASSERT_TRUE(fresh->readPage(4, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(fresh->readPage(4, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p4);
 }
 
@@ -166,15 +166,15 @@ TEST_P(NvwalLogTest, UncommittedFramesDiscardedOnRecovery)
     auto fresh = reopen(&db_size);
     EXPECT_EQ(db_size, 3u);
     ByteBuffer out(kPageSize);
-    EXPECT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())));
-    EXPECT_FALSE(fresh->readPage(4, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(fresh->readPage(3, ByteSpan(out.data(), out.size())).isOk());
+    EXPECT_TRUE(fresh->readPage(4, ByteSpan(out.data(), out.size())).isNotFound());
     // The log accepts new commits after discarding the tail.
     const ByteBuffer p5 = makePage(7);
     DirtyRanges r5;
     r5.mark(0, kPageSize);
     std::vector<FrameWrite> f5{FrameWrite{5, testutil::spanOf(p5), &r5}};
     NVWAL_CHECK_OK(fresh->writeFrames(f5, true, 5));
-    ASSERT_TRUE(fresh->readPage(5, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(fresh->readPage(5, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p5);
 }
 
@@ -195,7 +195,7 @@ TEST_P(NvwalLogTest, CheckpointWritesBackTruncatesAndFreesNvram)
     EXPECT_EQ(env.heap.countBlocks(BlockState::InUse), used_before);
 
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())).isNotFound());
     NVWAL_CHECK_OK(dbFile.readPage(3, ByteSpan(out.data(), out.size())));
     EXPECT_EQ(out, p3);
     NVWAL_CHECK_OK(dbFile.readPage(4, ByteSpan(out.data(), out.size())));
@@ -204,7 +204,7 @@ TEST_P(NvwalLogTest, CheckpointWritesBackTruncatesAndFreesNvram)
     // And the log keeps working in the next checkpoint epoch.
     const ByteBuffer p5 = makePage(10);
     NVWAL_CHECK_OK(commitFullPage(5, p5, 5));
-    ASSERT_TRUE(log->readPage(5, ByteSpan(out.data(), out.size())));
+    ASSERT_TRUE(log->readPage(5, ByteSpan(out.data(), out.size())).isOk());
     EXPECT_EQ(out, p5);
     std::uint32_t db_size = 0;
     auto fresh = reopen(&db_size);
@@ -243,7 +243,7 @@ TEST_P(NvwalLogTest, MultiPageTransactionIsAtomic)
     EXPECT_EQ(db_size, 8u);
     ByteBuffer out(kPageSize);
     for (PageNo no = 3; no < 8; ++no) {
-        ASSERT_TRUE(fresh->readPage(no, ByteSpan(out.data(), out.size())));
+        ASSERT_TRUE(fresh->readPage(no, ByteSpan(out.data(), out.size())).isOk());
         EXPECT_EQ(out, pages[no - 3]);
     }
 }
@@ -472,7 +472,7 @@ TEST_F(NvwalSchemeTest, ChecksumAsyncDetectsLostFramesProbabilistically)
     NVWAL_CHECK_OK(fresh.recover(&db_size));
     EXPECT_EQ(db_size, 0u);  // transaction correctly invalidated
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(fresh.readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_TRUE(fresh.readPage(3, ByteSpan(out.data(), out.size())).isNotFound());
 }
 
 TEST_F(NvwalSchemeTest, NodeCountRecountedAfterTailTruncation)

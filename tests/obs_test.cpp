@@ -147,7 +147,7 @@ TEST(Metrics, DeltaHandlesKeysMissingFromEitherSide)
     // the delta is an explicit 0, never an underflowed wrap.
     StatsSnapshot before{{"gone", 10}, {"shrunk", 10}, {"grew", 3}};
     StatsSnapshot now{{"shrunk", 4}, {"grew", 8}, {"fresh", 5}};
-    const StatsSnapshot d = StatsRegistry::delta(before, now);
+    const StatsSnapshot d = MetricsRegistry::delta(before, now);
     ASSERT_EQ(d.size(), 4u);
     EXPECT_EQ(d.at("gone"), 0u);    // only in before
     EXPECT_EQ(d.at("shrunk"), 0u);  // went backwards: clamped

@@ -37,7 +37,7 @@ tunaWith(PersistencyModel model, SimTime latency = 500)
 TEST(Persistency, StrictStoresAreImmediatelyDurable)
 {
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     const CostModel cost = tunaWith(PersistencyModel::Strict);
     NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
     Pmem pmem(dev, clock, cost, stats);
@@ -53,7 +53,7 @@ TEST(Persistency, StrictStoresAreImmediatelyDurable)
 TEST(Persistency, StrictChargesSerializedLineLatency)
 {
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     const CostModel cost = tunaWith(PersistencyModel::Strict, 1000);
     NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
     Pmem pmem(dev, clock, cost, stats);
@@ -70,7 +70,7 @@ TEST(Persistency, StrictChargesSerializedLineLatency)
 TEST(Persistency, EpochStoresVolatileUntilBarrier)
 {
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     const CostModel cost = tunaWith(PersistencyModel::EpochHW);
     NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
     Pmem pmem(dev, clock, cost, stats);
@@ -91,7 +91,7 @@ TEST(Persistency, SoftwareFlushesAreRemovedUnderHardwareModels)
     for (PersistencyModel model :
          {PersistencyModel::Strict, PersistencyModel::EpochHW}) {
         SimClock clock;
-        StatsRegistry stats;
+        MetricsRegistry stats;
         const CostModel cost = tunaWith(model);
         NvramDevice dev(1 << 20, cost.cacheLineSize, stats);
         Pmem pmem(dev, clock, cost, stats);

@@ -25,7 +25,7 @@ class PmemTest : public ::testing::Test
     {}
 
     SimClock clock;
-    StatsRegistry stats;
+    MetricsRegistry stats;
     CostModel cost;
     NvramDevice dev;
     Pmem pmem;
@@ -89,7 +89,7 @@ TEST_F(PmemTest, BatchedFlushesPipelineAcrossBanks)
 
     // Eager: fence after every line.
     SimClock eager_clock;
-    StatsRegistry s1;
+    MetricsRegistry s1;
     NvramDevice d1(1 << 20, cost.cacheLineSize, s1);
     Pmem eager(d1, eager_clock, cost, s1);
     eager.memcpyToNvram(0, testutil::spanOf(data));
@@ -103,7 +103,7 @@ TEST_F(PmemTest, BatchedFlushesPipelineAcrossBanks)
 
     // Lazy: one batch, one fence.
     SimClock lazy_clock;
-    StatsRegistry s2;
+    MetricsRegistry s2;
     NvramDevice d2(1 << 20, cost.cacheLineSize, s2);
     Pmem lazy(d2, lazy_clock, cost, s2);
     lazy.memcpyToNvram(0, testutil::spanOf(data));

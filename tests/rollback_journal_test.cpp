@@ -200,7 +200,7 @@ TEST(RollbackJournal, NeedsMoreFsyncsAndIoThanWal)
                 k, testutil::spanOf(testutil::makeValue(100, k))));
         }
         const StatsSnapshot delta =
-            StatsRegistry::delta(before, env.stats.snapshot());
+            MetricsRegistry::delta(before, env.stats.snapshot());
         struct Result
         {
             std::uint64_t fsyncs;

@@ -45,7 +45,7 @@ TEST(SimClock, ScopedTimerAccumulates)
 
 TEST(Stats, AddGetSnapshotDelta)
 {
-    StatsRegistry stats;
+    MetricsRegistry stats;
     EXPECT_EQ(stats.get("x"), 0u);
     stats.add("x");
     stats.add("x", 4);
@@ -55,7 +55,7 @@ TEST(Stats, AddGetSnapshotDelta)
     stats.add("x", 10);
     stats.add("y", 3);
     const StatsSnapshot d =
-        StatsRegistry::delta(before, stats.snapshot());
+        MetricsRegistry::delta(before, stats.snapshot());
     EXPECT_EQ(d.at("x"), 10u);
     EXPECT_EQ(d.at("y"), 3u);
 }

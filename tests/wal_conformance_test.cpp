@@ -150,7 +150,7 @@ class WalConformance : public ::testing::TestWithParam<std::string>
     currentPage(PageNo no)
     {
         ByteBuffer out(kPageSize, 0);
-        if (!wal->readPage(no, ByteSpan(out.data(), kPageSize)))
+        if ((wal->readPage(no, ByteSpan(out.data(), kPageSize))).isNotFound())
             NVWAL_CHECK_OK(dbFile->readPage(no, ByteSpan(out.data(),
                                                          kPageSize)));
         return out;
@@ -192,7 +192,7 @@ TEST_P(WalConformance, RecoverReproducesCommittedState)
         EXPECT_EQ(db_size, 3u);
     }
     ByteBuffer out(kPageSize, 0);
-    if (!fresh->readPage(2, ByteSpan(out.data(), kPageSize)))
+    if ((fresh->readPage(2, ByteSpan(out.data(), kPageSize))).isNotFound())
         NVWAL_CHECK_OK(dbFile->readPage(2, ByteSpan(out.data(),
                                                     kPageSize)));
     EXPECT_EQ(out, p2);
@@ -207,7 +207,7 @@ TEST_P(WalConformance, CheckpointMovesEverythingToTheFile)
     EXPECT_EQ(wal->framesSinceCheckpoint(), 0u);
 
     ByteBuffer out(kPageSize);
-    EXPECT_FALSE(wal->readPage(2, ByteSpan(out.data(), kPageSize)));
+    EXPECT_TRUE(wal->readPage(2, ByteSpan(out.data(), kPageSize)).isNotFound());
     NVWAL_CHECK_OK(dbFile->readPage(2, ByteSpan(out.data(), kPageSize)));
     EXPECT_EQ(out, p2);
     NVWAL_CHECK_OK(dbFile->readPage(3, ByteSpan(out.data(), kPageSize)));
@@ -225,7 +225,7 @@ TEST_P(WalConformance, ManyCommitsThenRecoverThenContinue)
     std::uint32_t db_size = 0;
     NVWAL_CHECK_OK(fresh->recover(&db_size));
     ByteBuffer out(kPageSize, 0);
-    if (!fresh->readPage(2, ByteSpan(out.data(), kPageSize)))
+    if ((fresh->readPage(2, ByteSpan(out.data(), kPageSize))).isNotFound())
         NVWAL_CHECK_OK(dbFile->readPage(2, ByteSpan(out.data(),
                                                     kPageSize)));
     EXPECT_EQ(out[100], 29);
