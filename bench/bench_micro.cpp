@@ -10,9 +10,18 @@
 
 #include "bench_util.hpp"
 #include "btree/page_view.hpp"
+#include "core/nvwal_log.hpp"
 
 using namespace nvwal;
 using namespace nvwal::bench;
+
+// The DB-level benchmarks touch enough state (pager cache, WAL tail
+// node, heap free lists) that cold first iterations skew single-shot
+// numbers; give them an explicit warmup window and report the
+// median/mean over repetitions instead of one run.
+#define NVWAL_BENCHMARK_REPEATED(fn) \
+    BENCHMARK(fn)->MinWarmUpTime(0.05)->Repetitions(3)-> \
+        ReportAggregatesOnly(true)
 
 namespace
 {
@@ -113,7 +122,7 @@ BM_BTreeInsertWallClock(benchmark::State &state)
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
-BENCHMARK(BM_BTreeInsertWallClock);
+NVWAL_BENCHMARK_REPEATED(BM_BTreeInsertWallClock);
 
 void
 BM_TransactionCommitNvwal(benchmark::State &state)
@@ -147,7 +156,7 @@ BM_TransactionCommitNvwal(benchmark::State &state)
     }
     state.SetItemsProcessed(committed);
 }
-BENCHMARK(BM_TransactionCommitNvwal);
+NVWAL_BENCHMARK_REPEATED(BM_TransactionCommitNvwal);
 
 void
 BM_TransactionCommitNvwalTraced(benchmark::State &state)
@@ -185,7 +194,58 @@ BM_TransactionCommitNvwalTraced(benchmark::State &state)
     }
     state.SetItemsProcessed(committed);
 }
-BENCHMARK(BM_TransactionCommitNvwalTraced);
+NVWAL_BENCHMARK_REPEATED(BM_TransactionCommitNvwalTraced);
+
+void
+BM_WalReadHotPage(benchmark::State &state)
+{
+    // The materialized-page read path: one full-page frame plus a
+    // run of small committed diffs, then repeated readPage() calls.
+    // range(0) toggles the image cache, so the two variants are the
+    // with/without numbers for the latest-full-frame shortcut + LRU
+    // (EXPERIMENTS.md, hot-path pass).
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbFile file(env.fs, "hot.db", 4096);
+    NVWAL_CHECK_OK(file.open());
+    NvwalConfig config;  // UH+LS+Diff defaults
+    config.materializeCacheEntries =
+        static_cast<std::uint32_t>(state.range(0));
+    NvwalLog log(env.heap, env.pmem, file, 4096, 24, config,
+                 env.stats);
+    std::uint32_t db_size = 0;
+    NVWAL_CHECK_OK(log.recover(&db_size));
+
+    const PageNo page_no = 3;
+    ByteBuffer page(4096, 0x3C);
+    DirtyRanges full;
+    full.mark(0, 4096);
+    std::vector<FrameWrite> frames{
+        FrameWrite{page_no, ConstByteSpan(page.data(), page.size()),
+                   &full}};
+    NVWAL_CHECK_OK(log.writeFrames(frames, true, page_no));
+    for (int i = 0; i < 16; ++i) {
+        page[static_cast<std::size_t>(64 * i)] ^= 0xFF;
+        DirtyRanges diff;
+        diff.mark(static_cast<std::uint32_t>(64 * i),
+                  static_cast<std::uint32_t>(64 * i + 8));
+        std::vector<FrameWrite> w{
+            FrameWrite{page_no,
+                       ConstByteSpan(page.data(), page.size()), &diff}};
+        NVWAL_CHECK_OK(log.writeFrames(w, true, page_no));
+    }
+
+    ByteBuffer out(4096);
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(
+            log.readPage(page_no, ByteSpan(out.data(), out.size())));
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+NVWAL_BENCHMARK_REPEATED(BM_WalReadHotPage)
+    ->ArgName("cache_entries")->Arg(0)->Arg(16);
 
 void
 BM_RecoveryScan(benchmark::State &state)
@@ -212,7 +272,7 @@ BM_RecoveryScan(benchmark::State &state)
         benchmark::DoNotOptimize(reopened->wal().framesSinceCheckpoint());
     }
 }
-BENCHMARK(BM_RecoveryScan)->Arg(100)->Arg(1000);
+NVWAL_BENCHMARK_REPEATED(BM_RecoveryScan)->Arg(100)->Arg(1000);
 
 } // namespace
 

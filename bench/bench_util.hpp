@@ -9,6 +9,8 @@
 #ifndef NVWAL_BENCH_BENCH_UTIL_HPP
 #define NVWAL_BENCH_BENCH_UTIL_HPP
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -63,6 +65,8 @@ struct WorkloadResult
 {
     SimTime elapsedNs = 0;
     double txnsPerSec = 0.0;
+    /** Host wall-clock spent in the measured region (real ns). */
+    std::uint64_t hostNs = 0;
     StatsSnapshot delta;
     /** Per-transaction begin-to-commit latency (sim ns). */
     Histogram commitLatencyNs;
@@ -109,6 +113,7 @@ runWorkload(const EnvConfig &env_config, DbConfig db_config,
 
     const SimTime start = env.clock.now();
     const StatsSnapshot before = env.stats.snapshot();
+    const auto host_start = std::chrono::steady_clock::now();
     WorkloadResult result;
     RowId key = 0;
     for (int t = 0; t < spec.txns; ++t) {
@@ -135,10 +140,46 @@ runWorkload(const EnvConfig &env_config, DbConfig db_config,
     }
 
     result.elapsedNs = env.clock.now() - start;
+    result.hostNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - host_start)
+            .count());
     result.delta = MetricsRegistry::delta(before, env.stats.snapshot());
     result.txnsPerSec = static_cast<double>(spec.txns) /
                         (static_cast<double>(result.elapsedNs) / 1e9);
     return result;
+}
+
+/** Warmup + repetition policy for noise-resistant measurements. */
+struct RepeatSpec
+{
+    int warmup = 1;  //!< discarded runs before measuring
+    int reps = 3;    //!< measured runs; the median is reported
+};
+
+/**
+ * Run @p spec repeat.warmup times untimed, then repeat.reps times,
+ * and return the run with the median *host* wall-clock. Simulated
+ * metrics are deterministic across repetitions (same seed, same
+ * cost model), so the median selects a representative host timing
+ * without perturbing the simulated numbers.
+ */
+inline WorkloadResult
+runWorkloadMedian(const EnvConfig &env_config, const DbConfig &db_config,
+                  const WorkloadSpec &spec, const RepeatSpec &repeat)
+{
+    for (int i = 0; i < repeat.warmup; ++i)
+        (void)runWorkload(env_config, db_config, spec);
+    std::vector<WorkloadResult> runs;
+    const int reps = std::max(1, repeat.reps);
+    runs.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i)
+        runs.push_back(runWorkload(env_config, db_config, spec));
+    std::sort(runs.begin(), runs.end(),
+              [](const WorkloadResult &a, const WorkloadResult &b) {
+                  return a.hostNs < b.hostNs;
+              });
+    return runs[runs.size() / 2];
 }
 
 /** The six NVWAL schemes of Figure 7's legend, in paper order. */
@@ -228,6 +269,8 @@ struct BenchRecord
         txnsPerSec = r.txnsPerSec;
         latencyNs = r.commitLatencyNs;
         counters = r.delta;
+        if (r.hostNs != 0)
+            values["host_ms"] = static_cast<double>(r.hostNs) / 1e6;
     }
 };
 

@@ -80,6 +80,13 @@ struct NvwalConfig
     /** User-heap block size (8 KB in the paper's experiments). */
     std::uint32_t nvBlockSize = 8192;
 
+    /**
+     * Materialized-page LRU cache capacity (page images kept by the
+     * read path, keyed by (page, commit seq)). 0 disables the cache
+     * and every read replays the diff chain.
+     */
+    std::uint32_t materializeCacheEntries = 16;
+
     /** Scheme label matching the paper's legend, e.g. "UH+LS+Diff". */
     std::string schemeName() const;
 };

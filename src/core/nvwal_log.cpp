@@ -188,14 +188,38 @@ NvwalLog::placeFrame(PageNo page_no, std::uint16_t page_offset,
 }
 
 Status
-NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
-                      std::uint32_t db_size_pages)
+NvwalLog::reserveContiguous(std::uint32_t bytes)
 {
-    // Phase 1 -- logging: memcpy WAL frames into NVRAM (Algorithm 1
-    // lines 1-20). Eager mode synchronizes after every frame; lazy
-    // and checksum-async modes defer.
-    std::vector<FrameRef> refs;
-    const SimTime log_begin = _pmem.clock().now();
+    if (!_config.userHeap)
+        return Status::ok();  // the LS baseline allocates per frame
+    if (_tailNode != kNullNvOffset && _tailUsed + bytes <= _tailCapacity)
+        return Status::ok();  // the tail node already fits the txn
+    TraceSpan span(_stats.tracer(), "wal.append_node", "wal", "bytes",
+                   bytes);
+    const Status reserved = appendNode(bytes);
+    if (!reserved.isOk() && reserved.code() == StatusCode::NoSpace) {
+        // One extent for the whole transaction does not fit (NVRAM
+        // pressure or fragmentation). Fall back to per-frame
+        // placement: the frames lose contiguity but the transaction
+        // still commits, exactly as before the marshalling pass.
+        return Status::ok();
+    }
+    NVWAL_RETURN_IF_ERROR(reserved);
+    _stats.add(stats::kWalNodeAllocs);
+    return Status::ok();
+}
+
+Status
+NvwalLog::logTxnFrames(const std::vector<FrameWrite> &frames,
+                       std::vector<FrameRef> *refs)
+{
+    // Marshal the transaction (paper §4.2): expand every FrameWrite
+    // into its dirty ranges first so the transaction's total footprint
+    // is known, then reserve one contiguous run in the tail node and
+    // place the frames back to back. Contiguity is what lets
+    // lazySyncRefs collapse the batch into a single flush range.
+    std::vector<PendingFrame> pending;
+    std::uint32_t total = 0;
     for (const FrameWrite &fw : frames) {
         NVWAL_ASSERT(fw.page.size() == _pageSize);
         std::vector<ByteRange> ranges;
@@ -213,22 +237,46 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
             if (r.empty())
                 continue;
             NVWAL_ASSERT(r.hi <= _pageSize);
-            NvOffset off;
-            NVWAL_RETURN_IF_ERROR(placeFrame(
+            pending.push_back(PendingFrame{
                 fw.pageNo, static_cast<std::uint16_t>(r.lo),
-                fw.page.subspan(r.lo, r.size()), &off));
-            refs.push_back(FrameRef{off, fw.pageNo,
-                                    static_cast<std::uint16_t>(r.lo),
-                                    static_cast<std::uint16_t>(r.size())});
-            if (_config.syncMode == SyncMode::Eager) {
-                // Figure 4(b): flush + fence + persist per log entry.
-                _pmem.memoryBarrier();
-                _pmem.cacheLineFlush(off, off + kFrameHeaderSize + r.size());
-                _pmem.memoryBarrier();
-                _pmem.persistBarrier();
-            }
+                fw.page.subspan(r.lo, r.size())});
+            total += static_cast<std::uint32_t>(alignUp(
+                kFrameHeaderSize + r.size(), 8));
         }
     }
+    if (pending.empty())
+        return Status::ok();
+
+    NVWAL_RETURN_IF_ERROR(reserveContiguous(total));
+    for (const PendingFrame &pf : pending) {
+        NvOffset off;
+        NVWAL_RETURN_IF_ERROR(
+            placeFrame(pf.pageNo, pf.pageOffset, pf.payload, &off));
+        refs->push_back(FrameRef{
+            off, pf.pageNo, pf.pageOffset,
+            static_cast<std::uint16_t>(pf.payload.size()), 0});
+        if (_config.syncMode == SyncMode::Eager) {
+            // Figure 4(b): flush + fence + persist per log entry.
+            _pmem.memoryBarrier();
+            _pmem.cacheLineFlush(
+                off, off + kFrameHeaderSize + pf.payload.size());
+            _pmem.memoryBarrier();
+            _pmem.persistBarrier();
+        }
+    }
+    return Status::ok();
+}
+
+Status
+NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
+                      std::uint32_t db_size_pages)
+{
+    // Phase 1 -- logging: memcpy WAL frames into NVRAM (Algorithm 1
+    // lines 1-20). Eager mode synchronizes after every frame; lazy
+    // and checksum-async modes defer.
+    std::vector<FrameRef> refs;
+    const SimTime log_begin = _pmem.clock().now();
+    NVWAL_RETURN_IF_ERROR(logTxnFrames(frames, &refs));
 
     lazySyncRefs(refs);
 
@@ -255,7 +303,7 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     for (FrameRef &ref : _pendingRefs) {
         ref.seq = seq;
         indexFrame(ref);
-        if (!_ckptPending.empty())
+        if (_ckptRoundActive)
             _ckptPending.insert(ref.pageNo);
     }
     _framesSinceCheckpoint += _pendingRefs.size();
@@ -273,13 +321,48 @@ NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
     // 21-28): one dmb, a batch of non-blocking flushes, a closing
     // dmb and one persist barrier for the whole batch. Group commit
     // widens the batch to many transactions' frames.
-    _pmem.memoryBarrier();
+    //
+    // Before issuing anything, coalesce the batch: align every
+    // frame's [off, off + header + size) to cache-line boundaries,
+    // sort, and merge overlapping or adjacent intervals. Marshalled
+    // placement puts a transaction's frames back to back, so the
+    // batch usually collapses to one contiguous run -- one kernel
+    // crossing instead of one per frame, and a line shared by two
+    // small diffs is flushed exactly once.
+    const std::uint64_t line = _pmem.cost().cacheLineSize;
+    std::vector<std::pair<NvOffset, NvOffset>> runs;
+    runs.reserve(refs.size());
+    std::uint64_t naive_lines = 0;
     for (const FrameRef &ref : refs) {
-        _pmem.cacheLineFlush(ref.off,
-                             ref.off + kFrameHeaderSize + ref.size);
+        const NvOffset lo = alignDown(ref.off, line);
+        const NvOffset hi =
+            alignUp(ref.off + kFrameHeaderSize + ref.size, line);
+        naive_lines += (hi - lo) / line;
+        runs.emplace_back(lo, hi);
+    }
+    std::sort(runs.begin(), runs.end());
+    std::size_t last = 0;
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        if (runs[i].first <= runs[last].second)
+            runs[last].second = std::max(runs[last].second,
+                                         runs[i].second);
+        else
+            runs[++last] = runs[i];
+    }
+    runs.resize(last + 1);
+
+    std::uint64_t flushed_lines = 0;
+    _pmem.memoryBarrier();
+    for (const auto &run : runs) {
+        flushed_lines += (run.second - run.first) / line;
+        _pmem.cacheLineFlush(run.first, run.second);
     }
     _pmem.memoryBarrier();
     _pmem.persistBarrier();
+    _stats.add(stats::kWalFlushRangesCoalesced,
+               refs.size() - runs.size());
+    _stats.add(stats::kPmemFlushLinesDeduped,
+               naive_lines - flushed_lines);
 }
 
 void
@@ -312,47 +395,15 @@ NvwalLog::writeFrameGroup(const std::vector<TxnFrames> &txns)
     NVWAL_ASSERT(_pendingRefs.empty(),
                  "group commit with an open single-writer transaction");
 
-    // Phase 1 -- log every transaction's frames back to back. Eager
-    // mode still synchronizes per frame; Lazy defers to one barrier
-    // pair covering the whole group.
+    // Phase 1 -- log every transaction's frames back to back, each
+    // transaction marshalled contiguously. Eager mode still
+    // synchronizes per frame; Lazy defers to one barrier pair
+    // covering the whole group.
     std::vector<FrameRef> refs;
     std::vector<std::size_t> txn_end;   //!< end index in refs, per txn
     const SimTime log_begin = _pmem.clock().now();
     for (const TxnFrames &txn : txns) {
-        for (const FrameWrite &fw : txn.frames) {
-            NVWAL_ASSERT(fw.page.size() == _pageSize);
-            std::vector<ByteRange> ranges;
-            if (_config.diffLogging) {
-                NVWAL_ASSERT(fw.ranges != nullptr,
-                             "diff logging needs dirty ranges");
-                if (_config.diffGranularity == DiffGranularity::MultiRange)
-                    ranges = fw.ranges->ranges();
-                else
-                    ranges.push_back(fw.ranges->bounding());
-            } else {
-                ranges.push_back(ByteRange{0, _pageSize});
-            }
-            for (const ByteRange &r : ranges) {
-                if (r.empty())
-                    continue;
-                NVWAL_ASSERT(r.hi <= _pageSize);
-                NvOffset off;
-                NVWAL_RETURN_IF_ERROR(placeFrame(
-                    fw.pageNo, static_cast<std::uint16_t>(r.lo),
-                    fw.page.subspan(r.lo, r.size()), &off));
-                refs.push_back(
-                    FrameRef{off, fw.pageNo,
-                             static_cast<std::uint16_t>(r.lo),
-                             static_cast<std::uint16_t>(r.size()), 0});
-                if (_config.syncMode == SyncMode::Eager) {
-                    _pmem.memoryBarrier();
-                    _pmem.cacheLineFlush(
-                        off, off + kFrameHeaderSize + r.size());
-                    _pmem.memoryBarrier();
-                    _pmem.persistBarrier();
-                }
-            }
-        }
+        NVWAL_RETURN_IF_ERROR(logTxnFrames(txn.frames, &refs));
         txn_end.push_back(refs.size());
     }
     if (refs.empty())
@@ -382,7 +433,7 @@ NvwalLog::writeFrameGroup(const std::vector<TxnFrames> &txns)
         for (std::size_t i = begin; i < end; ++i) {
             refs[i].seq = seq;
             indexFrame(refs[i]);
-            if (!_ckptPending.empty())
+            if (_ckptRoundActive)
                 _ckptPending.insert(refs[i].pageNo);
         }
         begin = end;
@@ -395,6 +446,10 @@ NvwalLog::writeFrameGroup(const std::vector<TxnFrames> &txns)
 void
 NvwalLog::indexFrame(const FrameRef &ref)
 {
+    // A new commit supersedes every cached image of the page; pinned
+    // readers re-materialize at their own horizon (their key can no
+    // longer be found, so they rebuild from the frame list).
+    invalidateCachedImages(ref.pageNo);
     auto &list = _pageIndex[ref.pageNo];
     if (!hasPins() &&
         (!_config.diffLogging ||
@@ -409,6 +464,58 @@ NvwalLog::indexFrame(const FrameRef &ref)
     list.push_back(ref);
 }
 
+bool
+NvwalLog::cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out)
+{
+    if (_config.materializeCacheEntries == 0)
+        return false;
+    const auto it = _imageIndex.find({page_no, seq});
+    if (it == _imageIndex.end()) {
+        _stats.add(stats::kWalMaterializeCacheMisses);
+        return false;
+    }
+    _imageLru.splice(_imageLru.begin(), _imageLru, it->second);
+    std::memcpy(out.data(), it->second->image.data(), _pageSize);
+    _stats.add(stats::kWalMaterializeCacheHits);
+    return true;
+}
+
+void
+NvwalLog::cachedImagePut(PageNo page_no, CommitSeq seq,
+                         ConstByteSpan image)
+{
+    if (_config.materializeCacheEntries == 0)
+        return;
+    if (_imageIndex.count({page_no, seq}) != 0)
+        return;
+    while (_imageLru.size() >= _config.materializeCacheEntries) {
+        const CachedImage &victim = _imageLru.back();
+        _imageIndex.erase({victim.pageNo, victim.seq});
+        _imageLru.pop_back();
+    }
+    _imageLru.push_front(CachedImage{
+        page_no, seq,
+        ByteBuffer(image.data(), image.data() + image.size())});
+    _imageIndex[{page_no, seq}] = _imageLru.begin();
+}
+
+void
+NvwalLog::invalidateCachedImages(PageNo page_no)
+{
+    auto it = _imageIndex.lower_bound({page_no, 0});
+    while (it != _imageIndex.end() && it->first.first == page_no) {
+        _imageLru.erase(it->second);
+        it = _imageIndex.erase(it);
+    }
+}
+
+void
+NvwalLog::clearImageCache()
+{
+    _imageLru.clear();
+    _imageIndex.clear();
+}
+
 Status
 NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
 {
@@ -416,28 +523,60 @@ NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
     if (it == _pageIndex.end())
         return Status::notFound("page not in WAL index");
     NVWAL_ASSERT(out.size() == _pageSize);
+    const std::vector<FrameRef> &list = it->second;
 
-    // Base image: the page as the .db file knows it (or zeros for a
-    // page that has never been checkpointed), then the committed
-    // diffs with seq <= horizon in log order. Checkpoint write-back
-    // never advances the base image past the oldest pinned snapshot
-    // (checkpointTarget()), so base + prefix-of-diffs is exactly the
-    // page at the horizon.
-    bool applied = false;
-    std::memset(out.data(), 0, out.size());
-    if (page_no <= _dbFile.pageCount()) {
-        NVWAL_CHECK_OK(_dbFile.readPage(page_no, out));
-        applied = true;
+    // The horizon's view of the page folds in frames [0, end);
+    // append order implies sequence order, so a backward scan finds
+    // the boundary without touching the whole list.
+    std::size_t end = list.size();
+    while (end > 0 && list[end - 1].seq > horizon)
+        --end;
+    if (end == 0) {
+        // No committed frame at or below the horizon: the base file
+        // copy (if the page exists there) is the horizon's image, and
+        // the caller owns that fallback.
+        return Status::notFound("no committed frame at snapshot horizon");
     }
-    for (const FrameRef &ref : it->second) {
-        if (ref.seq > horizon)
-            break;  // append order implies sequence order
+
+    // The cache key is the newest commit folded into the image, not
+    // the raw horizon: every horizon that sees the same frame prefix
+    // shares one entry, and a pinned snapshot can never hit an image
+    // containing commits past its horizon.
+    const CommitSeq effective = list[end - 1].seq;
+    if (cachedImageGet(page_no, effective, out))
+        return Status::ok();
+
+    // Latest-full-frame shortcut: the newest full-page frame in the
+    // visible prefix supersedes everything before it, so replay can
+    // start there and skip both the .db base read and the zero fill.
+    std::size_t start = end;
+    while (start > 0) {
+        const FrameRef &ref = list[start - 1];
+        if (ref.pageOffset == 0 && ref.size == _pageSize)
+            break;
+        --start;
+    }
+    if (start > 0) {
+        --start;  // index of the full-page frame itself
+        _stats.add(stats::kWalFullFrameShortcuts);
+    } else if (page_no <= _dbFile.pageCount()) {
+        // Base image: the page as the .db file knows it. Checkpoint
+        // write-back never advances the base image past the oldest
+        // pinned snapshot (checkpointTarget()), so base +
+        // prefix-of-diffs is exactly the page at the horizon.
+        NVWAL_CHECK_OK(_dbFile.readPage(page_no, out));
+    } else {
+        // A page born in the log and not yet checkpointed: diffs
+        // apply over zeros.
+        std::memset(out.data(), 0, out.size());
+    }
+    for (std::size_t i = start; i < end; ++i) {
+        const FrameRef &ref = list[i];
         _pmem.readFromNvram(ref.off + kFrameHeaderSize,
                             out.subspan(ref.pageOffset, ref.size));
-        applied = true;
     }
-    if (!applied)
-        return Status::notFound("no committed frame at snapshot horizon");
+    cachedImagePut(page_no, effective,
+                   ConstByteSpan(out.data(), out.size()));
     return Status::ok();
 }
 
@@ -475,6 +614,9 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     NVWAL_ASSERT(_pendingRefs.empty(),
                  "checkpoint with an open transaction");
     if (_pageIndex.empty()) {
+        _ckptRoundActive = false;
+        _ckptQueue.clear();
+        _ckptQueuePos = 0;
         _ckptPending.clear();
         *done = true;
         return Status::ok();
@@ -485,23 +627,42 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     // back to never gets ahead of its horizon.
     const CommitSeq target = checkpointTarget();
 
-    // Start a new round: snapshot the dirty-in-log page set. Pages
-    // committed while the round is in progress re-enter the set (see
-    // writeFrames), so the round only finishes when the write-back
-    // has caught up with the log.
-    if (_ckptPending.empty()) {
+    // Start a new round: snapshot the dirty-in-log page set in
+    // ascending page order (the map already is), so the block device
+    // sees one sequential sweep instead of a scatter (Fig. 8). Pages
+    // committed while the round is in progress land in _ckptPending
+    // (see writeFrames) and are drained by ascending catch-up passes,
+    // so the round only finishes when the write-back has caught up
+    // with the log.
+    if (!_ckptRoundActive) {
+        _ckptQueue.clear();
+        _ckptQueue.reserve(_pageIndex.size());
         for (const auto &[page_no, refs] : _pageIndex)
-            _ckptPending.insert(page_no);
+            _ckptQueue.push_back(page_no);
+        _ckptQueuePos = 0;
+        _ckptPending.clear();
+        _ckptLastWritten = kNoPage;
+        _ckptRoundActive = true;
     }
 
     // Reconstruct and batch up to max_pages pages to the .db file
     // (section 4.3: replaying this after a crash is idempotent
-    // because the log is only truncated after the fsync).
+    // because the log is only truncated after the fsync). The
+    // materialized-image cache makes the reconstruction O(1) for any
+    // page the read path recently built.
     ByteBuffer page(_pageSize);
     std::uint32_t written = 0;
-    while (written < max_pages && !_ckptPending.empty()) {
-        const PageNo page_no = *_ckptPending.begin();
-        _ckptPending.erase(_ckptPending.begin());
+    while (written < max_pages) {
+        if (_ckptQueuePos == _ckptQueue.size()) {
+            if (_ckptPending.empty())
+                break;  // the round has caught up with the log
+            // Catch-up pass over the pages re-dirtied mid-round,
+            // again in ascending order.
+            _ckptQueue.assign(_ckptPending.begin(), _ckptPending.end());
+            _ckptQueuePos = 0;
+            _ckptPending.clear();
+        }
+        const PageNo page_no = _ckptQueue[_ckptQueuePos++];
         const Status read =
             materializePage(page_no, ByteSpan(page.data(), _pageSize),
                             target);
@@ -514,9 +675,13 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
         NVWAL_RETURN_IF_ERROR(read);
         NVWAL_RETURN_IF_ERROR(_dbFile.writePage(
             page_no, ConstByteSpan(page.data(), _pageSize)));
+        _stats.add(stats::kWalCkptPagesWritten);
+        if (_ckptLastWritten != kNoPage && page_no > _ckptLastWritten)
+            _stats.add(stats::kWalCkptSequentialWrites);
+        _ckptLastWritten = page_no;
         ++written;
     }
-    if (!_ckptPending.empty()) {
+    if (_ckptQueuePos < _ckptQueue.size() || !_ckptPending.empty()) {
         // Sync what this step wrote: file writes are buffered, so
         // without a per-step fsync the entire block-program bill
         // would land on the final step and the latency bound this
@@ -529,6 +694,9 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
 
     NVWAL_RETURN_IF_ERROR(_dbFile.sync());
     *done = true;
+    _ckptRoundActive = false;
+    _ckptQueue.clear();
+    _ckptQueuePos = 0;
 
     if (target < _commitSeq) {
         // A pinned snapshot sits below the newest commit, so frames
@@ -562,6 +730,10 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     persistU64(firstNodeFieldOff(), kNullNvOffset);
 
     _pageIndex.clear();
+    // Cached images of truncated pages are byte-correct, but their
+    // NVRAM frames are gone and the commit-sequence space restarts
+    // after the next recover(); drop them with the index.
+    clearImageCache();
     _chain.reset();
     _tailNode = kNullNvOffset;
     _tailUsed = 0;
@@ -581,7 +753,14 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     *db_size_pages = 0;
     _pageIndex.clear();
     _pendingRefs.clear();
+    _ckptRoundActive = false;
+    _ckptQueue.clear();
+    _ckptQueuePos = 0;
     _ckptPending.clear();
+    // Commit sequences restart below, so a stale (page, seq) cache
+    // key could collide with a *different* post-recovery commit;
+    // the cache must not survive recovery.
+    clearImageCache();
     _chain.reset();
     _framesSinceCheckpoint = 0;
     _nodesSinceCheckpoint = 0;

@@ -42,8 +42,10 @@
 #define NVWAL_CORE_NVWAL_LOG_HPP
 
 #include <algorithm>
+#include <list>
 #include <map>
 #include <set>
+#include <utility>
 #include <vector>
 
 #include "common/checksum.hpp"
@@ -130,6 +132,26 @@ class NvwalLog : public WriteAheadLog
         CommitSeq seq = 0;      //!< commit sequence (volatile, index-only)
     };
 
+    /**
+     * A frame whose placement has been deferred so the transaction's
+     * total size is known first; the payload still lives in the
+     * caller's page buffer.
+     */
+    struct PendingFrame
+    {
+        PageNo pageNo;
+        std::uint16_t pageOffset;
+        ConstByteSpan payload;
+    };
+
+    /** One materialized page image held by the read-path LRU. */
+    struct CachedImage
+    {
+        PageNo pageNo;
+        CommitSeq seq;      //!< newest commit folded into the image
+        ByteBuffer image;
+    };
+
     NvOffset headerFieldOff(std::uint32_t field) const
     { return _headerOff + field; }
     NvOffset firstNodeFieldOff() const { return headerFieldOff(24); }
@@ -147,6 +169,38 @@ class NvwalLog : public WriteAheadLog
     /** Place one frame; returns its header offset. */
     Status placeFrame(PageNo page_no, std::uint16_t page_offset,
                       ConstByteSpan payload, NvOffset *frame_off);
+
+    /**
+     * Log one transaction's frames: expand every FrameWrite into its
+     * dirty ranges, reserve one contiguous tail-node run for the
+     * whole transaction (paper §4.2's marshalling), then place the
+     * frames back to back. Eager mode still synchronizes per frame.
+     * Appends one FrameRef per placed frame to @p refs.
+     */
+    Status logTxnFrames(const std::vector<FrameWrite> &frames,
+                        std::vector<FrameRef> *refs);
+
+    /**
+     * Ensure the tail node can hold @p bytes contiguously (user-heap
+     * mode only). Falls back to per-frame allocation when the heap
+     * cannot produce one extent of that size.
+     */
+    Status reserveContiguous(std::uint32_t bytes);
+
+    // ---- materialized-page LRU cache -------------------------------
+
+    /** Copy a cached image of (page, seq) into @p out, if present. */
+    bool cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out);
+
+    /** Remember @p image as the page's state as of @p seq. */
+    void cachedImagePut(PageNo page_no, CommitSeq seq,
+                        ConstByteSpan image);
+
+    /** Drop every cached image of @p page_no (new commit landed). */
+    void invalidateCachedImages(PageNo page_no);
+
+    /** Drop the whole cache (recovery, log truncation). */
+    void clearImageCache();
 
     /** Apply one committed frame to the volatile page index. */
     void indexFrame(const FrameRef &ref);
@@ -211,15 +265,31 @@ class NvwalLog : public WriteAheadLog
     /** Frames logged but not yet covered by a commit mark. */
     std::vector<FrameRef> _pendingRefs;
     /**
-     * Pages still to be written back by the in-progress incremental
-     * checkpoint (empty = no checkpoint in progress). A page
-     * re-dirtied after its write-back re-enters the set; replaying
-     * absolute-byte diffs is idempotent, so partial write-backs are
-     * always crash-safe.
+     * The in-progress incremental checkpoint round. The round drains
+     * _ckptQueue front to back -- pages in ascending order, so the
+     * block device sees sequential writes (Fig. 8). Pages committed
+     * while the round is active land in _ckptPending and are drained
+     * by catch-up passes (again ascending) until no re-dirtied page
+     * remains; replaying absolute-byte diffs is idempotent, so
+     * partial write-backs are always crash-safe.
      */
-    std::set<PageNo> _ckptPending;
+    bool _ckptRoundActive = false;
+    std::vector<PageNo> _ckptQueue;   //!< current pass, ascending
+    std::size_t _ckptQueuePos = 0;    //!< next queue index to drain
+    std::set<PageNo> _ckptPending;    //!< re-dirtied during the round
+    PageNo _ckptLastWritten = kNoPage; //!< previous write-back target
     /** page -> committed frames in append order. */
     std::map<PageNo, std::vector<FrameRef>> _pageIndex;
+    /**
+     * Materialized-image LRU (front = most recent) plus its lookup
+     * index. Keyed by (page, newest seq folded in), so a pinned
+     * snapshot naturally misses entries built past its horizon. No
+     * internal locking: every caller already holds the database
+     * engine mutex.
+     */
+    std::list<CachedImage> _imageLru;
+    std::map<std::pair<PageNo, CommitSeq>,
+             std::list<CachedImage>::iterator> _imageIndex;
 };
 
 } // namespace nvwal

@@ -66,6 +66,31 @@ inline constexpr const char *kGaugeCommitQueueDepth =
 inline constexpr const char *kWalBumpAllocs = "wal.bump_allocs";
 inline constexpr const char *kWalNodeAllocs = "wal.node_allocs";
 
+// Hot-path pass (DESIGN.md §9). Coalesced lazy sync: flush ranges
+// merged away per batch (one cacheLineFlush call per contiguous run
+// instead of one per frame) and cache lines the merge stopped from
+// being flushed twice.
+inline constexpr const char *kWalFlushRangesCoalesced =
+    "wal.flush_ranges_coalesced";
+inline constexpr const char *kPmemFlushLinesDeduped =
+    "pmem.flush_lines_deduped";
+// Materialized-page read path: LRU image cache hits/misses and reads
+// that started from a logged full-page frame instead of the .db base
+// image.
+inline constexpr const char *kWalMaterializeCacheHits =
+    "wal.materialize_cache_hits";
+inline constexpr const char *kWalMaterializeCacheMisses =
+    "wal.materialize_cache_misses";
+inline constexpr const char *kWalFullFrameShortcuts =
+    "wal.full_frame_shortcuts";
+// Ordered checkpoint write-back: pages written per round and pairs of
+// consecutive writes whose page numbers ascended (sequentiality for
+// the Fig. 8 block-trace story).
+inline constexpr const char *kWalCkptPagesWritten =
+    "wal.ckpt_pages_written";
+inline constexpr const char *kWalCkptSequentialWrites =
+    "wal.ckpt_sequential_writes";
+
 // Pager traffic (page-cache effectiveness behind each scheme).
 inline constexpr const char *kPagerCacheHits = "pager.cache_hits";
 inline constexpr const char *kPagerReads = "pager.page_reads";

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the materialized-page LRU cache and latest-full-frame
+ * shortcut (DESIGN.md §9): snapshot-pinned readers must see their
+ * horizon rather than a newer cached image, new commits invalidate a
+ * page's cached images, the cache restarts cold across recover(),
+ * and the ordered checkpoint both drains pages in ascending order
+ * and reuses images the read path just materialized.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/nvwal_log.hpp"
+#include "db/connection.hpp"
+#include "db/database.hpp"
+#include "db/env.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+constexpr std::uint32_t kPageSize = 4096;
+constexpr std::uint32_t kReserved = 24;
+
+class MaterializeCacheTest : public ::testing::Test
+{
+  protected:
+    MaterializeCacheTest()
+        : env(makeEnvConfig()), dbFile(env.fs, "t.db", kPageSize)
+    {
+        NVWAL_CHECK_OK(dbFile.open());
+    }
+
+    static EnvConfig
+    makeEnvConfig()
+    {
+        EnvConfig c;
+        c.cost = CostModel::tuna(500);
+        return c;
+    }
+
+    void
+    openLog(std::uint32_t cache_entries)
+    {
+        config.materializeCacheEntries = cache_entries;
+        log = std::make_unique<NvwalLog>(env.heap, env.pmem, dbFile,
+                                         kPageSize, kReserved, config,
+                                         env.stats);
+        std::uint32_t db_size = 0;
+        NVWAL_CHECK_OK(log->recover(&db_size));
+    }
+
+    /** Commit one full-page frame (UH+LS+Diff defaults). */
+    void
+    commitFullPage(PageNo no, const ByteBuffer &page,
+                   std::uint32_t db_size)
+    {
+        DirtyRanges full;
+        full.mark(0, kPageSize);
+        std::vector<FrameWrite> frames{
+            FrameWrite{no, testutil::spanOf(page), &full}};
+        NVWAL_CHECK_OK(log->writeFrames(frames, true, db_size));
+    }
+
+    /** Commit a small diff of @p page at byte 100. */
+    void
+    commitDiff(PageNo no, const ByteBuffer &page, std::uint32_t db_size)
+    {
+        DirtyRanges diff;
+        diff.mark(100, 108);
+        std::vector<FrameWrite> frames{
+            FrameWrite{no, testutil::spanOf(page), &diff}};
+        NVWAL_CHECK_OK(log->writeFrames(frames, true, db_size));
+    }
+
+    std::uint64_t
+    hits() const
+    {
+        return env.stats.get(stats::kWalMaterializeCacheHits);
+    }
+
+    std::uint64_t
+    misses() const
+    {
+        return env.stats.get(stats::kWalMaterializeCacheMisses);
+    }
+
+    Env env;
+    DbFile dbFile;
+    NvwalConfig config;
+    std::unique_ptr<NvwalLog> log;
+};
+
+/** Second read of an unchanged page is served from the cache. */
+TEST_F(MaterializeCacheTest, RepeatReadHitsCache)
+{
+    openLog(16);
+    ByteBuffer page = testutil::makeValue(kPageSize, 7);
+    commitFullPage(3, page, 3);
+
+    ByteBuffer out(kPageSize);
+    const auto h0 = hits(), m0 = misses();
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+    EXPECT_EQ(hits() - h0, 0u);
+    EXPECT_EQ(misses() - m0, 1u);
+
+    std::memset(out.data(), 0, out.size());
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+    EXPECT_EQ(hits() - h0, 1u);
+    EXPECT_EQ(misses() - m0, 1u);
+}
+
+/**
+ * A snapshot pinned before a later commit must materialize its own
+ * horizon even when the cache holds the newer image: the cache key
+ * is (page, effective commit seq), so the pinned read resolves to a
+ * different entry, never the newer one.
+ */
+TEST_F(MaterializeCacheTest, PinnedSnapshotDoesNotSeeNewerCachedImage)
+{
+    openLog(16);
+    ByteBuffer v1 = testutil::makeValue(kPageSize, 1);
+    commitFullPage(3, v1, 3);
+    const CommitSeq pinned = log->commitSeq();
+
+    ByteBuffer v2 = v1;
+    std::memset(v2.data() + 100, 0x99, 8);
+    commitDiff(3, v2, 3);
+
+    // Warm the cache with the newest image.
+    ByteBuffer out(kPageSize);
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, v2);
+
+    // The pinned reader must get v1, not the cached v2.
+    NVWAL_CHECK_OK(
+        log->readPageAt(3, ByteSpan(out.data(), out.size()), pinned));
+    EXPECT_EQ(out, v1);
+
+    // And an unpinned read still sees v2 (now from the cache).
+    const auto h0 = hits();
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, v2);
+    EXPECT_EQ(hits() - h0, 1u);
+}
+
+/** A new commit to a page invalidates its cached images. */
+TEST_F(MaterializeCacheTest, CommitInvalidatesCachedImage)
+{
+    openLog(16);
+    ByteBuffer v1 = testutil::makeValue(kPageSize, 1);
+    commitFullPage(3, v1, 3);
+
+    ByteBuffer out(kPageSize);
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+
+    ByteBuffer v2 = v1;
+    std::memset(v2.data() + 100, 0xAB, 8);
+    commitDiff(3, v2, 3);
+
+    // The read after the commit cannot be served by the stale entry.
+    const auto h0 = hits(), m0 = misses();
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, v2);
+    EXPECT_EQ(hits() - h0, 0u);
+    EXPECT_EQ(misses() - m0, 1u);
+}
+
+/** The cache restarts cold across recover(); data stays correct. */
+TEST_F(MaterializeCacheTest, CacheColdAfterRecover)
+{
+    openLog(16);
+    ByteBuffer page = testutil::makeValue(kPageSize, 5);
+    commitFullPage(3, page, 3);
+
+    ByteBuffer out(kPageSize);
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+
+    auto fresh = std::make_unique<NvwalLog>(env.heap, env.pmem, dbFile,
+                                            kPageSize, kReserved, config,
+                                            env.stats);
+    std::uint32_t db_size = 0;
+    NVWAL_CHECK_OK(fresh->recover(&db_size));
+
+    // First post-recovery read misses (no cached image survives) and
+    // re-materializes the committed content from NVRAM.
+    const auto h0 = hits(), m0 = misses();
+    std::memset(out.data(), 0, out.size());
+    NVWAL_CHECK_OK(fresh->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+    EXPECT_EQ(hits() - h0, 0u);
+    EXPECT_EQ(misses() - m0, 1u);
+}
+
+/**
+ * With the cache disabled the latest-full-frame shortcut still
+ * avoids the base-page read + diff replay prefix: the backward scan
+ * starts materialization at the newest full-page frame.
+ */
+TEST_F(MaterializeCacheTest, FullFrameShortcutWithCacheDisabled)
+{
+    openLog(0);
+    ByteBuffer page = testutil::makeValue(kPageSize, 9);
+    commitFullPage(3, page, 3);
+    for (int i = 0; i < 4; ++i) {
+        page[static_cast<std::size_t>(100 + i)] ^= 0xFF;
+        commitDiff(3, page, 3);
+    }
+
+    ByteBuffer out(kPageSize);
+    const auto s0 = env.stats.get(stats::kWalFullFrameShortcuts);
+    const auto h0 = hits(), m0 = misses();
+    NVWAL_CHECK_OK(log->readPage(3, ByteSpan(out.data(), out.size())));
+    EXPECT_EQ(out, page);
+    EXPECT_EQ(env.stats.get(stats::kWalFullFrameShortcuts) - s0, 1u);
+    // Cache disabled: neither hits nor misses are recorded.
+    EXPECT_EQ(hits() - h0, 0u);
+    EXPECT_EQ(misses() - m0, 0u);
+}
+
+/**
+ * Checkpoint write-back reuses the image the read path just
+ * materialized and drains pages in ascending page order regardless
+ * of commit order.
+ */
+TEST_F(MaterializeCacheTest, CheckpointReusesCacheAndDrainsInOrder)
+{
+    openLog(16);
+    // Commit in scattered page order.
+    const PageNo pages[] = {9, 3, 7, 5};
+    ByteBuffer images[4];
+    std::uint32_t db_size = 0;
+    for (int i = 0; i < 4; ++i) {
+        images[i] = testutil::makeValue(kPageSize, pages[i]);
+        db_size = std::max(db_size, pages[i]);
+        commitFullPage(pages[i], images[i], db_size);
+    }
+
+    // Warm the cache the way a reader would.
+    ByteBuffer out(kPageSize);
+    for (int i = 0; i < 4; ++i) {
+        NVWAL_CHECK_OK(
+            log->readPage(pages[i], ByteSpan(out.data(), out.size())));
+    }
+
+    const auto h0 = hits();
+    const auto w0 = env.stats.get(stats::kWalCkptPagesWritten);
+    const auto seq0 = env.stats.get(stats::kWalCkptSequentialWrites);
+    NVWAL_CHECK_OK(log->checkpoint());
+
+    // Every written page was served from the materialized cache, and
+    // the drain visited them in ascending page order: each write
+    // after the first lands above its predecessor.
+    const auto written = env.stats.get(stats::kWalCkptPagesWritten) - w0;
+    EXPECT_EQ(written, 4u);
+    EXPECT_EQ(hits() - h0, written);
+    EXPECT_EQ(env.stats.get(stats::kWalCkptSequentialWrites) - seq0,
+              written - 1);
+
+    // The .db file holds the checkpointed images.
+    for (int i = 0; i < 4; ++i) {
+        NVWAL_CHECK_OK(
+            dbFile.readPage(pages[i], ByteSpan(out.data(), out.size())));
+        EXPECT_EQ(out, images[i]) << "page " << pages[i];
+    }
+}
+
+/**
+ * Database-level guard: a snapshot reader pinned before a concurrent
+ * commit keeps seeing its horizon even after the newest page image
+ * has been pulled into the materialized cache by other readers.
+ */
+TEST(MaterializeCacheDb, SnapshotReaderUnaffectedByWarmCache)
+{
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbConfig db_config;
+    db_config.walMode = WalMode::Nvwal;
+    db_config.autoCheckpoint = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, db_config, &db));
+
+    const ByteBuffer v_old = testutil::makeValue(64, 1);
+    NVWAL_CHECK_OK(db->insert(1, testutil::spanOf(v_old)));
+
+    std::unique_ptr<Connection> conn;
+    NVWAL_CHECK_OK(db->connect(&conn));
+    NVWAL_CHECK_OK(conn->beginRead());
+
+    const ByteBuffer v_new = testutil::makeValue(64, 2);
+    NVWAL_CHECK_OK(db->update(1, testutil::spanOf(v_new)));
+
+    // Populate the WAL's materialized cache with the newest image.
+    ByteBuffer got;
+    NVWAL_CHECK_OK(db->get(1, &got));
+    EXPECT_EQ(got, v_new);
+
+    // The pinned reader still sees the pre-update value.
+    NVWAL_CHECK_OK(conn->get(1, &got));
+    EXPECT_EQ(got, v_old);
+    NVWAL_CHECK_OK(conn->endRead());
+
+    // Released, a fresh read snapshot observes the update.
+    NVWAL_CHECK_OK(conn->beginRead());
+    NVWAL_CHECK_OK(conn->get(1, &got));
+    EXPECT_EQ(got, v_new);
+    NVWAL_CHECK_OK(conn->endRead());
+}
+
+} // namespace
+} // namespace nvwal
