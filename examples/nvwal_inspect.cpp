@@ -7,6 +7,14 @@
  * states, the decoded B-tree pages, and the platform counters in
  * their stable documented order.
  *
+ * `--shards N` (N >= 2) switches to the sharded-store demo
+ * (DESIGN.md section 10): it crashes a cross-shard transaction
+ * between its PREPARE and DECISION records, walks every shard's log
+ * to show the in-doubt state on the media, then recovers and reports
+ * how the 2PC resolution settled it. `--shard k` restricts the
+ * media/page output to one shard; stats and metrics always aggregate
+ * the whole shard set in stable key order.
+ *
  * `--metrics <path>` additionally dumps the full metrics registry
  * (counters + gauges + latency histograms) as JSON; `--trace <path>`
  * enables the transaction-phase tracer for the whole run and writes
@@ -18,25 +26,242 @@
 #include <string>
 
 #include "db/inspect.hpp"
+#include "shard/sharded_connection.hpp"
+#include "shard/sharded_database.hpp"
 
 using namespace nvwal;
+
+namespace
+{
+
+/** Media reports of every shard (or just @p only), ascending order. */
+void
+printShardMedia(Env &env, std::uint32_t page_size, std::uint32_t shards,
+                std::int32_t only)
+{
+    for (std::uint32_t k = 0; k < shards; ++k) {
+        if (only >= 0 && static_cast<std::uint32_t>(only) != k)
+            continue;
+        std::printf("-- shard %02u media (namespace %s) --\n", k,
+                    ShardedDatabase::shardHeapNamespace(k).c_str());
+        NvwalMediaReport media;
+        NVWAL_CHECK_OK(collectNvwalMediaReport(
+            env, page_size, &media,
+            ShardedDatabase::shardHeapNamespace(k)));
+        printNvwalMediaReport(media);
+    }
+}
+
+/** Total surviving 2PC records across the shard set. */
+void
+twoPcTally(Env &env, std::uint32_t page_size, std::uint32_t shards,
+           std::uint64_t *prepares, std::uint64_t *decisions)
+{
+    *prepares = 0;
+    *decisions = 0;
+    for (std::uint32_t k = 0; k < shards; ++k) {
+        NvwalMediaReport media;
+        NVWAL_CHECK_OK(collectNvwalMediaReport(
+            env, page_size, &media,
+            ShardedDatabase::shardHeapNamespace(k)));
+        *prepares += media.prepareRecords;
+        *decisions += media.decisionRecords;
+    }
+}
+
+/**
+ * The sharded forensics walk-through. Returns nonzero if recovery
+ * left the doomed transaction torn (which would be an engine bug);
+ * leaves the open, recovered store in @p db so main() can append the
+ * shared metrics/trace tail.
+ */
+int
+runShardedDemo(Env &env, std::uint32_t shards, std::int32_t only,
+               std::unique_ptr<ShardedDatabase> *db)
+{
+    using Op = ShardedConnection::Op;
+
+    ShardConfig sconfig;
+    sconfig.baseName = "inspected";
+    sconfig.shardCount = shards;
+    const std::uint32_t page_size = sconfig.dbTemplate.pageSize;
+
+    NVWAL_CHECK_OK(ShardedDatabase::open(env, sconfig, db));
+    std::unique_ptr<ShardedConnection> conn;
+    NVWAL_CHECK_OK((*db)->connect(&conn));
+
+    for (RowId k = 1; k <= 60; ++k) {
+        ByteBuffer v(120, static_cast<std::uint8_t>(k));
+        NVWAL_CHECK_OK(conn->insert(k, ConstByteSpan(v.data(), v.size())));
+    }
+    // A few committed cross-shard transactions, so the healthy logs
+    // already carry PREPARE/DECISION records to look at.
+    for (RowId k = 0; k < 5; ++k) {
+        NVWAL_CHECK_OK(conn->runAtomic(
+            {Op::insert(1000 + k, std::string("left-") +
+                                      std::to_string(k)),
+             Op::insert(2000 + k, std::string("right-") +
+                                      std::to_string(k))}));
+    }
+
+    std::printf("==== healthy shard set (%u shards) ====\n", shards);
+    for (std::uint32_t k = 0; k < shards; ++k) {
+        std::printf("-- shard %02u (%s) --\n", k,
+                    ShardedDatabase::shardDbName(sconfig, k).c_str());
+        DatabaseReport report;
+        NVWAL_CHECK_OK(collectDatabaseReport((*db)->shard(k), &report));
+        printDatabaseReport(report);
+    }
+    std::printf("\n==== healthy media ====\n");
+    printShardMedia(env, page_size, shards, only);
+
+    // A transaction spanning two distinct shards, doomed to crash
+    // between its PREPARE and DECISION records.
+    RowId doomed_a = 9000;
+    while ((*db)->shardOf(doomed_a) != 0)
+        ++doomed_a;
+    RowId doomed_b = doomed_a + 1;
+    while ((*db)->shardOf(doomed_b) == 0)
+        ++doomed_b;
+
+    std::printf("\n==== crashing a cross-shard transaction between "
+                "PREPARE and DECISION ====\n");
+    std::printf("doomed txn: insert %lld (shard %u) + insert %lld "
+                "(shard %u)\n",
+                static_cast<long long>(doomed_a), (*db)->shardOf(doomed_a),
+                static_cast<long long>(doomed_b),
+                (*db)->shardOf(doomed_b));
+    conn.reset();
+    db->reset();
+    const Env::MediaSnapshot snap = env.snapshotMedia();
+    // The committed warm-up transactions already left PREPARE/DECISION
+    // records on the media; only records beyond this baseline belong
+    // to the doomed transaction.
+    std::uint64_t base_prepares = 0;
+    std::uint64_t base_decisions = 0;
+    twoPcTally(env, page_size, shards, &base_prepares, &base_decisions);
+
+    // Find the 2PC window deterministically: restore the image, arm a
+    // crash n device ops into the commit, and keep advancing n until
+    // the post-crash media holds a surviving PREPARE with no decision
+    // record anywhere -- a transaction recovery must treat as in
+    // doubt.
+    bool in_window = false;
+    for (std::uint64_t n = 1; n <= 600 && !in_window; n += 3) {
+        env.restoreMedia(snap);
+        std::unique_ptr<ShardedDatabase> victim;
+        NVWAL_CHECK_OK(ShardedDatabase::open(env, sconfig, &victim));
+        std::unique_ptr<ShardedConnection> vconn;
+        NVWAL_CHECK_OK(victim->connect(&vconn));
+        env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Adversarial, 0.5);
+        env.nvramDevice.scheduleCrashAtOp(n);
+        bool crashed = false;
+        try {
+            NVWAL_CHECK_OK(vconn->runAtomic(
+                {Op::insert(doomed_a, std::string("doomed-a")),
+                 Op::insert(doomed_b, std::string("doomed-b"))}));
+        } catch (const PowerFailure &) {
+            crashed = true;
+            env.fs.crash();
+        }
+        env.nvramDevice.scheduleCrashAtOp(0);
+        vconn.reset();
+        victim.reset();
+        if (!crashed)
+            break;  // n is already past the whole commit
+        std::uint64_t prepares = 0;
+        std::uint64_t decisions = 0;
+        twoPcTally(env, page_size, shards, &prepares, &decisions);
+        if (prepares > base_prepares && decisions == base_decisions) {
+            in_window = true;
+            std::printf("power failure %llu device ops into the "
+                        "commit: %llu new PREPARE record(s) survive, "
+                        "no decision record anywhere\n",
+                        static_cast<unsigned long long>(n),
+                        static_cast<unsigned long long>(
+                            prepares - base_prepares));
+        }
+    }
+    if (!in_window)
+        std::printf("note: no injection point left the store in "
+                    "doubt; showing the final attempt's media\n");
+
+    std::printf("\n==== raw NVRAM media after the crash ====\n");
+    printShardMedia(env, page_size, shards, only);
+
+    std::printf("\n==== after recovery ====\n");
+    NVWAL_CHECK_OK(ShardedDatabase::recoverAfterCrash(env, sconfig, db));
+    for (const InDoubtResolution &r : (*db)->resolutions()) {
+        std::printf("in-doubt gtid %llu on shard %u: %s (%s)\n",
+                    static_cast<unsigned long long>(r.gtid), r.shard,
+                    r.committed ? "committed" : "aborted",
+                    r.decidedByShard < 0
+                        ? "presumed abort"
+                        : "decision record found on another shard");
+    }
+    if ((*db)->resolutions().empty())
+        std::printf("no transactions were in doubt\n");
+    NVWAL_CHECK_OK((*db)->verifyIntegrity());
+    NVWAL_CHECK_OK((*db)->connect(&conn));
+    ByteBuffer out;
+    const bool have_a = conn->get(doomed_a, &out).isOk();
+    const bool have_b = conn->get(doomed_b, &out).isOk();
+    std::printf("doomed txn after recovery: key %lld %s, key %lld %s "
+                "-> %s\n",
+                static_cast<long long>(doomed_a),
+                have_a ? "present" : "absent",
+                static_cast<long long>(doomed_b),
+                have_b ? "present" : "absent",
+                have_a == have_b ? "atomic" : "TORN (bug!)");
+    printShardMedia(env, page_size, shards, only);
+    for (std::uint32_t k = 0; k < shards; ++k) {
+        std::printf("-- shard %02u (%s) --\n", k,
+                    ShardedDatabase::shardDbName(sconfig, k).c_str());
+        DatabaseReport report;
+        NVWAL_CHECK_OK(collectDatabaseReport((*db)->shard(k), &report));
+        printDatabaseReport(report);
+    }
+    return have_a == have_b ? 0 : 1;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string metrics_path;
     std::string trace_path;
+    std::uint32_t shards = 0;
+    std::int32_t only_shard = -1;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0 && i + 1 < argc) {
             metrics_path = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+            shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
+            only_shard = std::atoi(argv[++i]);
         } else {
             std::fprintf(stderr,
-                         "usage: %s [--metrics <path>] [--trace <path>]\n",
+                         "usage: %s [--shards N [--shard k]] "
+                         "[--metrics <path>] [--trace <path>]\n",
                          argv[0]);
             return 2;
         }
+    }
+    if (shards == 1) {
+        std::fprintf(stderr,
+                     "the sharded demo needs --shards >= 2 (the crash "
+                     "targets a cross-shard transaction)\n");
+        return 2;
+    }
+    if (shards != 0 &&
+        (only_shard >= static_cast<std::int32_t>(shards))) {
+        std::fprintf(stderr, "--shard %d out of range for %u shards\n",
+                     only_shard, shards);
+        return 2;
     }
 
     EnvConfig env_config;
@@ -45,67 +270,77 @@ main(int argc, char **argv)
     if (!trace_path.empty())
         env.stats.tracer().setEnabled(true);
 
-    DbConfig config;
-    config.name = "inspected.db";
-    config.walMode = WalMode::Nvwal;
+    int demo_rc = 0;
+    if (shards > 0) {
+        std::unique_ptr<ShardedDatabase> sdb;
+        demo_rc = runShardedDemo(env, shards, only_shard, &sdb);
+    } else {
+        DbConfig config;
+        config.name = "inspected.db";
+        config.walMode = WalMode::Nvwal;
 
-    std::unique_ptr<Database> db;
-    NVWAL_CHECK_OK(Database::open(env, config, &db));
-    NVWAL_CHECK_OK(db->createTable("blobs"));
-    Table *blobs;
-    NVWAL_CHECK_OK(db->openTable("blobs", &blobs));
+        std::unique_ptr<Database> db;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        NVWAL_CHECK_OK(db->createTable("blobs"));
+        Table *blobs;
+        NVWAL_CHECK_OK(db->openTable("blobs", &blobs));
 
-    for (RowId k = 1; k <= 40; ++k) {
-        ByteBuffer v(120, static_cast<std::uint8_t>(k));
-        NVWAL_CHECK_OK(db->insert(k, ConstByteSpan(v.data(), v.size())));
-    }
-    ByteBuffer big(20000, 0xBB);
-    NVWAL_CHECK_OK(blobs->insert(1, ConstByteSpan(big.data(), big.size())));
-
-    std::printf("==== healthy database ====\n");
-    DatabaseReport db_report;
-    NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
-    printDatabaseReport(db_report);
-
-    std::printf("\n==== decoded pages ====\n");
-    NVWAL_CHECK_OK(printPage(db->pager(), db->pager().rootPage()));
-    Table *main_table;
-    NVWAL_CHECK_OK(db->openTable("main", &main_table));
-    NVWAL_CHECK_OK(printPage(db->pager(), main_table->btree().rootPage()));
-
-    // Kill the power while a transaction is mid-commit.
-    std::printf("\n==== pulling the plug mid-commit ====\n");
-    env.nvramDevice.setScheduledCrashPolicy(FailurePolicy::Adversarial,
-                                            0.5);
-    env.nvramDevice.scheduleCrashAtOp(10);
-    try {
-        NVWAL_CHECK_OK(db->begin());
-        for (RowId k = 100; k < 110; ++k) {
-            ByteBuffer v(120, 0xCC);
+        for (RowId k = 1; k <= 40; ++k) {
+            ByteBuffer v(120, static_cast<std::uint8_t>(k));
             NVWAL_CHECK_OK(
                 db->insert(k, ConstByteSpan(v.data(), v.size())));
         }
-        NVWAL_CHECK_OK(db->commit());
-    } catch (const PowerFailure &) {
-        std::printf("power failure!\n");
-        env.fs.crash();
+        ByteBuffer big(20000, 0xBB);
+        NVWAL_CHECK_OK(
+            blobs->insert(1, ConstByteSpan(big.data(), big.size())));
+
+        std::printf("==== healthy database ====\n");
+        DatabaseReport db_report;
+        NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
+        printDatabaseReport(db_report);
+
+        std::printf("\n==== decoded pages ====\n");
+        NVWAL_CHECK_OK(printPage(db->pager(), db->pager().rootPage()));
+        Table *main_table;
+        NVWAL_CHECK_OK(db->openTable("main", &main_table));
+        NVWAL_CHECK_OK(
+            printPage(db->pager(), main_table->btree().rootPage()));
+
+        // Kill the power while a transaction is mid-commit.
+        std::printf("\n==== pulling the plug mid-commit ====\n");
+        env.nvramDevice.setScheduledCrashPolicy(
+            FailurePolicy::Adversarial, 0.5);
+        env.nvramDevice.scheduleCrashAtOp(10);
+        try {
+            NVWAL_CHECK_OK(db->begin());
+            for (RowId k = 100; k < 110; ++k) {
+                ByteBuffer v(120, 0xCC);
+                NVWAL_CHECK_OK(
+                    db->insert(k, ConstByteSpan(v.data(), v.size())));
+            }
+            NVWAL_CHECK_OK(db->commit());
+        } catch (const PowerFailure &) {
+            std::printf("power failure!\n");
+            env.fs.crash();
+        }
+        env.nvramDevice.scheduleCrashAtOp(0);
+        db.reset();
+
+        std::printf("\n==== raw NVRAM media after the crash ====\n");
+        NvwalMediaReport media;
+        NVWAL_CHECK_OK(
+            collectNvwalMediaReport(env, config.pageSize, &media));
+        printNvwalMediaReport(media);
+
+        std::printf("\n==== after recovery ====\n");
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        NVWAL_CHECK_OK(db->verifyIntegrity());
+        NVWAL_CHECK_OK(
+            collectNvwalMediaReport(env, config.pageSize, &media));
+        printNvwalMediaReport(media);
+        NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
+        printDatabaseReport(db_report);
     }
-    env.nvramDevice.scheduleCrashAtOp(0);
-    db.reset();
-
-    std::printf("\n==== raw NVRAM media after the crash ====\n");
-    NvwalMediaReport media;
-    NVWAL_CHECK_OK(
-        collectNvwalMediaReport(env, config.pageSize, &media));
-    printNvwalMediaReport(media);
-
-    std::printf("\n==== after recovery ====\n");
-    NVWAL_CHECK_OK(Database::open(env, config, &db));
-    NVWAL_CHECK_OK(db->verifyIntegrity());
-    NVWAL_CHECK_OK(collectNvwalMediaReport(env, config.pageSize, &media));
-    printNvwalMediaReport(media);
-    NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
-    printDatabaseReport(db_report);
 
     std::printf("\n==== platform counters (stable order) ====\n");
     printCounters(env.stats);
@@ -131,5 +366,5 @@ main(int argc, char **argv)
                         env.stats.tracer().size()),
                     trace_path.c_str());
     }
-    return 0;
+    return demo_rc;
 }

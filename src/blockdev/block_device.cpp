@@ -31,6 +31,7 @@ BlockDevice::BlockDevice(std::uint64_t num_blocks, std::uint32_t block_size,
 void
 BlockDevice::writeBlock(BlockNo block, ConstByteSpan data, IoTag tag)
 {
+    std::lock_guard<std::mutex> g(_mu);
     NVWAL_ASSERT(block < _numBlocks, "block write out of range: %llu",
                  static_cast<unsigned long long>(block));
     NVWAL_ASSERT(data.size() == _blockSize,
@@ -48,6 +49,7 @@ BlockDevice::writeBlock(BlockNo block, ConstByteSpan data, IoTag tag)
 void
 BlockDevice::readBlock(BlockNo block, ByteSpan out)
 {
+    std::lock_guard<std::mutex> g(_mu);
     NVWAL_ASSERT(block < _numBlocks, "block read out of range");
     NVWAL_ASSERT(out.size() == _blockSize,
                  "block read must be exactly one block");

@@ -12,6 +12,7 @@
 #ifndef NVWAL_BLOCKDEV_BLOCK_DEVICE_HPP
 #define NVWAL_BLOCKDEV_BLOCK_DEVICE_HPP
 
+#include <mutex>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -44,7 +45,14 @@ struct TraceEntry
     IoTag tag;
 };
 
-/** Flash block device with per-block program/read latencies. */
+/**
+ * Flash block device with per-block program/read latencies.
+ *
+ * Thread-safety: shards of a sharded engine checkpoint through one
+ * shared device concurrently, so the media, trace, and per-tag byte
+ * counters are mutex-guarded. trace() hands out a reference and
+ * requires a quiescent device (report paths only).
+ */
 class BlockDevice
 {
   public:
@@ -62,14 +70,30 @@ class BlockDevice
     void readBlock(BlockNo block, ByteSpan out);
 
     /** Enable/disable trace recording (off by default). */
-    void setTracing(bool enabled) { _tracing = enabled; }
+    void
+    setTracing(bool enabled)
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        _tracing = enabled;
+    }
 
+    /** Recorded trace; the device must be quiescent while read. */
     const std::vector<TraceEntry> &trace() const { return _trace; }
-    void clearTrace() { _trace.clear(); }
+
+    void
+    clearTrace()
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        _trace.clear();
+    }
 
     /** Total bytes written per tag since construction. */
-    std::uint64_t bytesWritten(IoTag tag) const
-    { return _bytesPerTag[static_cast<std::size_t>(tag)]; }
+    std::uint64_t
+    bytesWritten(IoTag tag) const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _bytesPerTag[static_cast<std::size_t>(tag)];
+    }
 
     // ---- image snapshot / restore (crash-sweep harness) ------------
 
@@ -79,11 +103,17 @@ class BlockDevice
         ByteBuffer data;
     };
 
-    Snapshot snapshot() const { return Snapshot{_data}; }
+    Snapshot
+    snapshot() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return Snapshot{_data};
+    }
 
     void
     restore(const Snapshot &snap)
     {
+        std::lock_guard<std::mutex> g(_mu);
         NVWAL_ASSERT(snap.data.size() == _data.size(),
                      "snapshot is for a different device size");
         _data = snap.data;
@@ -96,6 +126,7 @@ class BlockDevice
     const CostModel &_cost;
     MetricsRegistry &_stats;
 
+    mutable std::mutex _mu;
     ByteBuffer _data;
     bool _tracing = false;
     std::vector<TraceEntry> _trace;

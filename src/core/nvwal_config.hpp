@@ -87,6 +87,15 @@ struct NvwalConfig
      */
     std::uint32_t materializeCacheEntries = 16;
 
+    /**
+     * NvHeap namespace the log's header root is published under.
+     * Every log sharing one heap needs a distinct name (the sharded
+     * engine binds "nvwal-s00", "nvwal-s01", ... -- DESIGN.md §10);
+     * the default keeps single-database media layouts unchanged.
+     * Must fit NvHeap::kNamespaceNameLen.
+     */
+    std::string heapNamespace = "nvwal";
+
     /** Scheme label matching the paper's legend, e.g. "UH+LS+Diff". */
     std::string schemeName() const;
 };

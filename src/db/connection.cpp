@@ -214,6 +214,27 @@ Connection::rollback()
 }
 
 Status
+Connection::prepare(std::uint64_t gtid)
+{
+    if (!_inWrite)
+        return Status::invalidArgument(
+            "no write transaction to prepare");
+    // The transaction stays open and this connection keeps the writer
+    // slot until decide(): a prepared shard admits no other writer.
+    return _db.prepareFromConnection(gtid);
+}
+
+Status
+Connection::decide(std::uint64_t gtid, bool commit)
+{
+    if (!_inWrite)
+        return Status::invalidArgument(
+            "no prepared transaction to decide");
+    _inWrite = false;
+    return _db.decideFromConnection(gtid, commit, &_writerLock);
+}
+
+Status
 Connection::insert(RowId key, ConstByteSpan value)
 {
     bool started = false;

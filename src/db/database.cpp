@@ -110,6 +110,34 @@ resolveReserved(const DbConfig &config)
 
 } // namespace
 
+Status
+validateDbConfig(const DbConfig &config)
+{
+    if (config.name.empty())
+        return Status::invalidArgument("database name must not be empty");
+    if (config.pageSize == 0 || config.pageSize > 65536)
+        return Status::invalidArgument(
+            "page size must be in (0, 65536]: " +
+            std::to_string(config.pageSize));
+    if (config.reservedBytes.has_value() &&
+        *config.reservedBytes >= config.pageSize)
+        return Status::invalidArgument(
+            "reserved bytes must be smaller than the page size");
+    if ((config.incrementalCheckpoint || config.backgroundCheckpointer) &&
+        config.checkpointStepPages == 0)
+        return Status::invalidArgument(
+            "incremental checkpointing needs checkpointStepPages > 0");
+    if (config.walMode == WalMode::Nvwal) {
+        const std::string &ns = config.nvwal.heapNamespace;
+        if (ns.empty() || ns.size() > NvHeap::kNamespaceNameLen)
+            return Status::invalidArgument(
+                "NVWAL heap namespace must be 1.." +
+                std::to_string(NvHeap::kNamespaceNameLen) +
+                " characters: \"" + ns + "\"");
+    }
+    return Status::ok();
+}
+
 Database::Database(Env &env, DbConfig config)
     : _env(env), _config(std::move(config)),
       _dbWriterLock(_writerMutex, std::defer_lock)
@@ -123,6 +151,7 @@ Database::~Database()
 Status
 Database::open(Env &env, DbConfig config, std::unique_ptr<Database> *out)
 {
+    NVWAL_RETURN_IF_ERROR(validateDbConfig(config));
     std::unique_ptr<Database> db(new Database(env, std::move(config)));
     NVWAL_RETURN_IF_ERROR(db->openInternal());
     *out = std::move(db);
@@ -420,28 +449,61 @@ Database::collectDirtyFrames(GroupEntry *entry)
     return !entry->frames.empty();
 }
 
+TxnFrames
+Database::entryToTxn(const GroupEntry &e)
+{
+    TxnFrames txn;
+    txn.dbSizePages = e.dbSizePages;
+    txn.frames.reserve(e.frames.size());
+    for (const GroupEntry::Frame &f : e.frames) {
+        txn.frames.push_back(FrameWrite{
+            f.pageNo, ConstByteSpan(f.page.data(), f.page.size()),
+            &f.ranges});
+    }
+    return txn;
+}
+
 Status
 Database::appendGroup(const std::vector<GroupEntry *> &batch)
 {
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
-    std::vector<TxnFrames> txns;
-    txns.reserve(batch.size());
-    for (GroupEntry *e : batch) {
-        TxnFrames txn;
-        txn.dbSizePages = e->dbSizePages;
-        txn.frames.reserve(e->frames.size());
-        for (const GroupEntry::Frame &f : e->frames) {
-            txn.frames.push_back(FrameWrite{
-                f.pageNo, ConstByteSpan(f.page.data(), f.page.size()),
-                &f.ranges});
-        }
-        txns.push_back(std::move(txn));
-    }
     _env.stats.add(stats::kGroupCommits);
     _env.stats.add(stats::kGroupCommitTxns, batch.size());
     _env.stats.recordNs(stats::kHistGroupCommitSize, batch.size());
     _env.stats.setGauge(stats::kGaugeCommitQueueDepth, batch.size());
-    const Status s = _wal->writeFrameGroup(txns);
+
+    // The queue interleaves plain commits with 2PC records. Append
+    // each maximal run of commits as one WAL group (one barrier pair
+    // for the run); PREPARE/DECISION records go through their own WAL
+    // entry points, in queue order, so a participant's records land
+    // exactly where the writer-lock order put them.
+    Status s = Status::ok();
+    std::size_t i = 0;
+    while (s.isOk() && i < batch.size()) {
+        const GroupEntry *e = batch[i];
+        switch (e->kind) {
+          case GroupEntry::Kind::Commit: {
+            std::vector<TxnFrames> txns;
+            while (i < batch.size() &&
+                   batch[i]->kind == GroupEntry::Kind::Commit) {
+                txns.push_back(entryToTxn(*batch[i]));
+                ++i;
+            }
+            s = _wal->writeFrameGroup(txns);
+            break;
+          }
+          case GroupEntry::Kind::Prepare: {
+            const TxnFrames txn = entryToTxn(*e);
+            s = _wal->writePrepare(e->gtid, txn);
+            ++i;
+            break;
+          }
+          case GroupEntry::Kind::Decision:
+            s = _wal->writeDecision(e->gtid, e->decisionCommit);
+            ++i;
+            break;
+        }
+    }
     if (!s.isOk()) {
         for (const GroupEntry *e : batch) {
             if (e->finalized) {
@@ -729,6 +791,141 @@ Database::rollbackFromConnection(std::unique_lock<std::mutex> *writer_lock)
     return Status::ok();
 }
 
+Status
+Database::prepareFromConnection(std::uint64_t gtid)
+{
+    GroupEntry entry;
+    entry.kind = GroupEntry::Kind::Prepare;
+    entry.gtid = gtid;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        NVWAL_ASSERT(_inTxn, "connection prepare without open txn");
+        NVWAL_RETURN_IF_ERROR(_poisoned);
+        if (!_wal->supportsTwoPhase())
+            return Status::unsupported(
+                "WAL mode has no two-phase commit");
+        _env.clock.advance(_env.cost.cpuTxnNs);
+        // An empty frame set is fine: the PREPARE record alone still
+        // makes this shard a voting participant.
+        (void)collectDirtyFrames(&entry);
+    }
+    // Unlike a commit, the writer lock is kept and the pages stay
+    // dirty: the transaction remains open (invisible, undecided)
+    // until decideFromConnection. On failure nothing was staged and
+    // the caller rolls back normally.
+    return submitAndWait(&entry, nullptr);
+}
+
+Status
+Database::decideFromConnection(std::uint64_t gtid, bool commit,
+                               std::unique_lock<std::mutex> *writer_lock)
+{
+    GroupEntry entry;
+    entry.kind = GroupEntry::Kind::Decision;
+    entry.gtid = gtid;
+    entry.decisionCommit = commit;
+    // A failed decision append leaves the durable outcome unknown
+    // (the record may or may not have reached NVRAM); poison rather
+    // than pretend the transaction is retryable.
+    entry.finalized = true;
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        NVWAL_ASSERT(_inTxn, "connection decide without open txn");
+        if (!_poisoned.isOk()) {
+            rollbackBody();
+            writer_lock->unlock();
+            endWriteIntent();
+            return _poisoned;
+        }
+        _env.clock.advance(_env.cost.cpuTxnNs);
+    }
+
+    const Status s = submitAndWait(&entry, nullptr);
+
+    {
+        std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+        if (s.isOk() && commit) {
+            // The staged frames are applied in the WAL; publish the
+            // local page images that produced them.
+            _pager->markAllClean();
+            _inTxn = false;
+            _env.stats.add(stats::kTxnsCommitted);
+            _env.stats.tracer().complete("db.txn", "db", _txnBeginNs);
+            _env.stats.tracer().setCurrentTxn(0);
+        } else {
+            // Abort decision, or an append whose outcome is unknown
+            // (the database is poisoned by then): discard the local
+            // changes either way.
+            rollbackBody();
+        }
+    }
+    writer_lock->unlock();
+    endWriteIntent();
+
+    if (!s.isOk())
+        return s;
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return maybeCheckpointAfterCommit();
+}
+
+// ---- two-phase commit (shard-layer entry points) --------------------
+
+Status
+Database::resolvePreparedTxn(std::uint64_t gtid, bool commit)
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    if (_inTxn)
+        return Status::busy(
+            "cannot resolve an in-doubt txn inside a transaction");
+    NVWAL_RETURN_IF_ERROR(_wal->resolveInDoubt(gtid, commit));
+    if (commit) {
+        // Frames that were invisible through recovery just became
+        // committed; resynchronize the pager with the log so reads
+        // see them.
+        const std::uint32_t pages = _wal->committedDbSize();
+        if (pages != 0)
+            _pager->setPageCount(pages);
+        _pager->dropCleanPages();
+        _tables.clear();
+    }
+    return Status::ok();
+}
+
+std::vector<std::uint64_t>
+Database::inDoubtTransactions() const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _wal->inDoubtTransactions();
+}
+
+bool
+Database::lookupDecision(std::uint64_t gtid, bool *commit) const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _wal->lookupDecision(gtid, commit);
+}
+
+std::uint64_t
+Database::walMaxSeenGtid() const
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    return _wal->maxSeenGtid();
+}
+
+void
+Database::holdWalForTwoPhase()
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    _wal->acquireTwoPhaseHold();
+}
+
+void
+Database::releaseWalTwoPhaseHold()
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    _wal->releaseTwoPhaseHold();
+}
+
 // ---- statements ----------------------------------------------------
 
 Status
@@ -896,6 +1093,10 @@ Database::vacuum()
         return Status::busy("cannot vacuum inside a transaction");
     if (_wal->hasPins())
         return Status::busy("open snapshots pin the log");
+    if (_config.shardMember)
+        return Status::unsupported(
+            "vacuum on a shard member: the reopen would re-recover the "
+            "shared NVRAM heap under the other shards");
     // Make the .db file current and the log empty so the rebuild
     // can read pages straight from the file image.
     NVWAL_RETURN_IF_ERROR(checkpoint());

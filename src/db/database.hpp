@@ -100,7 +100,25 @@ struct DbConfig
      * truncate past the oldest pin).
      */
     bool backgroundCheckpointer = false;
+    /**
+     * Set by ShardedDatabase on every member it opens. Members share
+     * one Env (and so one NVRAM heap): whole-heap maintenance that is
+     * safe on a standalone database -- vacuum()'s reopen-driven heap
+     * recovery in particular -- would reclaim blocks other shards
+     * hold in flight, so it is refused while this is set.
+     */
+    bool shardMember = false;
 };
+
+/**
+ * Validate @p config before any engine state is built: page size
+ * bounds (nonzero, <= 64 KiB, frame headers store a 16-bit length),
+ * non-empty database name, and an NVWAL heap namespace that fits the
+ * heap's fixed-width root-directory slots. Database::open runs this
+ * first, so a bad configuration fails with a descriptive status
+ * instead of asserting deep inside the pager or heap.
+ */
+Status validateDbConfig(const DbConfig &config);
 
 class Database;
 class Connection;
@@ -246,6 +264,30 @@ class Database
      */
     Status verifyIntegrity();
 
+    // ---- two-phase commit (engine-locked; used by the shard layer) --
+
+    /**
+     * Resolve a transaction recovery left in doubt: persist the
+     * decision in this database's WAL and apply or discard the
+     * staged frames. On commit the pager is resynchronized with the
+     * log (page count, dropped clean pages) so the applied frames
+     * become visible. NotFound when @p gtid is not in doubt here.
+     */
+    Status resolvePreparedTxn(std::uint64_t gtid, bool commit);
+
+    /** Gtids of recovered PREPAREs still awaiting a decision. */
+    std::vector<std::uint64_t> inDoubtTransactions() const;
+
+    /** Durable decision lookup for @p gtid (see WAL counterpart). */
+    bool lookupDecision(std::uint64_t gtid, bool *commit) const;
+
+    /** Largest gtid in any surviving PREPARE/DECISION record. */
+    std::uint64_t walMaxSeenGtid() const;
+
+    /** Truncation guard passthroughs (WriteAheadLog::acquire...). */
+    void holdWalForTwoPhase();
+    void releaseWalTwoPhaseHold();
+
     // ---- introspection ----------------------------------------------
 
     WriteAheadLog &wal() { return *_wal; }
@@ -285,6 +327,20 @@ class Database
             ByteBuffer page;
             DirtyRanges ranges;
         };
+        /**
+         * What the leader appends for this entry: a plain commit
+         * (frames + commit mark), a 2PC PREPARE (frames + PREPARE
+         * record under gtid), or a 2PC DECISION record (no frames).
+         */
+        enum class Kind
+        {
+            Commit,
+            Prepare,
+            Decision,
+        };
+        Kind kind = Kind::Commit;
+        std::uint64_t gtid = 0;          //!< Prepare/Decision only
+        bool decisionCommit = false;     //!< Decision only
         std::vector<Frame> frames;
         std::uint32_t dbSizePages = 0;
         /**
@@ -319,6 +375,9 @@ class Database
 
     /** Deep-copy the dirty page set; false when nothing is dirty. */
     bool collectDirtyFrames(GroupEntry *entry);
+
+    /** Borrow a queued entry's pages as one WAL transaction. */
+    static TxnFrames entryToTxn(const GroupEntry &e);
 
     /**
      * Queue @p entry and drive it to durability: the first committer
@@ -358,6 +417,21 @@ class Database
     Status beginFromConnection();
     Status commitFromConnection(std::unique_lock<std::mutex> *writer_lock);
     Status rollbackFromConnection(std::unique_lock<std::mutex> *writer_lock);
+    /**
+     * 2PC phase 1: persist the open transaction's frames plus a
+     * PREPARE record for @p gtid through the group-commit queue. The
+     * transaction stays open and the caller KEEPS the writer lock --
+     * the shard remains write-locked until decideFromConnection, so
+     * at most one staged transaction exists per shard.
+     */
+    Status prepareFromConnection(std::uint64_t gtid);
+    /**
+     * 2PC phase 2: persist the DECISION record for @p gtid, apply or
+     * roll back the local transaction accordingly, then release
+     * @p writer_lock. Ends the write transaction either way.
+     */
+    Status decideFromConnection(std::uint64_t gtid, bool commit,
+                                std::unique_lock<std::mutex> *writer_lock);
     void releaseConnection(Connection *conn);
 
     // ---- background checkpointer -----------------------------------

@@ -48,6 +48,7 @@ JournalingFs::find(const std::string &name) const
 Status
 JournalingFs::create(const std::string &name)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     if (find(name) != nullptr)
         return Status::invalidArgument("file exists: " + name);
     _files[name] = Inode{};
@@ -58,12 +59,14 @@ JournalingFs::create(const std::string &name)
 bool
 JournalingFs::exists(const std::string &name) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     return find(name) != nullptr;
 }
 
 std::uint64_t
 JournalingFs::fileSize(const std::string &name) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     const Inode *inode = find(name);
     return inode == nullptr ? 0 : inode->size;
 }
@@ -71,6 +74,7 @@ JournalingFs::fileSize(const std::string &name) const
 std::uint64_t
 JournalingFs::allocatedSize(const std::string &name) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     const Inode *inode = find(name);
     return inode == nullptr
                ? 0
@@ -105,6 +109,7 @@ Status
 JournalingFs::pwrite(const std::string &name, std::uint64_t off,
                      ConstByteSpan data)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *inode = find(name);
     if (inode == nullptr) {
         NVWAL_RETURN_IF_ERROR(create(name));
@@ -149,6 +154,7 @@ Status
 JournalingFs::pread(const std::string &name, std::uint64_t off,
                     ByteSpan out)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     const Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -182,6 +188,7 @@ JournalingFs::pread(const std::string &name, std::uint64_t off,
 Status
 JournalingFs::fallocate(const std::string &name, std::uint64_t size)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -214,6 +221,7 @@ JournalingFs::journalCommit(bool alloc_dirty)
 Status
 JournalingFs::fsync(const std::string &name)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -245,6 +253,7 @@ JournalingFs::fsync(const std::string &name)
 Status
 JournalingFs::truncate(const std::string &name, std::uint64_t size)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -269,6 +278,7 @@ JournalingFs::truncate(const std::string &name, std::uint64_t size)
 Status
 JournalingFs::remove(const std::string &name)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -283,6 +293,7 @@ JournalingFs::remove(const std::string &name)
 Status
 JournalingFs::rename(const std::string &from, const std::string &to)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Inode *src = find(from);
     if (src == nullptr)
         return Status::notFound("no such file: " + from);
@@ -312,6 +323,7 @@ JournalingFs::rename(const std::string &from, const std::string &to)
 void
 JournalingFs::crash()
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     _files.clear();
     for (const auto &[name, dur] : _durableFiles) {
         Inode inode;
@@ -324,6 +336,7 @@ JournalingFs::crash()
 JournalingFs::Snapshot
 JournalingFs::snapshot() const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Snapshot snap;
     snap.journalHead = _journalHead;
     snap.nextDataBlock = _nextDataBlock;
@@ -336,6 +349,7 @@ JournalingFs::snapshot() const
 void
 JournalingFs::restore(const Snapshot &snap)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     _journalHead = snap.journalHead;
     _nextDataBlock = snap.nextDataBlock;
     _freeList = snap.freeList;

@@ -23,6 +23,7 @@
 #define NVWAL_FS_JOURNALING_FS_HPP
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -32,7 +33,14 @@
 namespace nvwal
 {
 
-/** EXT4-ordered-mode-like file system over a BlockDevice. */
+/**
+ * EXT4-ordered-mode-like file system over a BlockDevice.
+ *
+ * Thread-safety: every public method takes an internal recursive
+ * mutex; shards of a sharded engine write their .db files through
+ * one shared file system. The fs locks before calling down into the
+ * BlockDevice, never the reverse.
+ */
 class JournalingFs
 {
   public:
@@ -124,6 +132,9 @@ class JournalingFs
     SimClock &_clock;
     const CostModel &_cost;
     MetricsRegistry &_stats;
+
+    /** Guards all fs state; recursive for nested public calls. */
+    mutable std::recursive_mutex _mu;
 
     std::uint64_t _journalBlocks;
     std::uint64_t _journalHead = 0;  //!< next journal block (cycled)

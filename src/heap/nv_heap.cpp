@@ -37,6 +37,7 @@ NvHeap::chargeCall()
 Status
 NvHeap::format(std::uint32_t block_size)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     if (block_size == 0 || (block_size & (block_size - 1)) != 0)
         return Status::invalidArgument("block size must be a power of two");
 
@@ -105,6 +106,7 @@ NvHeap::format(std::uint32_t block_size)
 Status
 NvHeap::attach()
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NvramDevice &dev = _pmem.device();
     if (dev.size() < kSuperblockSize)
         return Status::corruption("device smaller than a superblock");
@@ -131,6 +133,7 @@ NvHeap::attach()
 Status
 NvHeap::recover(std::uint64_t *reclaimed)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     if (!_attached)
         NVWAL_RETURN_IF_ERROR(attach());
 
@@ -276,6 +279,7 @@ NvHeap::allocate(std::size_t bytes, BlockState state, NvOffset *out)
 Status
 NvHeap::nvMalloc(std::size_t bytes, NvOffset *out)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "heap.nvmalloc", "heap", "bytes",
                    bytes);
     const SimTime begin = _pmem.clock().now();
@@ -288,6 +292,7 @@ NvHeap::nvMalloc(std::size_t bytes, NvOffset *out)
 Status
 NvHeap::nvPreMalloc(std::size_t bytes, NvOffset *out)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "heap.nvpremalloc", "heap", "bytes",
                    bytes);
     const SimTime begin = _pmem.clock().now();
@@ -300,6 +305,7 @@ NvHeap::nvPreMalloc(std::size_t bytes, NvOffset *out)
 Status
 NvHeap::nvSetUsedFlag(NvOffset off)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "heap.set_used_flag", "heap");
     chargeCall();
     const std::uint32_t idx = blockIndexOf(off);
@@ -323,6 +329,7 @@ NvHeap::nvSetUsedFlag(NvOffset off)
 Status
 NvHeap::nvFree(NvOffset off)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "heap.nvfree", "heap");
     chargeCall();
     const std::uint32_t idx = blockIndexOf(off);
@@ -349,6 +356,7 @@ NvHeap::nvFree(NvOffset off)
 std::uint64_t
 NvHeap::countBlocks(BlockState state) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     std::uint64_t n = 0;
     for (std::uint32_t i = 0; i < _numBlocks; ++i) {
         if ((descByte(i) & kStateMask) == static_cast<std::uint8_t>(state))
@@ -360,6 +368,7 @@ NvHeap::countBlocks(BlockState state) const
 BlockState
 NvHeap::blockStateAt(NvOffset off) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     const std::uint32_t idx = blockIndexOf(off);
     return static_cast<BlockState>(descByte(idx) & kStateMask);
 }
@@ -367,6 +376,7 @@ NvHeap::blockStateAt(NvOffset off) const
 std::uint32_t
 NvHeap::extentBlocksAt(NvOffset off) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     const std::uint32_t idx = blockIndexOf(off);
     NVWAL_ASSERT((descByte(idx) & kHeadBit) != 0,
                  "extent query on non-head block");
@@ -420,6 +430,7 @@ NvHeap::findNamespaceSlot(std::string_view name, std::uint32_t *slot_out,
 Status
 NvHeap::setRoot(std::string_view name, NvOffset off)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(_attached, "heap not attached");
     if (off == 0)
         return Status::invalidArgument("root offset 0 is reserved");
@@ -468,6 +479,7 @@ NvHeap::setRoot(std::string_view name, NvOffset off)
 Status
 NvHeap::getRoot(std::string_view name, NvOffset *out) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(_attached, "heap not attached");
     std::uint32_t slot;
     bool exists;

@@ -28,6 +28,7 @@
 #ifndef NVWAL_HEAP_NV_HEAP_HPP
 #define NVWAL_HEAP_NV_HEAP_HPP
 
+#include <mutex>
 #include <string_view>
 
 #include "common/status.hpp"
@@ -45,7 +46,15 @@ enum class BlockState : std::uint8_t
     InUse = 2,
 };
 
-/** Persistent heap manager over an NvramDevice. */
+/**
+ * Persistent heap manager over an NvramDevice.
+ *
+ * Thread-safety: sharded engines allocate log nodes from one shared
+ * heap concurrently, so every public method takes an internal
+ * recursive mutex (recover() nests attach()). The heap calls only
+ * downward (Pmem, then the device), never back up, keeping the lock
+ * order acyclic.
+ */
 class NvHeap
 {
   public:
@@ -137,6 +146,9 @@ class NvHeap
     MetricsRegistry &_stats;
     /** Heap-manager allocation latency (sim ns); registry-owned. */
     Histogram &_allocHist;
+
+    /** Guards all heap state; recursive so recover() can attach(). */
+    mutable std::recursive_mutex _mu;
 
     // Volatile mirror of superblock geometry (rebuilt by attach()).
     std::uint32_t _blockSize = 0;

@@ -39,6 +39,7 @@ NvramDevice::countOp()
 void
 NvramDevice::write(NvOffset off, ConstByteSpan data)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(off + data.size() <= _durable.size(),
                  "NVRAM write out of range: off=%llu len=%zu",
                  static_cast<unsigned long long>(off), data.size());
@@ -77,6 +78,7 @@ NvramDevice::write(NvOffset off, ConstByteSpan data)
 void
 NvramDevice::read(NvOffset off, ByteSpan out) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(off + out.size() <= _durable.size(),
                  "NVRAM read out of range");
     std::size_t pos = 0;
@@ -125,6 +127,7 @@ NvramDevice::writeU64(NvOffset off, std::uint64_t value)
 void
 NvramDevice::flushLine(NvOffset addr)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(addr < _durable.size(), "flush out of range");
     countOp();
     const std::uint64_t idx = lineIndex(addr);
@@ -140,6 +143,7 @@ NvramDevice::flushLine(NvOffset addr)
 std::size_t
 NvramDevice::flushAllDirtyLines()
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     countOp();
     const std::size_t n = _cache.size();
     for (auto &[idx, line] : _cache)
@@ -153,6 +157,7 @@ NvramDevice::flushAllDirtyLines()
 void
 NvramDevice::drainPersistQueue()
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     countOp();
     const std::size_t n = _queue.size();
     for (auto &[idx, line] : _queue)
@@ -175,12 +180,14 @@ NvramDevice::applyLineToDurable(std::uint64_t line_idx,
 void
 NvramDevice::scheduleCrashAtOp(std::uint64_t op_count)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     _crashAtOp = op_count == 0 ? 0 : _opCount + op_count;
 }
 
 void
 NvramDevice::powerFail(FailurePolicy policy, double survive_prob)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     switch (policy) {
       case FailurePolicy::Pessimistic:
         // Neither dirty cached lines nor queued-but-undrained lines
@@ -224,6 +231,7 @@ NvramDevice::powerFail(FailurePolicy policy, double survive_prob)
 NvramDevice::Snapshot
 NvramDevice::snapshot() const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     Snapshot snap;
     snap.durable = _durable;
     snap.cache = _cache;
@@ -236,6 +244,7 @@ NvramDevice::snapshot() const
 void
 NvramDevice::restore(const Snapshot &snap)
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(snap.durable.size() == _durable.size(),
                  "snapshot is for a different device size");
     _durable = snap.durable;
@@ -249,6 +258,7 @@ NvramDevice::restore(const Snapshot &snap)
 void
 NvramDevice::readDurable(NvOffset off, ByteSpan out) const
 {
+    std::lock_guard<std::recursive_mutex> g(_mu);
     NVWAL_ASSERT(off + out.size() <= _durable.size(),
                  "durable read out of range");
     std::memcpy(out.data(), _durable.data() + off, out.size());

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <exception>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -65,7 +66,16 @@ enum class FailurePolicy
     AllSurvive,
 };
 
-/** Byte-addressable NVRAM with simulated cache-line persistence. */
+/**
+ * Byte-addressable NVRAM with simulated cache-line persistence.
+ *
+ * Thread-safety: one device backs every shard of a sharded engine
+ * (a single global op counter is what lets the crash sweep inject a
+ * power failure at one cross-shard instant), so all public methods
+ * take an internal recursive mutex. The lock order is strictly
+ * top-down — heap/pmem/fs lock before calling into the device, and
+ * the device never calls back up — so no inversion is possible.
+ */
 class NvramDevice
 {
   public:
@@ -126,7 +136,12 @@ class NvramDevice
     void scheduleCrashAtOp(std::uint64_t op_count);
 
     /** Operations counted so far toward crash scheduling. */
-    std::uint64_t opCount() const { return _opCount; }
+    std::uint64_t
+    opCount() const
+    {
+        std::lock_guard<std::recursive_mutex> g(_mu);
+        return _opCount;
+    }
 
     /**
      * Apply @p policy and drop all volatile state, as if power was
@@ -136,10 +151,20 @@ class NvramDevice
     void powerFail(FailurePolicy policy, double survive_prob = 0.5);
 
     /** Number of dirty (unflushed) cached lines; test introspection. */
-    std::size_t dirtyLineCount() const { return _cache.size(); }
+    std::size_t
+    dirtyLineCount() const
+    {
+        std::lock_guard<std::recursive_mutex> g(_mu);
+        return _cache.size();
+    }
 
     /** Number of flushed-but-undrained lines; test introspection. */
-    std::size_t queuedLineCount() const { return _queue.size(); }
+    std::size_t
+    queuedLineCount() const
+    {
+        std::lock_guard<std::recursive_mutex> g(_mu);
+        return _queue.size();
+    }
 
     /** Direct durable-media peek, bypassing the cache (tests). */
     void readDurable(NvOffset off, ByteSpan out) const;
@@ -173,7 +198,12 @@ class NvramDevice
     void restore(const Snapshot &snap);
 
     /** Reset the adversarial-draw RNG (per-sweep-point seeds). */
-    void reseed(std::uint64_t seed) { _rng = Rng(seed); }
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::lock_guard<std::recursive_mutex> g(_mu);
+        _rng = Rng(seed);
+    }
 
   private:
     std::uint64_t lineIndex(NvOffset addr) const { return addr / _lineSize; }
@@ -185,6 +215,9 @@ class NvramDevice
     void countOp();
     void applyLineToDurable(std::uint64_t line_idx, const ByteBuffer &data);
 
+    /** Recursive: write() nests under writeU64(), powerFail() under
+     *  countOp(). Guards every member below. */
+    mutable std::recursive_mutex _mu;
     ByteBuffer _durable;
     std::uint32_t _lineSize;
     MetricsRegistry &_stats;
@@ -205,6 +238,7 @@ class NvramDevice
     void
     setScheduledCrashPolicy(FailurePolicy policy, double survive_prob = 0.5)
     {
+        std::lock_guard<std::recursive_mutex> g(_mu);
         _pendingPolicy = policy;
         _pendingSurviveProb = survive_prob;
     }

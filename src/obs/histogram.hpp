@@ -18,12 +18,22 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 namespace nvwal
 {
 
-/** Mergeable log-bucketed histogram of unsigned 64-bit samples. */
+/**
+ * Mergeable log-bucketed histogram of unsigned 64-bit samples.
+ *
+ * Internally synchronized: components cache `Histogram&` references
+ * from a registry and record into them from whatever thread holds
+ * their own engine lock, and with several sharded engines over one
+ * platform registry those engines are *different* threads. The
+ * per-record mutex is uncontended in the single-database case and
+ * never charges the simulated clock.
+ */
 class Histogram
 {
   public:
@@ -68,11 +78,30 @@ class Histogram
         return (((sub + 1) << shift) - 1);
     }
 
+    Histogram() = default;
+
+    Histogram(const Histogram &other)
+    {
+        std::lock_guard<std::mutex> theirs(other._mu);
+        copyFrom(other);
+    }
+
+    Histogram &
+    operator=(const Histogram &other)
+    {
+        if (this != &other) {
+            std::scoped_lock both(_mu, other._mu);
+            copyFrom(other);
+        }
+        return *this;
+    }
+
     void
     record(std::uint64_t value, std::uint64_t count = 1)
     {
         if (count == 0)
             return;
+        std::lock_guard<std::mutex> g(_mu);
         const std::size_t idx = bucketIndexOf(value);
         if (idx >= _buckets.size())
             _buckets.resize(idx + 1, 0);
@@ -83,14 +112,34 @@ class Histogram
         _max = std::max(_max, value);
     }
 
-    std::uint64_t count() const { return _count; }
-    std::uint64_t sum() const { return _sum; }
-    std::uint64_t min() const { return _count == 0 ? 0 : _min; }
-    std::uint64_t max() const { return _max; }
+    std::uint64_t count() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _count;
+    }
+
+    std::uint64_t sum() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _sum;
+    }
+
+    std::uint64_t min() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _count == 0 ? 0 : _min;
+    }
+
+    std::uint64_t max() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _max;
+    }
 
     double
     mean() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         return _count == 0 ? 0.0
                            : static_cast<double>(_sum) /
                                  static_cast<double>(_count);
@@ -104,6 +153,7 @@ class Histogram
     std::uint64_t
     percentile(double q) const
     {
+        std::lock_guard<std::mutex> g(_mu);
         if (_count == 0)
             return 0;
         q = std::clamp(q, 0.0, 1.0);
@@ -132,6 +182,9 @@ class Histogram
     void
     merge(const Histogram &other)
     {
+        if (this == &other)
+            return;
+        std::scoped_lock both(_mu, other._mu);
         if (other._count == 0)
             return;
         if (other._buckets.size() > _buckets.size())
@@ -148,6 +201,7 @@ class Histogram
     void
     clear()
     {
+        std::lock_guard<std::mutex> g(_mu);
         _buckets.clear();
         _count = 0;
         _sum = 0;
@@ -167,6 +221,7 @@ class Histogram
     std::vector<Bucket>
     buckets() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         std::vector<Bucket> out;
         for (std::size_t i = 0; i < _buckets.size(); ++i) {
             if (_buckets[i] != 0)
@@ -177,6 +232,18 @@ class Histogram
     }
 
   private:
+    /** Caller must hold both locks (copy/assign paths). */
+    void
+    copyFrom(const Histogram &other)
+    {
+        _buckets = other._buckets;
+        _count = other._count;
+        _sum = other._sum;
+        _min = other._min;
+        _max = other._max;
+    }
+
+    mutable std::mutex _mu;
     std::vector<std::uint64_t> _buckets;
     std::uint64_t _count = 0;
     std::uint64_t _sum = 0;

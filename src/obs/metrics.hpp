@@ -8,11 +8,14 @@
  * per-transaction Tracer. Every component takes a `MetricsRegistry&`
  * directly; the canonical counter names live in `src/sim/stats.hpp`.
  *
- * Thread-safety: the registry is NOT internally synchronized. Every
- * mutation happens on the engine side of Database's big engine lock
- * (snapshot readers aggregate thread-local tallies under that lock
- * when a read transaction ends), so no two threads touch it
- * concurrently.
+ * Thread-safety: the registry's map structure is mutex-guarded and
+ * Histogram objects are internally synchronized, because the sharded
+ * engine shares one platform registry (Env::stats) across shards
+ * whose engine locks are independent. Per-database registries still
+ * see every mutation under that database's engine lock, so the mutex
+ * is uncontended there. The const-reference accessors histograms()
+ * and gauges() expose the maps without a lock and require the
+ * registry to be quiescent (export paths only).
  *
  * Reference stability contract: `histogram(name)` returns a reference
  * that stays valid for the registry's lifetime — components cache it
@@ -25,6 +28,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "obs/histogram.hpp"
@@ -46,6 +50,7 @@ class MetricsRegistry
     void
     add(const std::string &name, std::uint64_t delta = 1)
     {
+        std::lock_guard<std::mutex> g(_mu);
         _counters[name] += delta;
     }
 
@@ -53,12 +58,17 @@ class MetricsRegistry
     std::uint64_t
     get(const std::string &name) const
     {
+        std::lock_guard<std::mutex> g(_mu);
         auto it = _counters.find(name);
         return it == _counters.end() ? 0 : it->second;
     }
 
     /** Copy of every counter. */
-    StatsSnapshot snapshot() const { return _counters; }
+    StatsSnapshot snapshot() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _counters;
+    }
 
     /**
      * Per-counter difference @p now - @p before. Keys present on only
@@ -93,6 +103,7 @@ class MetricsRegistry
      */
     Histogram &histogram(const std::string &name)
     {
+        std::lock_guard<std::mutex> g(_mu);
         return _histograms[name];
     }
 
@@ -100,6 +111,7 @@ class MetricsRegistry
     const Histogram *
     findHistogram(const std::string &name) const
     {
+        std::lock_guard<std::mutex> g(_mu);
         auto it = _histograms.find(name);
         return it == _histograms.end() ? nullptr : &it->second;
     }
@@ -108,7 +120,7 @@ class MetricsRegistry
     void
     recordNs(const std::string &name, std::uint64_t ns)
     {
-        _histograms[name].record(ns);
+        histogram(name).record(ns);
     }
 
     const std::map<std::string, Histogram> &histograms() const
@@ -122,12 +134,14 @@ class MetricsRegistry
     void
     setGauge(const std::string &name, std::uint64_t value)
     {
+        std::lock_guard<std::mutex> g(_mu);
         _gauges[name] = value;
     }
 
     std::uint64_t
     gauge(const std::string &name) const
     {
+        std::lock_guard<std::mutex> g(_mu);
         auto it = _gauges.find(name);
         return it == _gauges.end() ? 0 : it->second;
     }
@@ -150,6 +164,7 @@ class MetricsRegistry
     void
     clear()
     {
+        std::lock_guard<std::mutex> g(_mu);
         _counters.clear();
         _gauges.clear();
         for (auto &[name, hist] : _histograms)
@@ -157,6 +172,7 @@ class MetricsRegistry
     }
 
   private:
+    mutable std::mutex _mu;
     StatsSnapshot _counters;
     std::map<std::string, Histogram> _histograms;
     std::map<std::string, std::uint64_t> _gauges;

@@ -27,7 +27,9 @@
 #ifndef NVWAL_OBS_TRACE_HPP
 #define NVWAL_OBS_TRACE_HPP
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,7 +55,14 @@ struct TraceEvent
     std::uint64_t arg = 0;
 };
 
-/** Ring-buffered, runtime-gated event recorder. */
+/**
+ * Ring-buffered, runtime-gated event recorder.
+ *
+ * Thread-safety: the enabled gate and current-txn id are relaxed
+ * atomics (the hot disabled path stays one load + branch) and the
+ * ring itself is mutex-guarded, because a platform-level tracer may
+ * be shared by several sharded engines committing concurrently.
+ */
 class Tracer
 {
   public:
@@ -62,22 +71,41 @@ class Tracer
     /** Timestamps read this clock; unbound tracers stamp 0. */
     void bindClock(const SimClock *clock) { _clock = clock; }
 
-    bool enabled() const { return _enabled; }
-    void setEnabled(bool on) { _enabled = on; }
+    bool enabled() const
+    {
+        return _enabled.load(std::memory_order_relaxed);
+    }
+    void setEnabled(bool on)
+    {
+        _enabled.store(on, std::memory_order_relaxed);
+    }
 
     /** Resize the ring (drops recorded events). */
     void
     setCapacity(std::size_t capacity)
     {
+        std::lock_guard<std::mutex> g(_mu);
         _capacity = capacity == 0 ? 1 : capacity;
-        clear();
+        _events.clear();
+        _head = 0;
+        _recorded = 0;
     }
 
-    std::size_t capacity() const { return _capacity; }
+    std::size_t capacity() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _capacity;
+    }
 
     /** Transaction id subsequent events are attributed to. */
-    void setCurrentTxn(std::uint64_t id) { _currentTxn = id; }
-    std::uint64_t currentTxn() const { return _currentTxn; }
+    void setCurrentTxn(std::uint64_t id)
+    {
+        _currentTxn.store(id, std::memory_order_relaxed);
+    }
+    std::uint64_t currentTxn() const
+    {
+        return _currentTxn.load(std::memory_order_relaxed);
+    }
 
     /** Current sim time (0 when no clock is bound). */
     SimTime now() const { return _clock == nullptr ? 0 : _clock->now(); }
@@ -88,9 +116,9 @@ class Tracer
             const char *arg_name = nullptr, std::uint64_t arg = 0)
     {
 #ifndef NVWAL_OBS_NO_TRACING
-        if (!_enabled)
+        if (!enabled())
             return;
-        push(TraceEvent{name, category, 'i', now(), 0, _currentTxn,
+        push(TraceEvent{name, category, 'i', now(), 0, currentTxn(),
                         arg_name, arg});
 #else
         (void)name; (void)category; (void)arg_name; (void)arg;
@@ -103,12 +131,12 @@ class Tracer
              const char *arg_name = nullptr, std::uint64_t arg = 0)
     {
 #ifndef NVWAL_OBS_NO_TRACING
-        if (!_enabled)
+        if (!enabled())
             return;
         const SimTime end = now();
         push(TraceEvent{name, category, 'X', start_ts,
                         end >= start_ts ? end - start_ts : 0,
-                        _currentTxn, arg_name, arg});
+                        currentTxn(), arg_name, arg});
 #else
         (void)name; (void)category; (void)start_ts; (void)arg_name;
         (void)arg;
@@ -116,20 +144,30 @@ class Tracer
     }
 
     /** Events currently held (<= capacity). */
-    std::size_t size() const { return _events.size(); }
+    std::size_t size() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _events.size();
+    }
 
     /** Events overwritten because the ring wrapped. */
     std::uint64_t dropped() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         return _recorded - static_cast<std::uint64_t>(_events.size());
     }
 
     /** Events recorded since the last clear (including dropped). */
-    std::uint64_t recorded() const { return _recorded; }
+    std::uint64_t recorded() const
+    {
+        std::lock_guard<std::mutex> g(_mu);
+        return _recorded;
+    }
 
     void
     clear()
     {
+        std::lock_guard<std::mutex> g(_mu);
         _events.clear();
         _head = 0;
         _recorded = 0;
@@ -139,6 +177,7 @@ class Tracer
     std::vector<TraceEvent>
     events() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         std::vector<TraceEvent> out;
         out.reserve(_events.size());
         for (std::size_t i = 0; i < _events.size(); ++i)
@@ -150,6 +189,7 @@ class Tracer
     void
     push(const TraceEvent &event)
     {
+        std::lock_guard<std::mutex> g(_mu);
         ++_recorded;
         if (_events.size() < _capacity) {
             _events.push_back(event);
@@ -160,12 +200,13 @@ class Tracer
     }
 
     const SimClock *_clock = nullptr;
-    bool _enabled = false;
+    std::atomic<bool> _enabled{false};
+    mutable std::mutex _mu;
     std::size_t _capacity = kDefaultCapacity;
     std::vector<TraceEvent> _events;
     std::size_t _head = 0;
     std::uint64_t _recorded = 0;
-    std::uint64_t _currentTxn = 0;
+    std::atomic<std::uint64_t> _currentTxn{0};
 };
 
 /**

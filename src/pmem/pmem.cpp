@@ -77,6 +77,7 @@ Pmem::epochBoundary()
 void
 Pmem::cacheLineFlush(NvOffset start, NvOffset end)
 {
+    std::lock_guard<std::mutex> g(_mu);
     NVWAL_ASSERT(start <= end, "bad flush range");
     if (_cost.persistency != PersistencyModel::Explicit) {
         // With hardware persistency support, software cache flushes
@@ -110,6 +111,7 @@ Pmem::cacheLineFlush(NvOffset start, NvOffset end)
 void
 Pmem::memoryBarrier()
 {
+    std::lock_guard<std::mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "pmem.memory_barrier", "pmem");
     _clock.advance(_cost.memoryBarrierNs);
     _stats.add(stats::kTimeBarrierNs, _cost.memoryBarrierNs);
@@ -135,6 +137,7 @@ Pmem::memoryBarrier()
 void
 Pmem::persistBarrier()
 {
+    std::lock_guard<std::mutex> g(_mu);
     TraceSpan span(_stats.tracer(), "pmem.persist_barrier", "pmem");
     const SimTime begin = _clock.now();
     if (_cost.persistency != PersistencyModel::Explicit) {

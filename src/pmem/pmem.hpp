@@ -24,6 +24,8 @@
 #ifndef NVWAL_PMEM_PMEM_HPP
 #define NVWAL_PMEM_PMEM_HPP
 
+#include <mutex>
+
 #include "common/bytes.hpp"
 #include "common/types.hpp"
 #include "nvram/nvram_device.hpp"
@@ -97,6 +99,13 @@ class Pmem
     MetricsRegistry &_stats;
     /** Per-call persist-barrier latency (sim ns); registry-owned. */
     Histogram &_persistHist;
+
+    /**
+     * Guards _lastFlushCompletion (the only mutable Pmem state):
+     * sharded engines share one Pmem, so concurrent flush batches
+     * must schedule their drains against a consistent bank timeline.
+     */
+    std::mutex _mu;
 
     /** Completion time of the most recently scheduled flush. */
     SimTime _lastFlushCompletion = 0;

@@ -1,0 +1,50 @@
+#include "partitioner.hpp"
+
+#include "common/logging.hpp"
+
+namespace nvwal
+{
+
+namespace
+{
+
+/** splitmix64 finalizer: cheap, well-mixed 64-bit avalanche. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+std::uint32_t
+routeKey(RoutingKind kind, RowId key, std::uint32_t shard_count)
+{
+    NVWAL_ASSERT(shard_count >= 1);
+    if (shard_count == 1)
+        return 0;
+    // Bias the key into [0, 2^64) so the arithmetic below is
+    // well-defined for the whole signed domain.
+    const std::uint64_t u =
+        static_cast<std::uint64_t>(key) ^ (1ull << 63);
+    switch (kind) {
+      case RoutingKind::Hash:
+        return static_cast<std::uint32_t>(mix64(u) % shard_count);
+      case RoutingKind::Range: {
+        // Fixed-width contiguous ranges over the biased domain. The
+        // width is rounded up so the last shard absorbs the remainder
+        // and every index stays < shard_count.
+        const std::uint64_t width =
+            ~0ull / shard_count + 1;  // ceil(2^64 / count)
+        const std::uint32_t idx =
+            static_cast<std::uint32_t>(u / width);
+        return idx < shard_count ? idx : shard_count - 1;
+      }
+    }
+    return 0;
+}
+
+} // namespace nvwal

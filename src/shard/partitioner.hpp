@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Key partitioners for the sharded engine (DESIGN.md §10).
+ *
+ * A partitioner is a pure function (key, shard count) -> shard
+ * index: no state, no media, no randomness. That purity is what
+ * makes reopen rebalance-free -- the same key maps to the same shard
+ * across close/recover/crash because there is nothing to drift.
+ */
+
+#ifndef NVWAL_SHARD_PARTITIONER_HPP
+#define NVWAL_SHARD_PARTITIONER_HPP
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nvwal
+{
+
+/** How keys are distributed across shards. */
+enum class RoutingKind
+{
+    /**
+     * splitmix64 of the key, modulo the shard count. Spreads any key
+     * pattern (sequential rowids included) uniformly.
+     */
+    Hash,
+    /**
+     * The signed key domain split into shardCount equal-width
+     * contiguous ranges. Preserves key locality per shard, so range
+     * scans touch few shards; skewed inserts pay for it.
+     */
+    Range,
+};
+
+/**
+ * Shard index of @p key under @p kind with @p shard_count shards.
+ * @p shard_count must be >= 1.
+ */
+std::uint32_t routeKey(RoutingKind kind, RowId key,
+                       std::uint32_t shard_count);
+
+} // namespace nvwal
+
+#endif // NVWAL_SHARD_PARTITIONER_HPP

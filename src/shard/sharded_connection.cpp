@@ -1,0 +1,269 @@
+#include "sharded_connection.hpp"
+
+#include <algorithm>
+
+namespace nvwal
+{
+
+ShardedConnection::ShardedConnection(ShardedDatabase &db) : _db(db) {}
+
+// ---- Op constructors ------------------------------------------------
+
+ShardedConnection::Op
+ShardedConnection::Op::insert(RowId key, ConstByteSpan value)
+{
+    Op op;
+    op.kind = Kind::Insert;
+    op.key = key;
+    op.value.assign(value.begin(), value.end());
+    return op;
+}
+
+ShardedConnection::Op
+ShardedConnection::Op::insert(RowId key, const std::string &value)
+{
+    return insert(key, ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
+                                         value.data()),
+                                     value.size()));
+}
+
+ShardedConnection::Op
+ShardedConnection::Op::update(RowId key, ConstByteSpan value)
+{
+    Op op;
+    op.kind = Kind::Update;
+    op.key = key;
+    op.value.assign(value.begin(), value.end());
+    return op;
+}
+
+ShardedConnection::Op
+ShardedConnection::Op::update(RowId key, const std::string &value)
+{
+    return update(key, ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
+                                         value.data()),
+                                     value.size()));
+}
+
+ShardedConnection::Op
+ShardedConnection::Op::remove(RowId key)
+{
+    Op op;
+    op.kind = Kind::Remove;
+    op.key = key;
+    return op;
+}
+
+// ---- routed single-key statements -----------------------------------
+
+Status
+ShardedConnection::insert(RowId key, ConstByteSpan value)
+{
+    return _conns[_db.shardOf(key)]->insert(key, value);
+}
+
+Status
+ShardedConnection::insert(RowId key, const std::string &value)
+{
+    return _conns[_db.shardOf(key)]->insert(key, value);
+}
+
+Status
+ShardedConnection::update(RowId key, ConstByteSpan value)
+{
+    return _conns[_db.shardOf(key)]->update(key, value);
+}
+
+Status
+ShardedConnection::remove(RowId key)
+{
+    return _conns[_db.shardOf(key)]->remove(key);
+}
+
+Status
+ShardedConnection::get(RowId key, ByteBuffer *value)
+{
+    return _conns[_db.shardOf(key)]->get(key, value);
+}
+
+Status
+ShardedConnection::scan(RowId lo, RowId hi,
+                        const BTree::ScanCallback &visit)
+{
+    // Collect per shard, then emit in global key order. A key lives
+    // on exactly one shard, so a plain sort is a correct merge.
+    std::vector<std::pair<RowId, ByteBuffer>> rows;
+    for (auto &conn : _conns) {
+        NVWAL_RETURN_IF_ERROR(
+            conn->scan(lo, hi, [&](RowId key, ConstByteSpan value) {
+                rows.emplace_back(key,
+                                  ByteBuffer(value.begin(), value.end()));
+                return true;
+            }));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+    for (const auto &row : rows) {
+        if (!visit(row.first,
+                   ConstByteSpan(row.second.data(), row.second.size())))
+            break;
+    }
+    return Status::ok();
+}
+
+Status
+ShardedConnection::count(std::uint64_t *out)
+{
+    *out = 0;
+    for (auto &conn : _conns) {
+        std::uint64_t one = 0;
+        NVWAL_RETURN_IF_ERROR(conn->count(&one));
+        *out += one;
+    }
+    return Status::ok();
+}
+
+// ---- atomic multi-key transactions ----------------------------------
+
+Status
+ShardedConnection::applyOp(std::uint32_t shard, const Op &op)
+{
+    Connection &conn = *_conns[shard];
+    const ConstByteSpan value(op.value.data(), op.value.size());
+    switch (op.kind) {
+      case Op::Kind::Insert:
+        return conn.insert(op.key, value);
+      case Op::Kind::Update:
+        return conn.update(op.key, value);
+      case Op::Kind::Remove:
+        return conn.remove(op.key);
+    }
+    return Status::invalidArgument("unknown op kind");
+}
+
+Status
+ShardedConnection::runAtomic(const std::vector<Op> &ops)
+{
+    if (ops.empty())
+        return Status::ok();
+
+    std::vector<std::vector<const Op *>> by_shard(_db.shardCount());
+    for (const Op &op : ops)
+        by_shard[_db.shardOf(op.key)].push_back(&op);
+
+    std::vector<std::uint32_t> participants;
+    for (std::uint32_t k = 0; k < by_shard.size(); ++k) {
+        if (!by_shard[k].empty())
+            participants.push_back(k);
+    }
+    if (participants.size() == 1)
+        return runSingleShard(participants[0], by_shard[participants[0]]);
+    return runCrossShard(by_shard, participants);
+}
+
+Status
+ShardedConnection::runSingleShard(std::uint32_t shard,
+                                  const std::vector<const Op *> &ops)
+{
+    Env &env = _db.shard(shard).env();
+    const SimTime begin_ns = env.clock.now();
+    Connection &conn = *_conns[shard];
+    NVWAL_RETURN_IF_ERROR(conn.begin());
+    for (const Op *op : ops) {
+        const Status s = applyOp(shard, *op);
+        if (!s.isOk()) {
+            (void)conn.rollback();
+            return s;
+        }
+    }
+    NVWAL_RETURN_IF_ERROR(conn.commit());
+    env.stats.add(stats::kShardTxnsSingle);
+    env.stats.recordNs(stats::shardCommitHistName(shard),
+                       env.clock.now() - begin_ns);
+    return Status::ok();
+}
+
+Status
+ShardedConnection::runCrossShard(
+    const std::vector<std::vector<const Op *>> &by_shard,
+    const std::vector<std::uint32_t> &participants)
+{
+    Env &env = _db.shard(participants[0]).env();
+    const SimTime begin_ns = env.clock.now();
+    const std::uint64_t gtid = _db.nextGtid();
+
+    // Truncation guards on every participant before the first
+    // PREPARE: an in-doubt shard resolves by reading the others'
+    // decision records, so none may be checkpointed away until all
+    // decisions are durable. Participants are visited in ascending
+    // shard order everywhere below, so concurrent coordinators
+    // cannot deadlock on the writer locks either.
+    for (std::uint32_t k : participants)
+        _db.shard(k).holdWalForTwoPhase();
+
+    std::size_t begun = 0;     // participants with an open txn
+    std::size_t prepared = 0;  // ... whose PREPARE is durable
+    Status s = Status::ok();
+
+    for (; begun < participants.size(); ++begun) {
+        const std::uint32_t k = participants[begun];
+        s = _conns[k]->begin();
+        if (!s.isOk())
+            break;
+        for (const Op *op : by_shard[k]) {
+            s = applyOp(k, *op);
+            if (!s.isOk())
+                break;
+        }
+        if (!s.isOk()) {
+            ++begun;  // this shard's txn is open and must be closed
+            break;
+        }
+    }
+
+    if (s.isOk()) {
+        for (; prepared < participants.size(); ++prepared) {
+            s = _conns[participants[prepared]]->prepare(gtid);
+            if (!s.isOk())
+                break;
+        }
+    }
+
+    if (!s.isOk()) {
+        // Abort: decide(false) on every prepared shard (discarding
+        // its staged record), plain rollback on the rest.
+        for (std::size_t i = 0; i < begun; ++i) {
+            Connection &conn = *_conns[participants[i]];
+            if (!conn.inWrite())
+                continue;
+            if (i < prepared)
+                (void)conn.decide(gtid, false);
+            else
+                (void)conn.rollback();
+        }
+        for (std::uint32_t k : participants)
+            _db.shard(k).releaseWalTwoPhaseHold();
+        env.stats.add(stats::kShardCrossAborts);
+        return s;
+    }
+
+    // Every PREPARE is durable; the transaction commits. Persist the
+    // decision in each participant. A failure here poisons that
+    // shard (its durable outcome is unknown) but cannot un-commit
+    // the transaction: recovery finds the other decision records.
+    Status decide_error = Status::ok();
+    for (std::uint32_t k : participants) {
+        const Status d = _conns[k]->decide(gtid, true);
+        if (!d.isOk() && decide_error.isOk())
+            decide_error = d;
+    }
+    for (std::uint32_t k : participants)
+        _db.shard(k).releaseWalTwoPhaseHold();
+
+    env.stats.add(stats::kShardTxnsCross);
+    env.stats.recordNs(stats::kHistShardCrossCommitNs,
+                       env.clock.now() - begin_ns);
+    return decide_error;
+}
+
+} // namespace nvwal

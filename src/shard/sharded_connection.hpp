@@ -1,0 +1,102 @@
+/**
+ * @file
+ * ShardedConnection: one client handle over every shard of a
+ * ShardedDatabase, presenting the familiar Connection-style surface.
+ *
+ * Single-key statements route to the owning shard and run there as
+ * ordinary (autocommit) operations. Multi-key atomic transactions go
+ * through runAtomic(): a single-shard batch commits locally (no
+ * coordination cost), while a batch spanning shards commits with
+ * two-phase commit under a fresh global transaction id.
+ *
+ * Thread confinement matches Connection: one ShardedConnection per
+ * thread; distinct handles from distinct threads are the intended
+ * concurrency model.
+ */
+
+#ifndef NVWAL_SHARD_SHARDED_CONNECTION_HPP
+#define NVWAL_SHARD_SHARDED_CONNECTION_HPP
+
+#include <memory>
+#include <vector>
+
+#include "db/connection.hpp"
+#include "shard/sharded_database.hpp"
+
+namespace nvwal
+{
+
+/** A routed, 2PC-capable client handle over all shards. */
+class ShardedConnection
+{
+  public:
+    /** One mutation inside an atomic multi-key batch. */
+    struct Op
+    {
+        enum class Kind
+        {
+            Insert,
+            Update,
+            Remove,
+        };
+        Kind kind = Kind::Insert;
+        RowId key = 0;
+        ByteBuffer value;  //!< unused for Remove
+
+        static Op insert(RowId key, ConstByteSpan value);
+        static Op insert(RowId key, const std::string &value);
+        static Op update(RowId key, ConstByteSpan value);
+        static Op update(RowId key, const std::string &value);
+        static Op remove(RowId key);
+    };
+
+    ~ShardedConnection() = default;
+    ShardedConnection(const ShardedConnection &) = delete;
+    ShardedConnection &operator=(const ShardedConnection &) = delete;
+
+    // ---- routed single-key statements (autocommit) ------------------
+
+    Status insert(RowId key, ConstByteSpan value);
+    Status insert(RowId key, const std::string &value);
+    Status update(RowId key, ConstByteSpan value);
+    Status remove(RowId key);
+    Status get(RowId key, ByteBuffer *value);
+
+    /** Merged scan over all shards, in global key order. */
+    Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
+
+    /** Total row count across shards. */
+    Status count(std::uint64_t *out);
+
+    // ---- atomic multi-key transactions ------------------------------
+
+    /**
+     * Apply @p ops atomically: all visible after success, none after
+     * failure or a crash at any point -- including between the 2PC
+     * phases, where recovery resolves the outcome from the decision
+     * records (presumed abort when none survived). Ops grouped on one
+     * shard commit locally; a cross-shard batch runs two-phase.
+     */
+    Status runAtomic(const std::vector<Op> &ops);
+
+  private:
+    friend class ShardedDatabase;
+    explicit ShardedConnection(ShardedDatabase &db);
+
+    /** Apply one op on the (already in-txn) owning connection. */
+    Status applyOp(std::uint32_t shard, const Op &op);
+
+    Status runSingleShard(std::uint32_t shard,
+                          const std::vector<const Op *> &ops);
+    Status runCrossShard(
+        const std::vector<std::vector<const Op *>> &by_shard,
+        const std::vector<std::uint32_t> &participants);
+
+    ShardedDatabase &_db;
+    /** One engine connection per shard, index == shard id. */
+    std::vector<std::unique_ptr<Connection>> _conns;
+};
+
+} // namespace nvwal
+
+#endif // NVWAL_SHARD_SHARDED_CONNECTION_HPP
