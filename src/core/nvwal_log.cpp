@@ -278,7 +278,7 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     const SimTime log_begin = _pmem.clock().now();
     NVWAL_RETURN_IF_ERROR(logTxnFrames(frames, &refs));
 
-    lazySyncRefs(refs);
+    syncRefs(refs, /*force=*/false);
 
     if (!frames.empty()) {
         _stats.tracer().complete("wal.log_write", "wal", log_begin,
@@ -289,8 +289,20 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
     _pendingRefs.insert(_pendingRefs.end(), refs.begin(), refs.end());
     if (!commit)
         return Status::ok();
-    if (_pendingRefs.empty())
+    if (_pendingRefs.empty()) {
+        // A commit that dirtied no pages still carries the database
+        // size (e.g. a truncating vacuum): record it, or the next
+        // commit mark would persist a stale size.
+        _dbSizePages = db_size_pages;
         return Status::ok();
+    }
+
+    // An eager-mode commit mark promises everything below it is
+    // durable; unhardened async frames chained earlier would break
+    // that promise if torn. (Lazy merged them in syncRefs above;
+    // ChecksumAsync promises nothing, so it defers as designed.)
+    if (_config.syncMode == SyncMode::Eager && !_unhardenedRuns.empty())
+        NVWAL_RETURN_IF_ERROR(harden());
 
     persistCommitMark(_pendingRefs.back(), db_size_pages,
                       _pendingRefs.size());
@@ -313,14 +325,18 @@ NvwalLog::writeFrames(const std::vector<FrameWrite> &frames, bool commit,
 }
 
 void
-NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
+NvwalLog::syncRefs(const std::vector<FrameRef> &refs, bool force)
 {
-    if (_config.syncMode != SyncMode::Lazy || refs.empty())
+    if (_config.syncMode != SyncMode::Lazy && !force)
+        return;
+    if (refs.empty() && _unhardenedRuns.empty())
         return;
     // Transaction-aware lazy synchronization (Algorithm 1 lines
     // 21-28): one dmb, a batch of non-blocking flushes, a closing
     // dmb and one persist barrier for the whole batch. Group commit
-    // widens the batch to many transactions' frames.
+    // widens the batch to many transactions' frames; ranges still
+    // pending from async appends ride along, so the barrier pair
+    // also catches the durability horizon up (DESIGN.md §11).
     //
     // Before issuing anything, coalesce the batch: align every
     // frame's [off, off + header + size) to cache-line boundaries,
@@ -331,7 +347,7 @@ NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
     // small diffs is flushed exactly once.
     const std::uint64_t line = _pmem.cost().cacheLineSize;
     std::vector<std::pair<NvOffset, NvOffset>> runs;
-    runs.reserve(refs.size());
+    runs.reserve(refs.size() + _unhardenedRuns.size());
     std::uint64_t naive_lines = 0;
     for (const FrameRef &ref : refs) {
         const NvOffset lo = alignDown(ref.off, line);
@@ -340,6 +356,11 @@ NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
         naive_lines += (hi - lo) / line;
         runs.emplace_back(lo, hi);
     }
+    for (const auto &run : _unhardenedRuns)
+        naive_lines += (run.second - run.first) / line;
+    runs.insert(runs.end(), _unhardenedRuns.begin(),
+                _unhardenedRuns.end());
+    const std::uint64_t inputs = runs.size();
     std::sort(runs.begin(), runs.end());
     std::size_t last = 0;
     for (std::size_t i = 1; i < runs.size(); ++i) {
@@ -359,10 +380,118 @@ NvwalLog::lazySyncRefs(const std::vector<FrameRef> &refs)
     }
     _pmem.memoryBarrier();
     _pmem.persistBarrier();
-    _stats.add(stats::kWalFlushRangesCoalesced,
-               refs.size() - runs.size());
+    _stats.add(stats::kWalFlushRangesCoalesced, inputs - runs.size());
     _stats.add(stats::kPmemFlushLinesDeduped,
                naive_lines - flushed_lines);
+    _unhardenedRuns.clear();
+    _hardenedSeq = _commitSeq;
+}
+
+void
+NvwalLog::deferSyncRef(const FrameRef &ref)
+{
+    const std::uint64_t line = _pmem.cost().cacheLineSize;
+    const NvOffset lo = alignDown(ref.off, line);
+    const NvOffset hi =
+        alignUp(ref.off + kFrameHeaderSize + ref.size, line);
+    // Extend the previous run in place when the append is contiguous
+    // (the common marshalled case), so the pending set stays tiny.
+    if (!_unhardenedRuns.empty() && _unhardenedRuns.back().second >= lo) {
+        _unhardenedRuns.back().second =
+            std::max(_unhardenedRuns.back().second, hi);
+        return;
+    }
+    _unhardenedRuns.emplace_back(lo, hi);
+}
+
+Status
+NvwalLog::harden()
+{
+    if (_unhardenedRuns.empty()) {
+        _hardenedSeq = _commitSeq;
+        return Status::ok();
+    }
+    // One barrier pair for every range appended since the last
+    // harden, however many transactions they span: this is where the
+    // epoch pipeline's persist-barrier amortization comes from.
+    const SimTime begin = _pmem.clock().now();
+    std::sort(_unhardenedRuns.begin(), _unhardenedRuns.end());
+    std::size_t last = 0;
+    for (std::size_t i = 1; i < _unhardenedRuns.size(); ++i) {
+        if (_unhardenedRuns[i].first <= _unhardenedRuns[last].second)
+            _unhardenedRuns[last].second =
+                std::max(_unhardenedRuns[last].second,
+                         _unhardenedRuns[i].second);
+        else
+            _unhardenedRuns[++last] = _unhardenedRuns[i];
+    }
+    _unhardenedRuns.resize(last + 1);
+    _pmem.memoryBarrier();
+    for (const auto &run : _unhardenedRuns)
+        _pmem.cacheLineFlush(run.first, run.second);
+    _pmem.memoryBarrier();
+    _pmem.persistBarrier();
+    _unhardenedRuns.clear();
+    _hardenedSeq = _commitSeq;
+    _stats.add(stats::kWalHardenBatches);
+    _stats.tracer().complete("wal.harden", "wal", begin);
+    return Status::ok();
+}
+
+Status
+NvwalLog::writeFrameGroupAsync(const std::vector<TxnFrames> &txns)
+{
+    NVWAL_ASSERT(_pendingRefs.empty(),
+                 "async commit with an open single-writer transaction");
+
+    // Checksum commit (paper §3.2 / Figure 4(d)) stretched into a
+    // durability epoch: append every transaction's frames and set a
+    // commit mark per transaction, with no flush or barrier at all.
+    // The cumulative checksum chain is what recovery later uses to
+    // decide how much of this survived; harden() retires the epoch
+    // with one coalesced barrier pair.
+    std::vector<FrameRef> refs;
+    std::vector<std::size_t> txn_end;   //!< end index in refs, per txn
+    const SimTime log_begin = _pmem.clock().now();
+    for (const TxnFrames &txn : txns) {
+        NVWAL_RETURN_IF_ERROR(logTxnFrames(txn.frames, &refs));
+        txn_end.push_back(refs.size());
+    }
+    if (refs.empty()) {
+        if (!txns.empty())
+            _dbSizePages = txns.back().dbSizePages;
+        return Status::ok();
+    }
+    _stats.tracer().complete("wal.log_write", "wal", log_begin,
+                             "frames", refs.size());
+    _logWriteHist.record(_pmem.clock().now() - log_begin);
+
+    // Per-transaction commit marks (plain stores): recovery recovers
+    // the longest valid committed prefix, so marking transactions
+    // individually narrows the loss window for free -- no caller has
+    // been acknowledged yet, so there is no group-atomicity promise
+    // to keep.
+    std::size_t begin = 0;
+    for (std::size_t t = 0; t < txns.size(); ++t) {
+        const std::size_t end = txn_end[t];
+        if (end == begin)
+            continue;  // a transaction that dirtied nothing
+        _pmem.storeU64(refs[end - 1].off + 8,
+                       kCommitFlag | txns[t].dbSizePages);
+        const CommitSeq seq = ++_commitSeq;
+        for (std::size_t i = begin; i < end; ++i) {
+            refs[i].seq = seq;
+            indexFrame(refs[i]);
+            if (_ckptRoundActive)
+                _ckptPending.insert(refs[i].pageNo);
+        }
+        begin = end;
+    }
+    for (const FrameRef &ref : refs)
+        deferSyncRef(ref);
+    _framesSinceCheckpoint += refs.size();
+    _dbSizePages = txns.back().dbSizePages;
+    return Status::ok();
 }
 
 void
@@ -406,13 +535,23 @@ NvwalLog::writeFrameGroup(const std::vector<TxnFrames> &txns)
         NVWAL_RETURN_IF_ERROR(logTxnFrames(txn.frames, &refs));
         txn_end.push_back(refs.size());
     }
-    if (refs.empty())
+    if (refs.empty()) {
+        // Even an all-empty group carries the final database size
+        // (same stale-size hazard as an empty single commit).
+        if (!txns.empty())
+            _dbSizePages = txns.back().dbSizePages;
         return Status::ok();
+    }
 
-    lazySyncRefs(refs);
+    syncRefs(refs, /*force=*/false);
     _stats.tracer().complete("wal.log_write", "wal", log_begin,
                              "frames", refs.size());
     _logWriteHist.record(_pmem.clock().now() - log_begin);
+
+    // See writeFrames: an eager-mode mark must not sit above an
+    // unhardened async prefix.
+    if (_config.syncMode == SyncMode::Eager && !_unhardenedRuns.empty())
+        NVWAL_RETURN_IF_ERROR(harden());
 
     // Phase 2 -- one commit mark for the whole group, carrying the
     // final transaction's database size. Recovery sees the group as
@@ -482,7 +621,12 @@ NvwalLog::writePrepare(std::uint64_t gtid, const TxnFrames &txn)
                                             txn.dbSizePages, &ctrl));
     std::vector<FrameRef> unit = refs;
     unit.push_back(ctrl);
-    lazySyncRefs(unit);
+    // 2PC records harden eagerly under EVERY sync mode, pending
+    // async ranges included: a prepared unit that could tear would
+    // let recovery re-stage garbage that a COMMIT decision then
+    // applies, and an in-doubt shard resolves by reading other
+    // participants' decision records -- neither may be probabilistic.
+    syncRefs(unit, /*force=*/true);
     _stats.tracer().complete("wal.log_write", "wal", log_begin,
                              "frames", unit.size());
     _logWriteHist.record(_pmem.clock().now() - log_begin);
@@ -531,7 +675,9 @@ NvwalLog::writeDecision(std::uint64_t gtid, bool commit)
     NVWAL_RETURN_IF_ERROR(placeControlFrame(
         commit ? kCtrlCommit : kCtrlAbort, gtid, 0, &ctrl));
     std::vector<FrameRef> unit{ctrl};
-    lazySyncRefs(unit);
+    // Decisions are the 2PC ground truth; like prepares they flush
+    // eagerly under every sync mode (see writePrepare).
+    syncRefs(unit, /*force=*/true);
     // The decision's own mark carries the database size that results
     // from it, keeping the "last mark's size" recovery rule uniform.
     const auto staged = _staged.find(gtid);
@@ -695,8 +841,9 @@ NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
         // Base image: the page as the .db file knows it. Checkpoint
         // write-back never advances the base image past the oldest
         // pinned snapshot (checkpointTarget()), so base +
-        // prefix-of-diffs is exactly the page at the horizon.
-        NVWAL_CHECK_OK(_dbFile.readPage(page_no, out));
+        // prefix-of-diffs is exactly the page at the horizon. An
+        // I/O error here is the caller's to handle, not fatal.
+        NVWAL_RETURN_IF_ERROR(_dbFile.readPage(page_no, out));
     } else {
         // A page born in the log and not yet checkpointed: diffs
         // apply over zeros.
@@ -745,6 +892,12 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     *done = false;
     NVWAL_ASSERT(_pendingRefs.empty(),
                  "checkpoint with an open transaction");
+    // Write-back must never outrun the durable log: if the .db base
+    // advanced past frames that could still tear, a post-crash
+    // recovery would mix a newer base with an older log prefix.
+    // Harden pending async ranges before touching the file.
+    if (!_unhardenedRuns.empty())
+        NVWAL_RETURN_IF_ERROR(harden());
     // Trivially done only when the chain itself is empty: a log can
     // hold zero indexed pages yet still own nodes (pure 2PC control
     // records, aborted staged frames) that a full round must free.
@@ -917,6 +1070,10 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     // while no connection (and hence no snapshot pin) is open.
     NVWAL_ASSERT(!hasPins(), "recovery with an open snapshot");
     _commitSeq = 0;
+    // Whatever survived the crash is on media by definition; the
+    // async pipeline restarts empty.
+    _unhardenedRuns.clear();
+    _hardenedSeq = 0;
     _staged.clear();
     _decisions.clear();
     _maxSeenGtid = 0;
@@ -973,16 +1130,38 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     std::vector<FrameRef> committed;
     ByteBuffer payload(_pageSize);
 
+    // Checksum-commit classification (DESIGN.md §11): the first chain
+    // mismatch ends the recoverable prefix, but the walk keeps
+    // scanning read-only to meter the loss window. In discard mode
+    // each structurally-plausible frame is checked *incrementally* --
+    // its stored checksum against its predecessor's stored checksum
+    // plus its own content -- which distinguishes a torn frame
+    // (content damaged in the NVRAM cache hierarchy) from an intact
+    // frame that is merely unreachable past the break.
+    bool discard_mode = false;
+    std::uint64_t discard_prev_chain = 0;
+    const auto enterDiscardMode = [&](std::uint64_t stored_chain,
+                                      std::uint64_t commit_word) {
+        discard_mode = true;
+        discard_prev_chain = stored_chain;
+        _stats.add(stats::kWalTornFramesDetected);
+        _stats.add(stats::kWalRecoveryFramesDiscarded);
+        if (commit_word != 0)
+            _stats.add(stats::kWalRecoveryLostMarks);
+    };
+
     NvOffset link_field = firstNodeFieldOff();
     NvOffset node = dev.readU64(link_field);
     CumulativeChecksum chain;
-    bool stop = false;
-    while (node != kNullNvOffset && !stop) {
+    while (node != kNullNvOffset) {
         if (_heap.blockStateAt(node) != BlockState::InUse) {
             // Dangling reference to a block the heap reclaimed
             // (crash between linking and nvSetUsedFlag): delete the
-            // reference (section 4.3, failure case 2).
-            persistU64(link_field, kNullNvOffset);
+            // reference (section 4.3, failure case 2). In discard
+            // mode the walk is read-only; the truncation pass below
+            // already frees everything past the last mark.
+            if (!discard_mode)
+                persistU64(link_field, kNullNvOffset);
             break;
         }
         const std::uint32_t capacity =
@@ -1010,13 +1189,38 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
             }
             _pmem.readFromNvram(node + pos + kFrameHeaderSize,
                      ByteSpan(payload.data(), size));
+            const std::uint64_t stored_chain = loadU64(header + 24);
+            if (discard_mode) {
+                // Read-only tail metering past the recoverable
+                // prefix: a frame whose stored checksum disagrees
+                // with (predecessor's stored checksum + own content)
+                // is torn; one that agrees is intact but discarded.
+                CumulativeChecksum attempt{discard_prev_chain};
+                attempt.update(ConstByteSpan(header, 8));
+                attempt.update(ConstByteSpan(header + 16, 8));
+                attempt.update(ConstByteSpan(payload.data(), size));
+                _stats.add(stats::kWalRecoveryFramesDiscarded);
+                if (attempt.value() != stored_chain)
+                    _stats.add(stats::kWalTornFramesDetected);
+                if (commit_word != 0)
+                    _stats.add(stats::kWalRecoveryLostMarks);
+                discard_prev_chain = stored_chain;
+                pos = static_cast<std::uint32_t>(
+                    alignUp(pos + kFrameHeaderSize + size, 8));
+                continue;
+            }
             CumulativeChecksum attempt = chain;
             attempt.update(ConstByteSpan(header, 8));
             attempt.update(ConstByteSpan(header + 16, 8));
             attempt.update(ConstByteSpan(payload.data(), size));
-            if (attempt.value() != loadU64(header + 24)) {
-                stop = true;  // torn or missing bytes: end of log
-                break;
+            if (attempt.value() != stored_chain) {
+                // Torn or missing bytes: the committed prefix ends
+                // at the previous mark; keep scanning to meter what
+                // was lost.
+                enterDiscardMode(stored_chain, commit_word);
+                pos = static_cast<std::uint32_t>(
+                    alignUp(pos + kFrameHeaderSize + size, 8));
+                continue;
             }
             chain = attempt;
             const NvOffset frame_off = node + pos;
@@ -1028,8 +1232,10 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
                 // payload is already in `payload`.
                 if (size != kControlPayloadSize ||
                     loadU32(payload.data()) != kControlMagic) {
-                    stop = true;  // not a frame we ever wrote
-                    break;
+                    // Chain-valid bytes that are not a record we
+                    // ever wrote: treat as damage, end the prefix.
+                    enterDiscardMode(stored_chain, commit_word);
+                    continue;
                 }
                 const std::uint32_t type = loadU32(payload.data() + 4);
                 const std::uint64_t gtid = loadU64(payload.data() + 8);
@@ -1164,6 +1370,7 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
         _nodesSinceCheckpoint = 0;
     }
 
+    _hardenedSeq = _commitSeq;
     *db_size_pages = _dbSizePages;
     _recoverHist.record(_pmem.clock().now() - recover_begin);
     return Status::ok();

@@ -98,6 +98,10 @@ class NvwalLog : public WriteAheadLog
     Status writeFrames(const std::vector<FrameWrite> &frames, bool commit,
                        std::uint32_t db_size_pages) override;
     Status writeFrameGroup(const std::vector<TxnFrames> &txns) override;
+    bool supportsAsyncCommits() const override { return true; }
+    Status writeFrameGroupAsync(const std::vector<TxnFrames> &txns) override;
+    Status harden() override;
+    CommitSeq hardenedSeq() const override { return _hardenedSeq; }
     Status readPage(PageNo page_no, ByteSpan out) override;
     Status readPageAt(PageNo page_no, ByteSpan out,
                       CommitSeq horizon) override;
@@ -268,8 +272,18 @@ class NvwalLog : public WriteAheadLog
     Status materializePage(PageNo page_no, ByteSpan out,
                            CommitSeq horizon);
 
-    /** Make [refs_begin, refs_end) durable per the lazy sync mode. */
-    void lazySyncRefs(const std::vector<FrameRef> &refs);
+    /**
+     * Make @p refs durable when the sync mode is Lazy or @p force is
+     * set (2PC records harden eagerly under every mode). Any ranges
+     * still pending from earlier async appends are merged into the
+     * same coalesced flush batch, so a strict commit chained after
+     * unhardened async commits never leaves a torn-prone prefix
+     * under its own durable mark.
+     */
+    void syncRefs(const std::vector<FrameRef> &refs, bool force);
+
+    /** Record @p ref's NVRAM range as appended-but-unflushed. */
+    void deferSyncRef(const FrameRef &ref);
 
     /** Set + persist the commit mark on @p last (Algorithm 1 §4.1). */
     void persistCommitMark(const FrameRef &last,
@@ -329,6 +343,17 @@ class NvwalLog : public WriteAheadLog
      * by recover(), which runs only while no snapshot is open.
      */
     CommitSeq _commitSeq = 0;
+    /**
+     * Newest commit sequence known durable. Trails _commitSeq only
+     * while async-appended ranges sit in _unhardenedRuns; harden()
+     * (or any flush that merges the runs) catches it up.
+     */
+    CommitSeq _hardenedSeq = 0;
+    /**
+     * NVRAM [begin, end) ranges appended by writeFrameGroupAsync()
+     * and not yet flushed; coalesced in place when they pile up.
+     */
+    std::vector<std::pair<NvOffset, NvOffset>> _unhardenedRuns;
     /** Frames logged but not yet covered by a commit mark. */
     std::vector<FrameRef> _pendingRefs;
     /**

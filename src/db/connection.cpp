@@ -195,12 +195,27 @@ Connection::begin()
 }
 
 Status
-Connection::commit()
+Connection::commit(Durability durability)
 {
     if (!_inWrite)
         return Status::invalidArgument("no write transaction to commit");
+    // Clear the flag before entering the engine: a simulated power
+    // failure unwinds through the WAL append after the engine has
+    // already closed the transaction, and the destructor must not
+    // try to roll back what no longer exists.
     _inWrite = false;
-    return _db.commitFromConnection(&_writerLock);
+    std::uint64_t epoch = 0;
+    const Status s =
+        _db.commitFromConnection(&_writerLock, durability, &epoch);
+    if (s.isUnsupported()) {
+        // The engine never touched the transaction; it is still open
+        // and retryable at a stricter durability level.
+        _inWrite = true;
+        return s;
+    }
+    if (s.isOk() && durability == Durability::Async)
+        _lastCommitEpoch = epoch;
+    return s;
 }
 
 Status

@@ -70,9 +70,22 @@ class Connection
      * free. Commit goes through the group-commit queue.
      */
     Status begin();
-    Status commit();
+    /**
+     * Commit the write transaction at the given durability level.
+     * Group (the default) waits for the batch's persist barrier;
+     * Async returns as soon as the append is ordered, and the
+     * transaction hardens with its epoch (see lastCommitEpoch(),
+     * Database::waitForAsyncEpoch()).
+     */
+    Status commit(Durability durability = Durability::Group);
     Status rollback();
     bool inWrite() const { return _inWrite; }
+
+    /**
+     * Epoch of this connection's most recent Durability::Async
+     * commit (0 before any, or when the commit carried no frames).
+     */
+    std::uint64_t lastCommitEpoch() const { return _lastCommitEpoch; }
 
     // ---- two-phase commit (cross-shard transactions) ----------------
 
@@ -130,6 +143,7 @@ class Connection
     /** Deferred lock on the database's writer mutex. */
     std::unique_lock<std::mutex> _writerLock;
     bool _inWrite = false;
+    std::uint64_t _lastCommitEpoch = 0;
 
     std::unique_ptr<SnapshotCache> _snapshot;
     CommitSeq _horizon = 0;

@@ -127,6 +127,12 @@ validateDbConfig(const DbConfig &config)
         config.checkpointStepPages == 0)
         return Status::invalidArgument(
             "incremental checkpointing needs checkpointStepPages > 0");
+    if (config.asyncMaxEpochs == 0)
+        return Status::invalidArgument(
+            "asyncMaxEpochs must be >= 1 (the staleness bound)");
+    if (config.backgroundDurability && config.walMode != WalMode::Nvwal)
+        return Status::invalidArgument(
+            "background durability requires the NVRAM WAL");
     if (config.walMode == WalMode::Nvwal) {
         const std::string &ns = config.nvwal.heapNamespace;
         if (ns.empty() || ns.size() > NvHeap::kNamespaceNameLen)
@@ -145,6 +151,12 @@ Database::Database(Env &env, DbConfig config)
 
 Database::~Database()
 {
+    // Stop the durability thread first and abandon any still-pending
+    // async epochs: a destructor must not issue media operations (the
+    // handle may be torn down after a simulated crash), so commits
+    // that were never flushed simply fall inside the documented
+    // bounded loss window. Clean shutdowns call flushAsyncCommits().
+    stopDurability();
     stopCheckpointer();
 }
 
@@ -229,6 +241,9 @@ Database::openInternal()
 
     if (_config.backgroundCheckpointer && !_checkpointer.joinable())
         _checkpointer = std::thread(&Database::checkpointerMain, this);
+    if (_config.backgroundDurability && _wal->supportsAsyncCommits() &&
+        !_durabilityThread.joinable())
+        _durabilityThread = std::thread(&Database::durabilityMain, this);
     return Status::ok();
 }
 
@@ -480,16 +495,35 @@ Database::appendGroup(const std::vector<GroupEntry *> &batch)
     Status s = Status::ok();
     std::size_t i = 0;
     while (s.isOk() && i < batch.size()) {
-        const GroupEntry *e = batch[i];
+        GroupEntry *e = batch[i];
         switch (e->kind) {
           case GroupEntry::Kind::Commit: {
+            // Runs are split by durability: a sync run costs one
+            // barrier pair for the whole run, an async run costs none
+            // (its epoch hardens later). Mixing them would either
+            // harden the async commits early or strand the sync ones.
+            const bool async = e->async;
             std::vector<TxnFrames> txns;
+            std::vector<GroupEntry *> run;
             while (i < batch.size() &&
-                   batch[i]->kind == GroupEntry::Kind::Commit) {
+                   batch[i]->kind == GroupEntry::Kind::Commit &&
+                   batch[i]->async == async) {
                 txns.push_back(entryToTxn(*batch[i]));
+                run.push_back(batch[i]);
                 ++i;
             }
-            s = _wal->writeFrameGroup(txns);
+            if (async) {
+                s = _wal->writeFrameGroupAsync(txns);
+                if (s.isOk()) {
+                    const std::uint64_t epoch = registerAsyncEpoch(
+                        static_cast<std::uint32_t>(run.size()));
+                    for (GroupEntry *ge : run)
+                        ge->epoch = epoch;
+                    _env.stats.add(stats::kDbAsyncCommits, run.size());
+                }
+            } else {
+                s = _wal->writeFrameGroup(txns);
+            }
             break;
           }
           case GroupEntry::Kind::Prepare: {
@@ -514,7 +548,14 @@ Database::appendGroup(const std::vector<GroupEntry *> &batch)
                 break;
             }
         }
+        return s;
     }
+    // A sync run after an async one merges the pending unflushed
+    // ranges into its barrier (NvwalLog strict appends harden first),
+    // and the staleness bound may force a harden here; either way the
+    // hardened horizon may have moved, so retire what it covers.
+    s = maybeHardenAsync();
+    completePendingAcks();
     return s;
 }
 
@@ -584,13 +625,17 @@ Database::maybeCheckpointAfterCommit()
     if (!_config.incrementalCheckpoint)
         return checkpoint();
     bool done = false;
-    return _wal->checkpointStep(_config.checkpointStepPages, &done);
+    const Status s =
+        _wal->checkpointStep(_config.checkpointStepPages, &done);
+    completePendingAcks();
+    return s;
 }
 
 Status
-Database::commit()
+Database::commit(Durability durability)
 {
     GroupEntry entry;
+    entry.async = durability == Durability::Async;
     bool have_entry = false;
     SimTime commit_begin = 0;
     {
@@ -598,6 +643,10 @@ Database::commit()
         if (!_inTxn)
             return Status::invalidArgument("no transaction to commit");
         NVWAL_RETURN_IF_ERROR(_poisoned);
+        if (entry.async && !_wal->supportsAsyncCommits())
+            return Status::unsupported(
+                "this WAL mode has no asynchronous (checksum) commit; "
+                "use Durability::Sync or Group");
         commit_begin = _env.clock.now();
 
         // Per-transaction engine work (locking, journaling
@@ -618,6 +667,10 @@ Database::commit()
     if (have_entry)
         _pager->markAllClean();
     _inTxn = false;
+    if (entry.async) {
+        std::lock_guard<std::mutex> a(_asyncMutex);
+        _lastCommitEpoch = have_entry ? entry.epoch : 0;
+    }
     _env.stats.add(stats::kTxnsCommitted);
     _env.stats.tracer().complete("db.commit", "db", commit_begin,
                                  "dirty_pages", entry.frames.size());
@@ -730,10 +783,15 @@ Database::beginFromConnection()
 }
 
 Status
-Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock)
+Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock,
+                               Durability durability,
+                               std::uint64_t *ack_epoch)
 {
     GroupEntry entry;
     entry.finalized = true;
+    entry.async = durability == Durability::Async;
+    if (ack_epoch != nullptr)
+        *ack_epoch = 0;
     bool have_entry = false;
     SimTime commit_begin = 0;
     {
@@ -744,6 +802,13 @@ Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock)
             writer_lock->unlock();
             endWriteIntent();
             return _poisoned;
+        }
+        if (entry.async && !_wal->supportsAsyncCommits()) {
+            // The transaction stays open; the caller can retry with a
+            // stricter durability level.
+            return Status::unsupported(
+                "this WAL mode has no asynchronous (checksum) commit; "
+                "use Durability::Sync or Group");
         }
         commit_begin = _env.clock.now();
         _env.clock.advance(_env.cost.cpuTxnNs);
@@ -763,6 +828,12 @@ Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock)
     Status s = Status::ok();
     if (have_entry) {
         s = submitAndWait(&entry, writer_lock);
+        if (s.isOk() && entry.async) {
+            if (ack_epoch != nullptr)
+                *ack_epoch = entry.epoch;
+            std::lock_guard<std::mutex> a(_asyncMutex);
+            _lastCommitEpoch = entry.epoch;
+        }
     } else {
         writer_lock->unlock();
     }
@@ -993,7 +1064,11 @@ Database::checkpoint()
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
-    return _wal->checkpoint();
+    const Status s = _wal->checkpoint();
+    // A checkpoint hardens pending async appends before write-back;
+    // retire the epochs that covered.
+    completePendingAcks();
+    return s;
 }
 
 Status
@@ -1002,8 +1077,10 @@ Database::checkpointStep(std::uint32_t max_pages, bool *done)
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
-    return _wal->checkpointStep(
+    const Status s = _wal->checkpointStep(
         max_pages != 0 ? max_pages : _config.checkpointStepPages, done);
+    completePendingAcks();
+    return s;
 }
 
 std::uint64_t
@@ -1025,6 +1102,183 @@ Database::statGauge(const std::string &name) const
 {
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     return _env.stats.gauge(name);
+}
+
+// ---- durability-epoch pipeline --------------------------------------
+
+std::uint64_t
+Database::registerAsyncEpoch(std::uint32_t acks)
+{
+    // Engine lock held by the caller (appendGroup); _asyncMutex is a
+    // leaf below it.
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    AsyncEpoch e;
+    e.epoch = ++_epochSequencer;
+    e.seq = _wal->commitSeq();
+    e.acks = acks;
+    e.issuedNs = _env.clock.now();
+    _asyncEpochs.push_back(e);
+    _asyncAcksPending += acks;
+    _env.stats.setGauge(stats::kGaugeAsyncAcksPending, _asyncAcksPending);
+    return e.epoch;
+}
+
+void
+Database::completePendingAcks()
+{
+    const CommitSeq hardened = _wal->hardenedSeq();
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    std::size_t completed = 0;
+    while (completed < _asyncEpochs.size() &&
+           _asyncEpochs[completed].seq <= hardened) {
+        _asyncAcksPending -= _asyncEpochs[completed].acks;
+        _hardenedEpoch = _asyncEpochs[completed].epoch;
+        ++completed;
+    }
+    if (completed == 0)
+        return;
+    _asyncEpochs.erase(_asyncEpochs.begin(),
+                       _asyncEpochs.begin() +
+                           static_cast<std::ptrdiff_t>(completed));
+    _env.stats.add(stats::kWalEpochsHardened, completed);
+    _env.stats.setGauge(stats::kGaugeAsyncAcksPending, _asyncAcksPending);
+    _asyncCv.notify_all();
+}
+
+Status
+Database::maybeHardenAsync()
+{
+    bool over = false;
+    {
+        std::lock_guard<std::mutex> a(_asyncMutex);
+        if (_asyncEpochs.empty())
+            return Status::ok();
+        over = _asyncEpochs.size() > _config.asyncMaxEpochs ||
+               (_config.asyncMaxStalenessNs != 0 &&
+                _env.clock.now() - _asyncEpochs.front().issuedNs >=
+                    _config.asyncMaxStalenessNs);
+    }
+    if (!over)
+        return Status::ok();
+    if (_config.backgroundDurability) {
+        kickDurability();
+        return Status::ok();
+    }
+    NVWAL_RETURN_IF_ERROR(_wal->harden());
+    completePendingAcks();
+    return Status::ok();
+}
+
+Status
+Database::flushAsyncCommits()
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    NVWAL_RETURN_IF_ERROR(_poisoned);
+    NVWAL_RETURN_IF_ERROR(_wal->harden());
+    completePendingAcks();
+    return Status::ok();
+}
+
+Status
+Database::waitForAsyncEpoch(std::uint64_t epoch)
+{
+    if (epoch == 0)
+        return Status::ok();
+    {
+        std::lock_guard<std::mutex> a(_asyncMutex);
+        if (_hardenedEpoch >= epoch)
+            return Status::ok();
+        if (_asyncAbandoned)
+            return Status::busy("database is shutting down");
+    }
+    if (!_config.backgroundDurability)
+        return flushAsyncCommits();
+    kickDurability();
+    std::unique_lock<std::mutex> a(_asyncMutex);
+    _asyncCv.wait(a, [&] {
+        return _hardenedEpoch >= epoch || _asyncAbandoned;
+    });
+    return _hardenedEpoch >= epoch
+               ? Status::ok()
+               : Status::busy("shutdown before the epoch hardened");
+}
+
+std::uint64_t
+Database::asyncAcksPending() const
+{
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    return _asyncAcksPending;
+}
+
+std::uint64_t
+Database::hardenedEpoch() const
+{
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    return _hardenedEpoch;
+}
+
+std::uint64_t
+Database::lastCommitEpoch() const
+{
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    return _lastCommitEpoch;
+}
+
+// ---- background durability thread -----------------------------------
+
+void
+Database::durabilityMain()
+{
+    std::unique_lock<std::mutex> l(_durMutex);
+    for (;;) {
+        // Periodic drain: the 500us timeout retires epochs that age
+        // past the staleness window even when no commit kicks.
+        _durCv.wait_for(l, std::chrono::microseconds(500),
+                        [&] { return _durStop || _durKick; });
+        if (_durStop)
+            return;
+        _durKick = false;
+        l.unlock();
+
+        bool pending;
+        {
+            std::lock_guard<std::mutex> a(_asyncMutex);
+            pending = !_asyncEpochs.empty();
+        }
+        if (pending) {
+            std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+            if (_poisoned.isOk()) {
+                (void)_wal->harden();
+                completePendingAcks();
+            }
+        }
+        l.lock();
+    }
+}
+
+void
+Database::kickDurability()
+{
+    std::lock_guard<std::mutex> g(_durMutex);
+    _durKick = true;
+    _durCv.notify_all();
+}
+
+void
+Database::stopDurability()
+{
+    {
+        std::lock_guard<std::mutex> g(_durMutex);
+        _durStop = true;
+        _durCv.notify_all();
+    }
+    if (_durabilityThread.joinable())
+        _durabilityThread.join();
+    // Whatever is still pending will never harden through this
+    // handle; wake waiters so they observe the abandonment.
+    std::lock_guard<std::mutex> a(_asyncMutex);
+    _asyncAbandoned = true;
+    _asyncCv.notify_all();
 }
 
 // ---- background checkpointer ---------------------------------------
@@ -1054,6 +1308,7 @@ Database::checkpointerMain()
                 const Status s = _wal->checkpointStep(
                     _config.checkpointStepPages, &done);
                 _env.stats.add(stats::kCheckpointerSteps);
+                completePendingAcks();
                 if (!s.isOk())
                     break;
             }

@@ -64,6 +64,31 @@ enum class WalMode
     Nvwal,
 };
 
+/**
+ * Per-transaction durability level (DESIGN.md §11). Selected at
+ * commit time, so one connection can mix levels freely.
+ */
+enum class Durability
+{
+    /** Durable on return (today's behavior; the paper's baseline). */
+    Sync,
+    /**
+     * Durable on return, batched with concurrent committers through
+     * the group-commit queue (identical to Sync on the direct
+     * single-threaded API).
+     */
+    Group,
+    /**
+     * Checksum commit (paper §3.2): the commit returns as soon as
+     * the frames and commit mark are *written*, with no flush or
+     * persist barrier. The transaction becomes guaranteed durable
+     * when its epoch hardens -- within the configured
+     * bounded-staleness window -- and recovery keeps the longest
+     * valid committed prefix of un-hardened epochs.
+     */
+    Async,
+};
+
 /** Database configuration. */
 struct DbConfig
 {
@@ -100,6 +125,26 @@ struct DbConfig
      * truncate past the oldest pin).
      */
     bool backgroundCheckpointer = false;
+    /**
+     * Bounded-staleness window for Durability::Async: a harden is
+     * forced once this many epochs (async commit batches) are
+     * pending, so at most asyncMaxEpochs epochs can be lost to a
+     * crash. Must be >= 1.
+     */
+    std::uint32_t asyncMaxEpochs = 4;
+    /**
+     * Second half of the staleness bound: a harden is forced when
+     * the oldest pending epoch has been un-hardened for this much
+     * simulated time. 0 disables the age bound.
+     */
+    std::uint64_t asyncMaxStalenessNs = 1000000;  // 1 ms
+    /**
+     * Retire pending epochs from a background durability thread
+     * (NVLog-style background syncing) instead of inline at the
+     * staleness bound. Off by default: the crash-sweep harness needs
+     * the deterministic inline schedule.
+     */
+    bool backgroundDurability = false;
     /**
      * Set by ShardedDatabase on every member it opens. Members share
      * one Env (and so one NVRAM heap): whole-heap maintenance that is
@@ -198,8 +243,14 @@ class Database
     /** Begin an explicit write transaction. */
     Status begin();
 
-    /** Commit: log dirty pages + commit mark, then auto-checkpoint. */
-    Status commit();
+    /**
+     * Commit: log dirty pages + commit mark, then auto-checkpoint.
+     * Durability::Async returns before the persist barrier; the
+     * transaction's epoch (see lastCommitEpoch()) hardens within the
+     * configured staleness window, at the next strict commit or
+     * checkpoint, or via flushAsyncCommits()/waitForAsyncEpoch().
+     */
+    Status commit(Durability durability = Durability::Sync);
 
     /** Discard all uncommitted changes. */
     Status rollback();
@@ -234,6 +285,35 @@ class Database
     Status get(RowId key, ByteBuffer *value);
     Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
     Status count(std::uint64_t *out);
+
+    // ---- asynchronous durability (DESIGN.md §11) --------------------
+
+    /**
+     * Harden every pending async epoch now: one coalesced flush +
+     * persist barrier over all of their frames, then complete the
+     * acks. The clean-shutdown companion of Durability::Async.
+     */
+    Status flushAsyncCommits();
+
+    /**
+     * Block until epoch @p epoch is hardened. Without a background
+     * durability thread this hardens inline (equivalent to
+     * flushAsyncCommits() when the epoch is still pending).
+     */
+    Status waitForAsyncEpoch(std::uint64_t epoch);
+
+    /** Async commits acknowledged but not yet guaranteed durable. */
+    std::uint64_t asyncAcksPending() const;
+
+    /** Newest hardened epoch (0 = none issued or none hardened). */
+    std::uint64_t hardenedEpoch() const;
+
+    /**
+     * Epoch assigned to this handle's most recent Durability::Async
+     * commit (0 when none, or when the commit dirtied nothing and
+     * was trivially durable).
+     */
+    std::uint64_t lastCommitEpoch() const;
 
     // ---- maintenance -----------------------------------------------
 
@@ -341,6 +421,10 @@ class Database
         Kind kind = Kind::Commit;
         std::uint64_t gtid = 0;          //!< Prepare/Decision only
         bool decisionCommit = false;     //!< Decision only
+        /** Async commits append without barriers (Commit kind only). */
+        bool async = false;
+        /** Out: epoch assigned to an async entry by the leader. */
+        std::uint64_t epoch = 0;
         std::vector<Frame> frames;
         std::uint32_t dbSizePages = 0;
         /**
@@ -412,10 +496,42 @@ class Database
     /** Post-commit auto-checkpoint (inline or checkpointer wakeup). */
     Status maybeCheckpointAfterCommit();
 
+    // ---- durability-epoch pipeline (DESIGN.md §11) ------------------
+
+    /**
+     * Issue the next epoch for @p acks async commits appended up to
+     * the WAL's current commitSeq(). Caller holds the engine lock.
+     */
+    std::uint64_t registerAsyncEpoch(std::uint32_t acks);
+
+    /**
+     * Complete the acks of every pending epoch at or below the WAL's
+     * hardenedSeq() (counters, gauge, cv). Caller holds the engine
+     * lock; called after anything that may have advanced the horizon
+     * (harden, strict append, checkpoint).
+     */
+    void completePendingAcks();
+
+    /**
+     * Enforce the bounded-staleness window: harden inline (or kick
+     * the durability thread) when the pending-epoch count or the
+     * oldest epoch's age crosses the configured bound. Caller holds
+     * the engine lock.
+     */
+    Status maybeHardenAsync();
+
+    // ---- background durability thread -------------------------------
+
+    void durabilityMain();
+    void kickDurability();
+    void stopDurability();
+
     // ---- Connection entry points (writer lock held by the caller) --
 
     Status beginFromConnection();
-    Status commitFromConnection(std::unique_lock<std::mutex> *writer_lock);
+    Status commitFromConnection(std::unique_lock<std::mutex> *writer_lock,
+                                Durability durability,
+                                std::uint64_t *ack_epoch);
     Status rollbackFromConnection(std::unique_lock<std::mutex> *writer_lock);
     /**
      * 2PC phase 1: persist the open transaction's frames plus a
@@ -495,6 +611,36 @@ class Database
     std::condition_variable _ckptCv;
     bool _ckptStop = false;
     bool _ckptKick = false;
+
+    // ---- durability-epoch pipeline ----------------------------------
+
+    /** One batch of async commits awaiting its persist barrier. */
+    struct AsyncEpoch
+    {
+        std::uint64_t epoch = 0;
+        CommitSeq seq = 0;        //!< WAL commitSeq when issued
+        std::uint32_t acks = 0;   //!< transactions acked against it
+        SimTime issuedNs = 0;     //!< sim time at issue (age bound)
+    };
+    /**
+     * Leaf lock guarding the epoch deque and ack bookkeeping (same
+     * tier as _commitQueueMutex/_ckptMutex: never held while taking
+     * the engine lock).
+     */
+    mutable std::mutex _asyncMutex;
+    std::condition_variable _asyncCv;
+    std::vector<AsyncEpoch> _asyncEpochs;     //!< pending, FIFO
+    std::uint64_t _epochSequencer = 0;        //!< last epoch issued
+    std::uint64_t _hardenedEpoch = 0;         //!< newest completed
+    std::uint64_t _asyncAcksPending = 0;
+    std::uint64_t _lastCommitEpoch = 0;       //!< direct-API handle
+    bool _asyncAbandoned = false;             //!< shutdown: stop waits
+
+    std::thread _durabilityThread;
+    std::mutex _durMutex;
+    std::condition_variable _durCv;
+    bool _durStop = false;
+    bool _durKick = false;
 
     std::uint32_t _openConnections = 0;  //!< guarded by _engineMutex
 };

@@ -41,6 +41,10 @@ applyOp(Database &db, ReplaySession &session, const WorkloadOp &op,
         return db.begin();
       case WorkloadOp::Kind::Commit:
         return db.commit();
+      case WorkloadOp::Kind::CommitAsync:
+        return db.commit(Durability::Async);
+      case WorkloadOp::Kind::FlushAsync:
+        return db.flushAsyncCommits();
       case WorkloadOp::Kind::Checkpoint:
         return db.checkpoint();
       case WorkloadOp::Kind::CheckpointStep: {
@@ -116,6 +120,7 @@ isCommitEventOp(const Database &db, const WorkloadOp &op)
 {
     switch (op.kind) {
       case WorkloadOp::Kind::Commit:
+      case WorkloadOp::Kind::CommitAsync:
         return true;
       case WorkloadOp::Kind::Insert:
       case WorkloadOp::Kind::Update:
@@ -126,6 +131,7 @@ isCommitEventOp(const Database &db, const WorkloadOp &op)
       case WorkloadOp::Kind::Begin:
       case WorkloadOp::Kind::Checkpoint:
       case WorkloadOp::Kind::CheckpointStep:
+      case WorkloadOp::Kind::FlushAsync:
       case WorkloadOp::Kind::SnapshotOpen:
       case WorkloadOp::Kind::SnapshotVerify:
       case WorkloadOp::Kind::SnapshotClose:
@@ -167,11 +173,16 @@ mixSeed(std::uint64_t seed, std::uint64_t point)
  *
  * @p done_events commit events completed before the crash fired;
  * @p in_commit_event whether the interrupted op was itself one.
+ * @p floor_events the durable floor: the newest commit event whose
+ * epoch had hardened before the crash -- a recovered prefix below it
+ * breaks the bounded loss window. @p matched_state receives the index
+ * of the oracle state the recovered image equals (on success).
  */
 std::string
 checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
                 std::uint64_t done_events, bool in_commit_event,
-                bool prefix_semantics)
+                bool prefix_semantics, std::uint64_t floor_events,
+                std::uint64_t *matched_state)
 {
     const Status integrity = db.verifyIntegrity();
     if (!integrity.isOk())
@@ -181,13 +192,25 @@ checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
     const std::uint64_t upper = done_events + (in_commit_event ? 1 : 0);
     bool match = false;
     if (prefix_semantics) {
-        // ChecksumAsync (section 4.2): any committed prefix is legal;
-        // a torn unflushed frame invalidates everything after it.
-        for (std::uint64_t j = 0; j <= upper && !match; ++j)
+        // Checksum/async commits (section 4.2): a committed prefix is
+        // legal; a torn unflushed frame invalidates everything after
+        // it. Scan from the newest candidate down so matched_state
+        // reports the longest matching prefix.
+        std::uint64_t j = upper + 1;
+        while (j > 0 && !match) {
+            --j;
             match = content == states[j];
+        }
         if (!match)
             return "recovered state is not a committed prefix (<= S_" +
                    std::to_string(upper) + ")";
+        *matched_state = j;
+        if (j < floor_events)
+            return "recovered prefix S_" + std::to_string(j) +
+                   " is below the durable floor S_" +
+                   std::to_string(floor_events) +
+                   " (hardened epoch lost: bounded-staleness window "
+                   "violated)";
     } else {
         // Strict durability + atomicity: exactly the pre-crash
         // committed state, plus the victim if (and only if) the
@@ -201,6 +224,8 @@ checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
                         ? " nor S_" + std::to_string(upper)
                         : std::string()) +
                    " (lost or torn transaction)";
+        *matched_state =
+            content == states[done_events] ? done_events : upper;
     }
 
     const std::uint64_t pending = env.heap.countBlocks(BlockState::Pending);
@@ -248,6 +273,14 @@ SweepReport::summary() const
            std::to_string(replays) + " replays, " +
            std::to_string(crashes) + " crashes, " +
            std::to_string(violations.size()) + " violations\n";
+    if (asyncReplays > 0 || tornFramesDetected > 0) {
+        out += "  loss window: " + std::to_string(asyncReplays) +
+               " crashes with pending acks, max loss " +
+               std::to_string(maxLossEvents) + " event(s), " +
+               std::to_string(tornFramesDetected) + " torn frame(s), " +
+               std::to_string(framesDiscarded) + " discarded, " +
+               std::to_string(lostMarks) + " lost mark(s)\n";
+    }
     for (const auto &[label, cov] : phases) {
         out += "  " + label + ": " + std::to_string(cov.points) +
                " points, " + std::to_string(cov.replays) + " replays, " +
@@ -278,9 +311,18 @@ CrashSweep::run(SweepReport *report)
             PolicyRun{FailurePolicy::Adversarial, {1, 2, 3, 4}, 0.5});
     }
 
-    const bool prefix_semantics =
+    const bool cs_mode =
         _config.db.walMode == WalMode::Nvwal &&
         _config.db.nvwal.syncMode == SyncMode::ChecksumAsync;
+    bool has_async = false;
+    for (std::size_t i = 0; i < workload.size(); ++i)
+        has_async |=
+            workload.op(i).kind == WorkloadOp::Kind::CommitAsync;
+    // Async commits relax strict durability to prefix semantics, but
+    // -- unlike ChecksumAsync, where every commit is probabilistic --
+    // with a durable floor: epochs hardened before the crash must
+    // survive, so the loss window stays bounded.
+    const bool prefix_semantics = cs_mode || has_async;
 
     // ---- warm-up (runs once; the snapshot replaces re-runs) --------
     Env env(_config.env);
@@ -463,15 +505,50 @@ CrashSweep::run(SweepReport *report)
                 report->crashes++;
                 cov.crashes++;
 
+                // The durable floor at the instant of the crash: the
+                // commit events minus the acks still awaiting their
+                // epoch's barrier. Reading it touches only volatile
+                // leaf state, never the (dead) media. Under pure
+                // ChecksumAsync even "sync" commits are probabilistic,
+                // so the floor degenerates to 0 there.
+                const std::uint64_t pending_acks = db->asyncAcksPending();
+                std::uint64_t floor_events = 0;
+                if (!cs_mode)
+                    floor_events = done_events > pending_acks
+                                       ? done_events - pending_acks
+                                       : 0;
+                if (pending_acks > 0)
+                    report->asyncReplays++;
+
+                const std::uint64_t torn0 =
+                    env.stats.get(stats::kWalTornFramesDetected);
+                const std::uint64_t disc0 =
+                    env.stats.get(stats::kWalRecoveryFramesDiscarded);
+                const std::uint64_t lost0 =
+                    env.stats.get(stats::kWalRecoveryLostMarks);
+
                 const Status recovered =
                     Database::recoverAfterCrash(env, _config.db, &db);
                 if (!recovered.isOk()) {
                     violation("recovery failed: " + recovered.toString());
                     continue;
                 }
+                report->tornFramesDetected +=
+                    env.stats.get(stats::kWalTornFramesDetected) - torn0;
+                report->framesDiscarded +=
+                    env.stats.get(stats::kWalRecoveryFramesDiscarded) -
+                    disc0;
+                report->lostMarks +=
+                    env.stats.get(stats::kWalRecoveryLostMarks) - lost0;
+
+                std::uint64_t matched_state = done_events;
                 std::string message = checkInvariants(
                     env, *db, states, done_events, in_commit_event,
-                    prefix_semantics);
+                    prefix_semantics, floor_events, &matched_state);
+                if (message.empty() && matched_state < done_events)
+                    report->maxLossEvents =
+                        std::max(report->maxLossEvents,
+                                 done_events - matched_state);
                 if (message.empty() &&
                     _config.probeInsertAfterRecovery) {
                     const Status probe = db->insert(

@@ -122,6 +122,18 @@ struct SweepReport
     std::uint64_t pointsSwept = 0;
     std::uint64_t replays = 0;
     std::uint64_t crashes = 0;
+    // ---- loss-window audit (async / checksum commits) ---------------
+    /** Replays that crashed with acknowledged-but-unhardened commits. */
+    std::uint64_t asyncReplays = 0;
+    /** Torn frames recovery classified, summed over all replays. */
+    std::uint64_t tornFramesDetected = 0;
+    /** Frames recovery discarded past the valid prefix, summed. */
+    std::uint64_t framesDiscarded = 0;
+    /** Commit marks among the discarded frames, summed. */
+    std::uint64_t lostMarks = 0;
+    /** Worst observed loss: max commit events below done_events that
+     *  a recovered prefix rolled back (always within the window). */
+    std::uint64_t maxLossEvents = 0;
     std::vector<Violation> violations;
     /** Keyed by workload phase label, in workload order. */
     std::vector<std::pair<std::string, PhaseCoverage>> phases;

@@ -48,6 +48,10 @@ struct WorkloadOp
         SnapshotVerify,
         /** Close the snapshot and release its pin. */
         SnapshotClose,
+        /** Commit with Durability::Async (ack before the barrier). */
+        CommitAsync,
+        /** Database::flushAsyncCommits(): harden every pending epoch. */
+        FlushAsync,
     };
 
     Kind kind = Kind::Begin;
@@ -70,6 +74,18 @@ class Workload
 
     Workload &begin() { return push(make(WorkloadOp::Kind::Begin)); }
     Workload &commit() { return push(make(WorkloadOp::Kind::Commit)); }
+
+    Workload &
+    commitAsync()
+    {
+        return push(make(WorkloadOp::Kind::CommitAsync));
+    }
+
+    Workload &
+    flushAsync()
+    {
+        return push(make(WorkloadOp::Kind::FlushAsync));
+    }
 
     Workload &
     checkpoint()
@@ -175,6 +191,43 @@ class Workload
                                       static_cast<std::uint64_t>(prev)));
             }
             w.commit();
+        }
+        return w;
+    }
+
+    /**
+     * The async-commit variant of standardTxns(): identical
+     * transactions committed with Durability::Async, plus an explicit
+     * flushAsyncCommits() after every @p flush_every transactions
+     * (0 = never; the configured staleness window still bounds the
+     * un-hardened backlog).
+     */
+    static Workload
+    asyncTxns(int first_txn, int txns, int flush_every = 0,
+              std::size_t value_bytes = 80)
+    {
+        Workload w;
+        for (int txn = first_txn; txn < first_txn + txns; ++txn) {
+            w.phase("txn " + std::to_string(txn));
+            w.begin();
+            for (int i = 0; i < 3; ++i) {
+                const RowId key = txn * 10 + i;
+                w.insert(key, valueFor(value_bytes,
+                                       static_cast<std::uint64_t>(txn) *
+                                               1000 +
+                                           static_cast<std::uint64_t>(key)));
+            }
+            if (txn > first_txn) {
+                const RowId prev = (txn - 1) * 10;
+                w.update(prev,
+                         valueFor(value_bytes,
+                                  static_cast<std::uint64_t>(txn) * 1000 +
+                                      static_cast<std::uint64_t>(prev)));
+            }
+            w.commitAsync();
+            if (flush_every > 0 &&
+                (txn - first_txn + 1) % flush_every == 0)
+                w.flushAsync();
         }
         return w;
     }

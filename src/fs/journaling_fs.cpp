@@ -155,6 +155,10 @@ JournalingFs::pread(const std::string &name, std::uint64_t off,
                     ByteSpan out)
 {
     std::lock_guard<std::recursive_mutex> g(_mu);
+    if (_readFaultsLeft > 0) {
+        _readFaultsLeft--;
+        return Status::ioError("injected read fault: " + name);
+    }
     const Inode *inode = find(name);
     if (inode == nullptr)
         return Status::notFound("no such file: " + name);
@@ -318,6 +322,13 @@ JournalingFs::rename(const std::string &from, const std::string &to)
         _durableFiles.erase(dit);
     }
     return Status::ok();
+}
+
+void
+JournalingFs::injectReadFaults(std::uint64_t count)
+{
+    std::lock_guard<std::recursive_mutex> g(_mu);
+    _readFaultsLeft = count;
 }
 
 void

@@ -99,6 +99,13 @@ class JournalingFs
     /** Drop all volatile state, as if power was lost. */
     void crash();
 
+    /**
+     * Fault injection (tests only): fail the next @p count pread()
+     * calls with an I/O error before touching the device. Pass 0 to
+     * clear a pending injection.
+     */
+    void injectReadFaults(std::uint64_t count);
+
     /** Tag used for a file's data writes, derived from its suffix. */
     static IoTag tagForFile(const std::string &name);
 
@@ -140,6 +147,8 @@ class JournalingFs
     std::uint64_t _journalHead = 0;  //!< next journal block (cycled)
     BlockNo _nextDataBlock;          //!< bump allocator frontier
     std::vector<BlockNo> _freeList;
+
+    std::uint64_t _readFaultsLeft = 0;  //!< injected pread failures
 
     std::map<std::string, Inode> _files;
     /** Durable image, replaced at each fsync; crash() restores it. */

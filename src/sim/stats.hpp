@@ -73,8 +73,25 @@ inline constexpr const char *kWalDecisionRecords = "wal.decision_records";
 inline constexpr const char *kWalCkptTwoPhaseBlocked =
     "wal.checkpoints_2pc_blocked";
 
+// Asynchronous durability pipeline (DESIGN.md §11). Epoch batching of
+// persist barriers plus recovery-side checksum-commit classification:
+// torn frames are units whose content failed the chain verification,
+// discarded frames are intact units beyond the recoverable prefix, and
+// lost marks meter the loss window in commit events.
+inline constexpr const char *kDbAsyncCommits = "db.async_commits";
+inline constexpr const char *kWalEpochsHardened = "wal.epochs_hardened";
+inline constexpr const char *kWalHardenBatches = "wal.harden_batches";
+inline constexpr const char *kWalTornFramesDetected =
+    "wal.torn_frames_detected";
+inline constexpr const char *kWalRecoveryFramesDiscarded =
+    "wal.recovery_frames_discarded";
+inline constexpr const char *kWalRecoveryLostMarks =
+    "wal.recovery_lost_marks";
+
 // Gauges (sampled values, not monotonic).
 inline constexpr const char *kGaugeOpenConnections = "db.open_connections";
+inline constexpr const char *kGaugeAsyncAcksPending =
+    "db.async_acks_pending";
 inline constexpr const char *kGaugeOpenSnapshots = "db.open_snapshots";
 inline constexpr const char *kGaugeCommitQueueDepth =
     "db.commit_queue_depth";

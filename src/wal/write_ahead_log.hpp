@@ -86,6 +86,37 @@ class WriteAheadLog
         return Status::ok();
     }
 
+    /** Whether writeFrameGroupAsync()/harden() are usable. */
+    virtual bool supportsAsyncCommits() const { return false; }
+
+    /**
+     * Asynchronous append (paper §3.2 checksum commit): append every
+     * transaction in @p txns with its commit mark, but issue NO
+     * flushes or persist barriers. The batch becomes visible to
+     * readers immediately yet is guaranteed durable only after a
+     * later harden(). Implementations track the unflushed ranges so
+     * harden() can flush them in one coalesced barrier pair.
+     */
+    virtual Status
+    writeFrameGroupAsync(const std::vector<TxnFrames> &txns)
+    {
+        (void)txns;
+        return Status::unsupported("WAL does not support async commits");
+    }
+
+    /**
+     * Flush every range appended by writeFrameGroupAsync() since the
+     * last harden and issue one persist barrier, after which
+     * hardenedSeq() == commitSeq(). No-op when nothing is pending.
+     */
+    virtual Status harden() { return Status::ok(); }
+
+    /**
+     * Newest commit sequence guaranteed durable. Equal to commitSeq()
+     * except between an async append and the next harden().
+     */
+    virtual CommitSeq hardenedSeq() const { return commitSeq(); }
+
     /**
      * Materialize the latest committed version of @p page_no into
      * @p out (a full page buffer). Returns NotFound when the log

@@ -248,6 +248,54 @@ TEST_P(NvwalLogTest, MultiPageTransactionIsAtomic)
     }
 }
 
+TEST_P(NvwalLogTest, EmptyCommitStillRecordsDatabaseSize)
+{
+    const ByteBuffer page = makePage(7);
+    NVWAL_CHECK_OK(commitFullPage(3, page, 3));
+    EXPECT_EQ(log->committedDbSize(), 3u);
+
+    // A commit that dirtied no pages (every store was a no-op) still
+    // observed the database at a possibly larger size; dropping the
+    // update would leave committedDbSize() stale and truncate the
+    // tail on the next pager resync.
+    NVWAL_CHECK_OK(log->writeFrames({}, true, 9));
+    EXPECT_EQ(log->committedDbSize(), 9u);
+
+    // Same hazard on the group path with an all-empty group.
+    std::vector<TxnFrames> txns(1);
+    txns[0].dbSizePages = 11;
+    NVWAL_CHECK_OK(log->writeFrameGroup(txns));
+    EXPECT_EQ(log->committedDbSize(), 11u);
+}
+
+TEST_P(NvwalLogTest, BaseFileReadFaultPropagatesAsStatus)
+{
+    // Put the base image of page 3 into the .db file, then layer a
+    // diff frame over it so materialization must read the file.
+    ByteBuffer page = makePage(5);
+    NVWAL_CHECK_OK(commitFullPage(3, page, 3));
+    NVWAL_CHECK_OK(log->checkpoint());
+
+    std::memset(page.data() + 100, 0xAB, 50);
+    DirtyRanges diff;
+    diff.mark(100, 150);
+    NVWAL_CHECK_OK(commitPage(3, page, diff, 3));
+
+    if (!GetParam().diff) {
+        // Full-frame logging never reads the base; nothing to test.
+        return;
+    }
+    env.fs.injectReadFaults(1);
+    ByteBuffer out(kPageSize);
+    const Status s = log->readPage(3, ByteSpan(out.data(), out.size()));
+    EXPECT_FALSE(s.isOk());
+
+    // The fault was consumed and nothing was cached: the same read
+    // succeeds afterwards with the correct merged image.
+    ASSERT_TRUE(log->readPage(3, ByteSpan(out.data(), out.size())).isOk());
+    EXPECT_EQ(out, page);
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Schemes, NvwalLogTest,
     ::testing::Values(

@@ -470,7 +470,11 @@ TEST(ShardCrash, EagerSweepStaysAtomic)
     EXPECT_TRUE(report.ok()) << report.summary();
 }
 
-/** ChecksumAsync cannot guarantee decision durability; rejected. */
+/**
+ * Under ChecksumAsync a single-shard step bypasses 2PC and commits
+ * probabilistically; the strict shard oracle cannot express that
+ * loss, so the sweep rejects such steps up front.
+ */
 TEST(ShardCrash, ChecksumAsyncRejected)
 {
     faultsim::ShardSweepConfig config;
@@ -482,6 +486,53 @@ TEST(ShardCrash, ChecksumAsyncRejected)
     faultsim::ShardSweepReport report;
     faultsim::ShardCrashSweep sweep(config);
     EXPECT_EQ(sweep.run(&report).code(), StatusCode::InvalidArgument);
+}
+
+/**
+ * Cross-shard 2PC stays strictly atomic even under ChecksumAsync:
+ * PREPARE/DECISION units harden eagerly in every sync mode, so the
+ * usual shard oracle applies unchanged. Regression for the bug
+ * where writePrepare left staged data frames unflushed in CS mode
+ * (a torn prepared unit could be re-staged as garbage and applied
+ * by a later COMMIT decision).
+ */
+TEST(ShardCrash, ChecksumAsyncCrossShardSweepIsStrict)
+{
+    faultsim::ShardSweepConfig config;
+    config.env = testEnv();
+    config.shard = testShards(2);
+    config.shard.dbTemplate.nvwal.syncMode = SyncMode::ChecksumAsync;
+    config.shard.dbTemplate.checkpointThreshold = 1000;
+
+    for (RowId key = 1; key <= 10; ++key) {
+        config.warmup.push_back(faultsim::ShardTxnStep::txn(
+            "warm", {Op::insert(key, testutil::makeValue(24, key))}));
+    }
+    // Key routing (hash, 2 shards): 1,2,3 -> shard 0; 4,9 -> shard 1.
+    // Every step must span both shards: a single-shard step would be
+    // rejected up front (see ChecksumAsyncRejected above).
+    config.workload.push_back(faultsim::ShardTxnStep::txn(
+        "cross",
+        {Op::update(1, std::string("a")),
+         Op::update(2, std::string("b")),
+         Op::update(4, std::string("c"))}));
+    config.workload.push_back(faultsim::ShardTxnStep::txn(
+        "cross",
+        {Op::insert(100, std::string("n1")),
+         Op::insert(102, std::string("n2")),
+         Op::remove(9)}));
+
+    config.policies = {
+        faultsim::PolicyRun{FailurePolicy::Pessimistic, {0}, 0.5},
+        faultsim::PolicyRun{FailurePolicy::Adversarial, {3, 4}, 0.5},
+    };
+
+    faultsim::ShardSweepReport report;
+    faultsim::ShardCrashSweep sweep(config);
+    NVWAL_CHECK_OK(sweep.run(&report));
+    EXPECT_EQ(report.pointsSwept, report.totalOps);
+    EXPECT_GT(report.indoubtResolved, 0u);
+    EXPECT_TRUE(report.ok()) << report.summary();
 }
 
 } // namespace
