@@ -8,7 +8,12 @@
  * a latency_us block carrying ordered p50 <= p95 <= p99 <= max.
  * Exits non-zero (failing the ctest) on any violation.
  *
- * Usage: bench_json_check <file.json> [<file.json> ...]
+ * `--forensics` switches to the crash-forensics schema emitted by
+ * `nvwal_inspect --forensics-json` (docs/OBSERVABILITY.md section 7):
+ * a single {"forensics": {...}} post-mortem, or the sharded
+ * {"shards": [...], "timeline": [...]} merge.
+ *
+ * Usage: bench_json_check [--forensics] <file.json> [<file.json> ...]
  */
 
 #include <cmath>
@@ -86,6 +91,130 @@ checkLatency(const std::string &file, const JsonValue &lat,
         fail(file, where + ": latency block with zero samples");
 }
 
+/** One {"forensics": {...}} post-mortem (RecoveryReport JSON). */
+void
+checkForensicsReport(const std::string &file, const JsonValue &wrapper,
+                     const std::string &where)
+{
+    const JsonValue *fr = requireMember(
+        file, wrapper, "forensics", JsonValue::Type::Object, where);
+    if (fr == nullptr)
+        return;
+    requireMember(file, *fr, "recorderEnabled", JsonValue::Type::Bool,
+                  where);
+    requireMember(file, *fr, "parsed", JsonValue::Type::Bool, where);
+    requireMember(file, *fr, "namespace", JsonValue::Type::String, where);
+    requireMember(file, *fr, "incarnationKnown", JsonValue::Type::Bool,
+                  where);
+    const JsonValue *ring = requireMember(
+        file, *fr, "ring", JsonValue::Type::Object, where);
+    if (ring != nullptr) {
+        checkNumbersOnly(file, *ring, where + ".ring");
+        for (const char *k :
+             {"capacity", "validRecords", "tornSlots", "wraps"})
+            requireMember(file, *ring, k, JsonValue::Type::Number,
+                          where + ".ring");
+    }
+    const JsonValue *rec = requireMember(
+        file, *fr, "recovered", JsonValue::Type::Object, where);
+    if (rec != nullptr)
+        for (const char *k : {"marks", "checkpointId",
+                              "checkpointLagFrames", "lostMarks"})
+            requireMember(file, *rec, k, JsonValue::Type::Number,
+                          where + ".recovered");
+    const JsonValue *problems = requireMember(
+        file, *fr, "inconsistencies", JsonValue::Type::Array, where);
+    // A post-mortem listing durable claims recovery contradicted is
+    // itself evidence of an engine bug: fail the fixture.
+    if (problems != nullptr && !problems->array.empty())
+        fail(file, where + ": " +
+                       std::to_string(problems->array.size()) +
+                       " forensics inconsistency(ies) reported");
+    const JsonValue *events = requireMember(
+        file, *fr, "events", JsonValue::Type::Array, where);
+    if (events == nullptr)
+        return;
+    for (std::size_t i = 0; i < events->array.size(); ++i) {
+        const JsonValue &e = events->array[i];
+        const std::string ew = where + ".events[" + std::to_string(i) +
+                               "]";
+        if (!e.isObject()) {
+            fail(file, ew + ": not an object");
+            continue;
+        }
+        requireMember(file, e, "seq", JsonValue::Type::Number, ew);
+        requireMember(file, e, "type", JsonValue::Type::String, ew);
+        requireMember(file, e, "durable", JsonValue::Type::Bool, ew);
+        for (const char *k : {"a16", "a32", "a64", "b64"})
+            requireMember(file, e, k, JsonValue::Type::Number, ew);
+    }
+}
+
+void
+checkForensicsFile(const std::string &file)
+{
+    std::FILE *f = std::fopen(file.c_str(), "rb");
+    if (f == nullptr) {
+        fail(file, "cannot open");
+        return;
+    }
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    JsonValue doc;
+    const Status parsed = parseJson(text, &doc);
+    if (!parsed.isOk()) {
+        fail(file, parsed.toString());
+        return;
+    }
+    if (!doc.isObject()) {
+        fail(file, "top level is not an object");
+        return;
+    }
+    if (doc.find("forensics") != nullptr) {
+        checkForensicsReport(file, doc, "top");
+        return;
+    }
+    // The sharded merge: per-shard post-mortems + the gtid timeline.
+    const JsonValue *shards = requireMember(
+        file, doc, "shards", JsonValue::Type::Array, "top");
+    if (shards != nullptr) {
+        if (shards->array.empty())
+            fail(file, "shards array is empty");
+        for (std::size_t i = 0; i < shards->array.size(); ++i)
+            checkForensicsReport(file, shards->array[i],
+                                 "shards[" + std::to_string(i) + "]");
+    }
+    const JsonValue *timeline = requireMember(
+        file, doc, "timeline", JsonValue::Type::Array, "top");
+    if (timeline == nullptr)
+        return;
+    for (std::size_t i = 0; i < timeline->array.size(); ++i) {
+        const JsonValue &t = timeline->array[i];
+        const std::string where = "timeline[" + std::to_string(i) + "]";
+        if (!t.isObject()) {
+            fail(file, where + ": not an object");
+            continue;
+        }
+        requireMember(file, t, "gtid", JsonValue::Type::Number, where);
+        for (const char *k :
+             {"prepared_shards", "committed_shards", "aborted_shards"}) {
+            const JsonValue *arr = requireMember(
+                file, t, k, JsonValue::Type::Array, where);
+            if (arr == nullptr)
+                continue;
+            for (const JsonValue &s : arr->array)
+                if (!s.isNumber())
+                    fail(file, where + "." + k +
+                                   ": non-numeric shard id");
+        }
+    }
+}
+
 void
 checkFile(const std::string &file)
 {
@@ -158,13 +287,27 @@ checkFile(const std::string &file)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr, "usage: %s <file.json> ...\n", argv[0]);
+    bool forensics = false;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--forensics")
+            forensics = true;
+        else
+            files.push_back(argv[i]);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: %s [--forensics] <file.json> ...\n",
+                     argv[0]);
         return 2;
     }
-    for (int i = 1; i < argc; ++i)
-        checkFile(argv[i]);
+    for (const std::string &file : files) {
+        if (forensics)
+            checkForensicsFile(file);
+        else
+            checkFile(file);
+    }
     if (failures == 0)
-        std::printf("%d file(s) valid\n", argc - 1);
+        std::printf("%zu file(s) valid\n", files.size());
     return failures == 0 ? 0 : 1;
 }

@@ -159,6 +159,45 @@ BM_TransactionCommitNvwal(benchmark::State &state)
 NVWAL_BENCHMARK_REPEATED(BM_TransactionCommitNvwal);
 
 void
+BM_TransactionCommitNvwalRecorderOff(benchmark::State &state)
+{
+    // Same commit path with the flight recorder disabled: the
+    // zero-cost guard's wall-clock side. The recorder writes one
+    // 40-byte plain-store record per begin/ack and never flushes or
+    // fences, so the delta against BM_TransactionCommitNvwal is a
+    // few memcpys per txn; the barrier/flush-count side of the claim
+    // is asserted exactly (FlightRecorder tests, async_bounds gate).
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    config.autoCheckpoint = false;
+    config.flightRecorder = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    ByteBuffer value(100, 0x11);
+    RowId key = 0;
+    std::int64_t committed = 0;
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(db->begin());
+        for (int i = 0; i < 4; ++i) {
+            NVWAL_CHECK_OK(db->insert(
+                ++key, ConstByteSpan(value.data(), value.size())));
+        }
+        NVWAL_CHECK_OK(db->commit());
+        ++committed;
+        if (committed % 2000 == 0) {
+            state.PauseTiming();
+            NVWAL_CHECK_OK(db->checkpoint());
+            state.ResumeTiming();
+        }
+    }
+    state.SetItemsProcessed(committed);
+}
+NVWAL_BENCHMARK_REPEATED(BM_TransactionCommitNvwalRecorderOff);
+
+void
 BM_TransactionCommitNvwalTraced(benchmark::State &state)
 {
     // Same commit path with the phase tracer enabled: the overhead

@@ -19,6 +19,13 @@
  * (counters + gauges + latency histograms) as JSON; `--trace <path>`
  * enables the transaction-phase tracer for the whole run and writes
  * a Chrome trace_event file loadable in about:tracing / Perfetto.
+ *
+ * `--forensics` prints the flight-recorder post-mortem recovery
+ * built from the ring that survived the crash (DESIGN.md section
+ * 12): last durable epoch, possibly in-flight transactions, torn
+ * ring slots, checkpoint lag -- plus, in sharded mode, the merged
+ * cross-shard 2PC timeline keyed by gtid. `--forensics-json <path>`
+ * writes the same post-mortem as one JSON document.
  */
 
 #include <cstdio>
@@ -50,6 +57,56 @@ printShardMedia(Env &env, std::uint32_t page_size, std::uint32_t shards,
             ShardedDatabase::shardHeapNamespace(k)));
         printNvwalMediaReport(media);
     }
+}
+
+/** Render one merged gtid timeline entry list as a JSON array. */
+std::string
+timelineJson(const std::vector<GtidTimeline> &timeline)
+{
+    const auto shardArray = [](const std::vector<std::uint32_t> &v) {
+        std::string out = "[";
+        for (std::size_t i = 0; i < v.size(); ++i) {
+            if (i > 0)
+                out += ",";
+            out += std::to_string(v[i]);
+        }
+        return out + "]";
+    };
+    std::string out = "[";
+    for (std::size_t i = 0; i < timeline.size(); ++i) {
+        const GtidTimeline &t = timeline[i];
+        if (i > 0)
+            out += ",";
+        out += "{\"gtid\":" + std::to_string(t.gtid) +
+               ",\"prepared_shards\":" + shardArray(t.preparedShards) +
+               ",\"committed_shards\":" + shardArray(t.committedShards) +
+               ",\"aborted_shards\":" + shardArray(t.abortedShards) + "}";
+    }
+    return out + "]";
+}
+
+/** Human-readable merged cross-shard 2PC timeline. */
+void
+printTimeline(const std::vector<GtidTimeline> &timeline)
+{
+    std::printf("-- merged cross-shard 2PC timeline --\n");
+    if (timeline.empty()) {
+        std::printf("  (no surviving PREPARE/DECISION ring records)\n");
+        return;
+    }
+    const auto shardList = [](const std::vector<std::uint32_t> &v) {
+        std::string out;
+        for (std::size_t i = 0; i < v.size(); ++i)
+            out += (i > 0 ? "," : "") + std::to_string(v[i]);
+        return out.empty() ? std::string("-") : out;
+    };
+    for (const GtidTimeline &t : timeline)
+        std::printf("  gtid %llu: prepared on [%s], commit decisions "
+                    "on [%s], abort decisions on [%s]\n",
+                    static_cast<unsigned long long>(t.gtid),
+                    shardList(t.preparedShards).c_str(),
+                    shardList(t.committedShards).c_str(),
+                    shardList(t.abortedShards).c_str());
 }
 
 /** Total surviving 2PC records across the shard set. */
@@ -232,6 +289,8 @@ main(int argc, char **argv)
 {
     std::string metrics_path;
     std::string trace_path;
+    std::string forensics_json_path;
+    bool forensics = false;
     std::uint32_t shards = 0;
     std::int32_t only_shard = -1;
     for (int i = 1; i < argc; ++i) {
@@ -239,6 +298,11 @@ main(int argc, char **argv)
             metrics_path = argv[++i];
         } else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
             trace_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--forensics") == 0) {
+            forensics = true;
+        } else if (std::strcmp(argv[i], "--forensics-json") == 0 &&
+                   i + 1 < argc) {
+            forensics_json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
             shards = static_cast<std::uint32_t>(std::atoi(argv[++i]));
         } else if (std::strcmp(argv[i], "--shard") == 0 && i + 1 < argc) {
@@ -246,7 +310,8 @@ main(int argc, char **argv)
         } else {
             std::fprintf(stderr,
                          "usage: %s [--shards N [--shard k]] "
-                         "[--metrics <path>] [--trace <path>]\n",
+                         "[--metrics <path>] [--trace <path>] "
+                         "[--forensics] [--forensics-json <path>]\n",
                          argv[0]);
             return 2;
         }
@@ -271,9 +336,35 @@ main(int argc, char **argv)
         env.stats.tracer().setEnabled(true);
 
     int demo_rc = 0;
+    std::string forensics_doc;
     if (shards > 0) {
         std::unique_ptr<ShardedDatabase> sdb;
         demo_rc = runShardedDemo(env, shards, only_shard, &sdb);
+        if (forensics || !forensics_json_path.empty()) {
+            const std::vector<GtidTimeline> timeline =
+                sdb->forensicsTimeline();
+            if (forensics) {
+                std::printf("\n==== crash forensics (flight recorder) "
+                            "====\n");
+                for (std::uint32_t k = 0; k < shards; ++k) {
+                    std::printf("-- shard %02u post-mortem --\n", k);
+                    printRecoveryReport(sdb->shardRecoveryReport(k),
+                                        stdout);
+                }
+                printTimeline(timeline);
+            }
+            if (!forensics_json_path.empty()) {
+                forensics_doc = "{\"shards\":[";
+                for (std::uint32_t k = 0; k < shards; ++k) {
+                    if (k > 0)
+                        forensics_doc += ",";
+                    forensics_doc +=
+                        recoveryReportJson(sdb->shardRecoveryReport(k));
+                }
+                forensics_doc += "],\"timeline\":" +
+                                 timelineJson(timeline) + "}";
+            }
+        }
     } else {
         DbConfig config;
         config.name = "inspected.db";
@@ -340,6 +431,13 @@ main(int argc, char **argv)
         printNvwalMediaReport(media);
         NVWAL_CHECK_OK(collectDatabaseReport(*db, &db_report));
         printDatabaseReport(db_report);
+        if (forensics) {
+            std::printf("\n==== crash forensics (flight recorder) "
+                        "====\n");
+            printRecoveryReport(db->recoveryReport(), stdout);
+        }
+        if (!forensics_json_path.empty())
+            forensics_doc = recoveryReportJson(db->recoveryReport());
     }
 
     std::printf("\n==== platform counters (stable order) ====\n");
@@ -358,6 +456,18 @@ main(int argc, char **argv)
         std::fwrite(doc.data(), 1, doc.size(), f);
         std::fclose(f);
         std::printf("\nwrote metrics JSON to %s\n", metrics_path.c_str());
+    }
+    if (!forensics_json_path.empty()) {
+        std::FILE *f = std::fopen(forensics_json_path.c_str(), "wb");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         forensics_json_path.c_str());
+            return 1;
+        }
+        std::fwrite(forensics_doc.data(), 1, forensics_doc.size(), f);
+        std::fclose(f);
+        std::printf("wrote forensics JSON to %s\n",
+                    forensics_json_path.c_str());
     }
     if (!trace_path.empty()) {
         NVWAL_CHECK_OK(writeChromeTrace(env.stats.tracer(), trace_path));

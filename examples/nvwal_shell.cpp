@@ -59,6 +59,8 @@ const char *kHelp =
     "  inspect               raw NVWAL media report\n"
     "  page <no>             decode one B-tree page\n"
     "  stats                 all counters/histograms, stable key order\n"
+    "  forensics [json]      flight-recorder post-mortem of the last\n"
+    "                        recovery (crash forensics, DESIGN.md 12)\n"
     "  metrics [path]        metrics JSON to stdout or <path>\n"
     "  trace on|off          toggle the transaction-phase tracer\n"
     "  trace dump <path>     write a Chrome trace_event JSON file\n"
@@ -457,6 +459,43 @@ main(int argc, char **argv)
             // shard.commit_ns.sNN histograms).
             printCounters(env.stats);
             printHistograms(env.stats);
+        } else if (cmd == "forensics") {
+            std::string sub;
+            in >> sub;
+            const bool json = sub == "json";
+            if (shell.sharded()) {
+                for (std::uint32_t k = 0; k < shell.sdb->shardCount();
+                     ++k) {
+                    if (json) {
+                        std::printf("%s\n",
+                                    recoveryReportJson(
+                                        shell.sdb->shardRecoveryReport(k))
+                                        .c_str());
+                        continue;
+                    }
+                    std::printf("-- shard %02u post-mortem --\n", k);
+                    printRecoveryReport(shell.sdb->shardRecoveryReport(k),
+                                        stdout);
+                }
+                if (!json) {
+                    for (const GtidTimeline &t :
+                         shell.sdb->forensicsTimeline())
+                        std::printf(
+                            "  gtid %llu: %zu prepared, %zu commit / "
+                            "%zu abort decision(s) on the rings\n",
+                            static_cast<unsigned long long>(t.gtid),
+                            t.preparedShards.size(),
+                            t.committedShards.size(),
+                            t.abortedShards.size());
+                }
+            } else if (json) {
+                std::printf(
+                    "%s\n",
+                    recoveryReportJson(shell.db->recoveryReport())
+                        .c_str());
+            } else {
+                printRecoveryReport(shell.db->recoveryReport(), stdout);
+            }
         } else if (cmd == "metrics") {
             std::string path;
             const std::string doc = metricsJson(env.stats);

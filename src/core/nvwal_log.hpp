@@ -135,6 +135,15 @@ class NvwalLog : public WriteAheadLog
 
     const NvwalConfig &config() const { return _config; }
 
+    /**
+     * Monotonic checkpoint-round id from the persistent header. Bumped
+     * by every truncation, recovered verbatim — the flight recorder
+     * stamps durable-claim records with it so forensic cross-checks
+     * can tell whether a claimed commit-mark count predates the
+     * recovered truncation horizon (DESIGN.md §12).
+     */
+    std::uint64_t checkpointId() const { return _checkpointId; }
+
     // ---- introspection for tests and benches ----------------------
 
     /** Heap allocations (log nodes) currently linked in the chain. */

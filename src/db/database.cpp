@@ -219,8 +219,11 @@ Database::openInternal()
     // Recovery order matters: the WAL index must exist before the
     // pager reads any page (the newest committed copy of a page may
     // live only in the log).
+    const StatsSnapshot stats_before_recovery = _env.stats.snapshot();
     std::uint32_t db_size_pages = 0;
     NVWAL_RETURN_IF_ERROR(_wal->recover(&db_size_pages));
+    _nvwalLog = dynamic_cast<NvwalLog *>(_wal.get());
+    frOpenAndBuildReport(stats_before_recovery);
     _pager->setWalReader([this](PageNo page_no, ByteSpan out) {
         return _wal->readPage(page_no, out);
     });
@@ -244,6 +247,149 @@ Database::openInternal()
     if (_config.backgroundDurability && _wal->supportsAsyncCommits() &&
         !_durabilityThread.joinable())
         _durabilityThread = std::thread(&Database::durabilityMain, this);
+    return Status::ok();
+}
+
+// ---- flight recorder (DESIGN.md §12) --------------------------------
+
+void
+Database::frRecord(FrRecordType type, std::uint8_t flags,
+                   std::uint16_t a16, std::uint32_t a32, std::uint64_t a64,
+                   std::uint64_t b64)
+{
+    if (_flightRecorder && _flightRecorder->ready())
+        _flightRecorder->append(type, flags, a16, a32, a64, b64);
+}
+
+std::uint32_t
+Database::frCheckpointId32() const
+{
+    return _nvwalLog != nullptr
+               ? static_cast<std::uint32_t>(_nvwalLog->checkpointId())
+               : 0;
+}
+
+void
+Database::frRecordHarden(FrHardenReason reason)
+{
+    if (!_flightRecorder || !_flightRecorder->ready())
+        return;
+    const CommitSeq hardened = _wal->hardenedSeq();
+    const std::uint64_t marks =
+        hardened >= _frMarksBase ? hardened - _frMarksBase : 0;
+    std::uint64_t epoch;
+    {
+        std::lock_guard<std::mutex> a(_asyncMutex);
+        epoch = _hardenedEpoch;
+    }
+    frRecord(FrRecordType::Harden, kFrFlagDurableClaim,
+             static_cast<std::uint16_t>(reason), frCheckpointId32(), marks,
+             epoch);
+}
+
+void
+Database::frNoteTruncation(std::uint64_t ckpt_before)
+{
+    if (_nvwalLog == nullptr || !_flightRecorder ||
+        !_flightRecorder->ready())
+        return;
+    const std::uint64_t ckpt_after = _nvwalLog->checkpointId();
+    if (ckpt_after == ckpt_before)
+        return;
+    const std::uint64_t marks = _wal->commitSeq() - _frMarksBase;
+    // Durable-claim marks are counted per checkpoint round; the
+    // truncation starts a new round, so rebase before the next ack.
+    _frMarksBase = _wal->commitSeq();
+    frRecord(FrRecordType::Truncation, kFrFlagDurableClaim, 0,
+             static_cast<std::uint32_t>(ckpt_after), marks, ckpt_before);
+}
+
+void
+Database::frMaybeSnapshotCounters()
+{
+    if (!_flightRecorder || !_flightRecorder->ready() ||
+        _config.frSnapshotEveryBatches == 0)
+        return;
+    if (++_frBatchesSinceSnapshot < _config.frSnapshotEveryBatches)
+        return;
+    _frBatchesSinceSnapshot = 0;
+    static const char *const kDefaultSet[] = {
+        stats::kTxnsCommitted,   stats::kPersistBarriers,
+        stats::kFlushSyscalls,   stats::kNvramBytesLogged,
+        stats::kCheckpoints,
+    };
+    auto sample = [&](const std::string &name) {
+        frRecord(FrRecordType::CounterSnapshot, 0, 0,
+                 frCounterNameHash(name), _env.stats.get(name), _txnSeq);
+    };
+    if (_config.frSnapshotCounters.empty()) {
+        for (const char *name : kDefaultSet)
+            sample(name);
+    } else {
+        for (const std::string &name : _config.frSnapshotCounters)
+            sample(name);
+    }
+}
+
+void
+Database::frOpenAndBuildReport(const StatsSnapshot &stats_before)
+{
+    _flightRecorder.reset();
+    _recoveryReport = RecoveryReport();
+    _frMarksBase = 0;
+    _frBatchesSinceSnapshot = 0;
+    if (_config.walMode != WalMode::Nvwal || !_config.flightRecorder)
+        return;
+
+    auto recorder = std::make_unique<FlightRecorder>(
+        _env.heap, _env.pmem, _env.stats,
+        FlightRecorder::namespaceFor(_config.nvwal.heapNamespace),
+        _config.frRingRecords, _config.frShard);
+    FlightRecording parsed;
+    if (!recorder->openOrCreate(&parsed).isOk()) {
+        // E.g. all heap namespace slots taken: run with the recorder
+        // off rather than failing the open.
+        return;
+    }
+    _flightRecorder = std::move(recorder);
+
+    const auto delta = [&](const char *name) {
+        const auto it = stats_before.find(name);
+        const std::uint64_t before =
+            it == stats_before.end() ? 0 : it->second;
+        return _env.stats.get(name) - before;
+    };
+    FrRecoveredWalState wal_state;
+    wal_state.recoveredMarks = _wal->commitSeq();
+    wal_state.recoveredCheckpointId =
+        _nvwalLog != nullptr ? _nvwalLog->checkpointId() : 0;
+    wal_state.framesSinceCheckpoint = _wal->framesSinceCheckpoint();
+    wal_state.tornFramesDetected = delta(stats::kWalTornFramesDetected);
+    wal_state.framesDiscarded = delta(stats::kWalRecoveryFramesDiscarded);
+    wal_state.lostMarks = delta(stats::kWalRecoveryLostMarks);
+    wal_state.inDoubt = _wal->inDoubtTransactions();
+    wal_state.lookupDecision = [this](std::uint64_t gtid, bool *commit) {
+        return _wal->lookupDecision(gtid, commit);
+    };
+
+    _recoveryReport = buildRecoveryReport(parsed, wal_state);
+    _recoveryReport.recorderEnabled = true;
+    _recoveryReport.heapNamespace = _flightRecorder->heapNamespace();
+    _recoveryReport.shard = _config.frShard;
+
+    // Delimit this incarnation in the ring. Recovered commit
+    // sequences restart at marks-since-truncation, so the base is 0.
+    frRecord(FrRecordType::RecorderOpen, 0, 0, frCheckpointId32(),
+             _wal->commitSeq(), _wal->framesSinceCheckpoint());
+}
+
+Status
+Database::publishFlightRecorder()
+{
+    std::lock_guard<std::recursive_mutex> eng(_engineMutex);
+    if (!_flightRecorder || !_flightRecorder->ready())
+        return Status::unsupported("the flight recorder is not enabled");
+    _flightRecorder->publish();
     return Status::ok();
 }
 
@@ -397,6 +543,7 @@ Database::beginTxnBody()
     _txnBeginNs = _env.clock.now();
     _env.stats.tracer().setCurrentTxn(_txnSeq);
     _env.stats.tracer().instant("txn.begin", "db");
+    frRecord(FrRecordType::TxnBegin, 0, 0, 0, _txnSeq);
     return Status::ok();
 }
 
@@ -486,6 +633,15 @@ Database::appendGroup(const std::vector<GroupEntry *> &batch)
     _env.stats.add(stats::kGroupCommitTxns, batch.size());
     _env.stats.recordNs(stats::kHistGroupCommitSize, batch.size());
     _env.stats.setGauge(stats::kGaugeCommitQueueDepth, batch.size());
+    {
+        std::uint64_t newest_txn = 0;
+        for (const GroupEntry *e : batch)
+            if (e->kind == GroupEntry::Kind::Commit &&
+                e->txnSeq > newest_txn)
+                newest_txn = e->txnSeq;
+        frRecord(FrRecordType::GroupBatch, 0, 0,
+                 static_cast<std::uint32_t>(batch.size()), newest_txn);
+    }
 
     // The queue interleaves plain commits with 2PC records. Append
     // each maximal run of commits as one WAL group (one barrier pair
@@ -517,23 +673,53 @@ Database::appendGroup(const std::vector<GroupEntry *> &batch)
                 if (s.isOk()) {
                     const std::uint64_t epoch = registerAsyncEpoch(
                         static_cast<std::uint32_t>(run.size()));
-                    for (GroupEntry *ge : run)
+                    for (GroupEntry *ge : run) {
                         ge->epoch = epoch;
+                        // No durable claim: the ack only becomes
+                        // guaranteed when the epoch hardens.
+                        frRecord(FrRecordType::CommitAck, 0, 2,
+                                 frCheckpointId32(), ge->txnSeq, epoch);
+                    }
                     _env.stats.add(stats::kDbAsyncCommits, run.size());
                 }
             } else {
                 s = _wal->writeFrameGroup(txns);
+                if (s.isOk()) {
+                    // Under Eager/Lazy the strict group's barrier
+                    // pair already ran, so the run's commit marks are
+                    // durable when the records below are stored: a
+                    // durable claim. ChecksumAsync acks before any
+                    // barrier (§4.2 checksum commits) -- a crash may
+                    // keep this record yet lose the marks, so no
+                    // claim is stamped.
+                    const bool hardened =
+                        _config.nvwal.syncMode != SyncMode::ChecksumAsync;
+                    const std::uint64_t marks =
+                        _wal->commitSeq() - _frMarksBase;
+                    for (const GroupEntry *ge : run)
+                        frRecord(FrRecordType::CommitAck,
+                                 hardened ? kFrFlagDurableClaim : 0, 0,
+                                 frCheckpointId32(), ge->txnSeq, marks);
+                }
             }
             break;
           }
           case GroupEntry::Kind::Prepare: {
             const TxnFrames txn = entryToTxn(*e);
             s = _wal->writePrepare(e->gtid, txn);
+            if (s.isOk())
+                // 2PC control frames flush eagerly: durable claim.
+                frRecord(FrRecordType::Prepare, kFrFlagDurableClaim, 0,
+                         frCheckpointId32(), e->gtid);
             ++i;
             break;
           }
           case GroupEntry::Kind::Decision:
             s = _wal->writeDecision(e->gtid, e->decisionCommit);
+            if (s.isOk())
+                frRecord(FrRecordType::Decision, kFrFlagDurableClaim,
+                         e->decisionCommit ? 1 : 0, frCheckpointId32(),
+                         e->gtid);
             ++i;
             break;
         }
@@ -556,6 +742,7 @@ Database::appendGroup(const std::vector<GroupEntry *> &batch)
     // hardened horizon may have moved, so retire what it covers.
     s = maybeHardenAsync();
     completePendingAcks();
+    frMaybeSnapshotCounters();
     return s;
 }
 
@@ -625,9 +812,22 @@ Database::maybeCheckpointAfterCommit()
     if (!_config.incrementalCheckpoint)
         return checkpoint();
     bool done = false;
+    const std::uint64_t ckpt_before =
+        _nvwalLog != nullptr ? _nvwalLog->checkpointId() : 0;
+    const CommitSeq hardened_before = _wal->hardenedSeq();
+    frRecord(FrRecordType::CheckpointStart, 0, 0,
+             static_cast<std::uint32_t>(ckpt_before),
+             _wal->framesSinceCheckpoint());
     const Status s =
         _wal->checkpointStep(_config.checkpointStepPages, &done);
     completePendingAcks();
+    if (s.isOk()) {
+        frNoteTruncation(ckpt_before);
+        if (_wal->hardenedSeq() != hardened_before)
+            frRecordHarden(FrHardenReason::Checkpoint);
+        frRecord(FrRecordType::CheckpointEnd, 0, done ? 1 : 0,
+                 frCheckpointId32(), _wal->framesSinceCheckpoint());
+    }
     return s;
 }
 
@@ -653,6 +853,7 @@ Database::commit(Durability durability)
         // bookkeeping).
         _env.clock.advance(_env.cost.cpuTxnNs);
         have_entry = collectDirtyFrames(&entry);
+        entry.txnSeq = _txnSeq;
     }
 
     if (have_entry) {
@@ -813,6 +1014,7 @@ Database::commitFromConnection(std::unique_lock<std::mutex> *writer_lock,
         commit_begin = _env.clock.now();
         _env.clock.advance(_env.cost.cpuTxnNs);
         have_entry = collectDirtyFrames(&entry);
+        entry.txnSeq = _txnSeq;
         // Publish to the shared cache now: the next writer overlaps
         // its transaction body with this batch's durability.
         if (have_entry)
@@ -879,6 +1081,7 @@ Database::prepareFromConnection(std::uint64_t gtid)
         // An empty frame set is fine: the PREPARE record alone still
         // makes this shard a voting participant.
         (void)collectDirtyFrames(&entry);
+        entry.txnSeq = _txnSeq;
     }
     // Unlike a commit, the writer lock is kept and the pages stay
     // dirty: the transaction remains open (invisible, undecided)
@@ -949,6 +1152,8 @@ Database::resolvePreparedTxn(std::uint64_t gtid, bool commit)
         return Status::busy(
             "cannot resolve an in-doubt txn inside a transaction");
     NVWAL_RETURN_IF_ERROR(_wal->resolveInDoubt(gtid, commit));
+    frRecord(FrRecordType::Decision, kFrFlagDurableClaim, commit ? 1 : 0,
+             frCheckpointId32(), gtid);
     if (commit) {
         // Frames that were invisible through recovery just became
         // committed; resynchronize the pager with the log so reads
@@ -1064,10 +1269,23 @@ Database::checkpoint()
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
+    const std::uint64_t ckpt_before =
+        _nvwalLog != nullptr ? _nvwalLog->checkpointId() : 0;
+    const CommitSeq hardened_before = _wal->hardenedSeq();
+    frRecord(FrRecordType::CheckpointStart, 0, 1,
+             static_cast<std::uint32_t>(ckpt_before),
+             _wal->framesSinceCheckpoint());
     const Status s = _wal->checkpoint();
     // A checkpoint hardens pending async appends before write-back;
     // retire the epochs that covered.
     completePendingAcks();
+    if (s.isOk()) {
+        frNoteTruncation(ckpt_before);
+        if (_wal->hardenedSeq() != hardened_before)
+            frRecordHarden(FrHardenReason::Checkpoint);
+        frRecord(FrRecordType::CheckpointEnd, 0, 1, frCheckpointId32(),
+                 _wal->framesSinceCheckpoint());
+    }
     return s;
 }
 
@@ -1077,9 +1295,22 @@ Database::checkpointStep(std::uint32_t max_pages, bool *done)
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
+    const std::uint64_t ckpt_before =
+        _nvwalLog != nullptr ? _nvwalLog->checkpointId() : 0;
+    const CommitSeq hardened_before = _wal->hardenedSeq();
+    frRecord(FrRecordType::CheckpointStart, 0, 0,
+             static_cast<std::uint32_t>(ckpt_before),
+             _wal->framesSinceCheckpoint());
     const Status s = _wal->checkpointStep(
         max_pages != 0 ? max_pages : _config.checkpointStepPages, done);
     completePendingAcks();
+    if (s.isOk()) {
+        frNoteTruncation(ckpt_before);
+        if (_wal->hardenedSeq() != hardened_before)
+            frRecordHarden(FrHardenReason::Checkpoint);
+        frRecord(FrRecordType::CheckpointEnd, 0, *done ? 1 : 0,
+                 frCheckpointId32(), _wal->framesSinceCheckpoint());
+    }
     return s;
 }
 
@@ -1148,17 +1379,18 @@ Database::completePendingAcks()
 Status
 Database::maybeHardenAsync()
 {
-    bool over = false;
+    bool over_epochs = false;
+    bool over_age = false;
     {
         std::lock_guard<std::mutex> a(_asyncMutex);
         if (_asyncEpochs.empty())
             return Status::ok();
-        over = _asyncEpochs.size() > _config.asyncMaxEpochs ||
-               (_config.asyncMaxStalenessNs != 0 &&
-                _env.clock.now() - _asyncEpochs.front().issuedNs >=
-                    _config.asyncMaxStalenessNs);
+        over_epochs = _asyncEpochs.size() > _config.asyncMaxEpochs;
+        over_age = _config.asyncMaxStalenessNs != 0 &&
+                   _env.clock.now() - _asyncEpochs.front().issuedNs >=
+                       _config.asyncMaxStalenessNs;
     }
-    if (!over)
+    if (!over_epochs && !over_age)
         return Status::ok();
     if (_config.backgroundDurability) {
         kickDurability();
@@ -1166,6 +1398,8 @@ Database::maybeHardenAsync()
     }
     NVWAL_RETURN_IF_ERROR(_wal->harden());
     completePendingAcks();
+    frRecordHarden(over_epochs ? FrHardenReason::WindowEpochs
+                               : FrHardenReason::WindowStaleness);
     return Status::ok();
 }
 
@@ -1174,8 +1408,11 @@ Database::flushAsyncCommits()
 {
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     NVWAL_RETURN_IF_ERROR(_poisoned);
+    const CommitSeq hardened_before = _wal->hardenedSeq();
     NVWAL_RETURN_IF_ERROR(_wal->harden());
     completePendingAcks();
+    if (_wal->hardenedSeq() != hardened_before)
+        frRecordHarden(FrHardenReason::Explicit);
     return Status::ok();
 }
 
@@ -1248,8 +1485,11 @@ Database::durabilityMain()
         if (pending) {
             std::lock_guard<std::recursive_mutex> eng(_engineMutex);
             if (_poisoned.isOk()) {
+                const CommitSeq hardened_before = _wal->hardenedSeq();
                 (void)_wal->harden();
                 completePendingAcks();
+                if (_wal->hardenedSeq() != hardened_before)
+                    frRecordHarden(FrHardenReason::Background);
             }
         }
         l.lock();
@@ -1305,12 +1545,21 @@ Database::checkpointerMain()
                 std::lock_guard<std::recursive_mutex> eng(_engineMutex);
                 if (_inTxn || _wal->framesSinceCheckpoint() == 0)
                     break;
+                const std::uint64_t ckpt_before =
+                    _nvwalLog != nullptr ? _nvwalLog->checkpointId() : 0;
+                frRecord(FrRecordType::CheckpointStart, 0, 0,
+                         static_cast<std::uint32_t>(ckpt_before),
+                         _wal->framesSinceCheckpoint());
                 const Status s = _wal->checkpointStep(
                     _config.checkpointStepPages, &done);
                 _env.stats.add(stats::kCheckpointerSteps);
                 completePendingAcks();
                 if (!s.isOk())
                     break;
+                frNoteTruncation(ckpt_before);
+                frRecord(FrRecordType::CheckpointEnd, 0, done ? 1 : 0,
+                         frCheckpointId32(),
+                         _wal->framesSinceCheckpoint());
             }
             std::lock_guard<std::mutex> g(_ckptMutex);
             if (_ckptStop)

@@ -47,6 +47,7 @@
 #include "btree/btree.hpp"
 #include "core/nvwal_log.hpp"
 #include "db/env.hpp"
+#include "db/flight_recorder.hpp"
 #include "pager/pager.hpp"
 #include "wal/file_wal.hpp"
 #include "wal/rollback_journal.hpp"
@@ -153,6 +154,30 @@ struct DbConfig
      * hold in flight, so it is refused while this is set.
      */
     bool shardMember = false;
+    /**
+     * NVRAM flight recorder (DESIGN.md §12): a persistent telemetry
+     * ring next to the WAL, appended with plain stores only (zero
+     * flushes/barriers on every commit path) and parsed into a
+     * RecoveryReport on open. Only effective with WalMode::Nvwal;
+     * silently off when the heap has no namespace slot left.
+     */
+    bool flightRecorder = true;
+    /** Ring capacity in 40-byte records (clamped to >= 16). */
+    std::uint32_t frRingRecords = 512;
+    /**
+     * Sample the counter set below into CounterSnapshot records every
+     * N committed group batches. 0 disables sampling.
+     */
+    std::uint32_t frSnapshotEveryBatches = 64;
+    /**
+     * Counters sampled by the periodic snapshot. Empty picks a small
+     * default set; every name must resolve via frCounterNameForHash
+     * to decode symbolically in forensics output.
+     */
+    std::vector<std::string> frSnapshotCounters;
+    /** Shard ordinal stamped into the ring header (set by the shard
+     *  layer together with shardMember). */
+    std::uint32_t frShard = 0;
 };
 
 /**
@@ -368,6 +393,24 @@ class Database
     void holdWalForTwoPhase();
     void releaseWalTwoPhaseHold();
 
+    // ---- crash forensics (DESIGN.md §12) ----------------------------
+
+    /**
+     * Post-mortem built on open from the flight-recorder ring that
+     * survived in NVRAM, cross-checked against the recovered WAL.
+     * Immutable for the handle's lifetime. recorderEnabled is false
+     * when the recorder is off (config or non-NVWAL mode).
+     */
+    const RecoveryReport &recoveryReport() const { return _recoveryReport; }
+
+    /**
+     * Flush + persist the recorder ring now (engine-locked). Tests
+     * and tools only: commit/checkpoint paths never publish, so the
+     * recorder provably adds zero barriers and zero flush syscalls
+     * to every measured path.
+     */
+    Status publishFlightRecorder();
+
     // ---- introspection ----------------------------------------------
 
     WriteAheadLog &wal() { return *_wal; }
@@ -425,6 +468,8 @@ class Database
         bool async = false;
         /** Out: epoch assigned to an async entry by the leader. */
         std::uint64_t epoch = 0;
+        /** Transaction sequence at begin (flight-recorder ack id). */
+        std::uint64_t txnSeq = 0;
         std::vector<Frame> frames;
         std::uint32_t dbSizePages = 0;
         /**
@@ -496,6 +541,29 @@ class Database
     /** Post-commit auto-checkpoint (inline or checkpointer wakeup). */
     Status maybeCheckpointAfterCommit();
 
+    // ---- flight recorder (DESIGN.md §12) ----------------------------
+
+    /**
+     * Append one ring record if the recorder is live. Caller holds
+     * the engine lock (every call site does); plain stores only.
+     */
+    void frRecord(FrRecordType type, std::uint8_t flags,
+                  std::uint16_t a16, std::uint32_t a32, std::uint64_t a64,
+                  std::uint64_t b64 = 0);
+    /** Checkpoint round id truncated for record stamping (0 for
+     *  non-NVWAL logs, which never carry durable-claim records). */
+    std::uint32_t frCheckpointId32() const;
+    /** Record a completed harden: marks + newest hardened epoch. */
+    void frRecordHarden(FrHardenReason reason);
+    /** Record truncation if the WAL's checkpoint round advanced past
+     *  @p ckpt_before, and rebase the marks-since-checkpoint count. */
+    void frNoteTruncation(std::uint64_t ckpt_before);
+    /** Periodic counter sampling, every frSnapshotEveryBatches. */
+    void frMaybeSnapshotCounters();
+    /** Create/attach the ring and build _recoveryReport (open path,
+     *  after WAL recovery; @p stats_before spans _wal->recover()). */
+    void frOpenAndBuildReport(const StatsSnapshot &stats_before);
+
     // ---- durability-epoch pipeline (DESIGN.md §11) ------------------
 
     /**
@@ -561,6 +629,22 @@ class Database
     std::unique_ptr<DbFile> _dbFile;
     std::unique_ptr<Pager> _pager;
     std::unique_ptr<WriteAheadLog> _wal;
+    /** Non-null when _wal is the NVRAM log (checkpointId access). */
+    NvwalLog *_nvwalLog = nullptr;
+
+    // ---- flight recorder (DESIGN.md §12) ----------------------------
+
+    std::unique_ptr<FlightRecorder> _flightRecorder;
+    RecoveryReport _recoveryReport;
+    /**
+     * WAL commitSeq at the last observed truncation. Recovered
+     * commit sequences restart at marks-since-checkpoint, so
+     * `commitSeq - _frMarksBase` is the media-absolute "commit marks
+     * since the current checkpoint round" every durable-claim record
+     * carries. Guarded by the engine lock.
+     */
+    std::uint64_t _frMarksBase = 0;
+    std::uint32_t _frBatchesSinceSnapshot = 0;
     /** Catalog tree at the primary root (page 2): id -> entry. */
     std::unique_ptr<BTree> _catalog;
     std::map<std::string, std::unique_ptr<Table>> _tables;

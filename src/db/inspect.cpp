@@ -300,7 +300,7 @@ printCounters(const MetricsRegistry &stats, std::FILE *out)
 void
 printHistograms(const MetricsRegistry &stats, std::FILE *out)
 {
-    for (const auto &[name, hist] : stats.histograms()) {
+    for (const auto &[name, hist] : stats.histogramsSnapshot()) {
         if (hist.count() == 0)
             continue;
         std::fprintf(out,

@@ -168,6 +168,23 @@ mixSeed(std::uint64_t seed, std::uint64_t point)
 }
 
 /**
+ * Blocks of the flight-recorder ring under @p wal_namespace: InUse
+ * but deliberately not reachable from the log's persistent structure,
+ * so the leak invariant must account for them separately.
+ */
+std::uint64_t
+recorderBlocks(const NvHeap &heap, const std::string &wal_namespace)
+{
+    NvOffset root = kNullNvOffset;
+    if (!heap.getRoot(FlightRecorder::namespaceFor(wal_namespace), &root)
+             .isOk())
+        return 0;
+    if (heap.blockStateAt(root) != BlockState::InUse)
+        return 0;
+    return heap.extentBlocksAt(root);
+}
+
+/**
  * Check every post-recovery invariant; returns an empty string when
  * all hold, else the first violation's description.
  *
@@ -240,13 +257,15 @@ checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
             return "node accounting skew: nodesSinceCheckpoint=" +
                    std::to_string(log->nodesSinceCheckpoint()) +
                    " nodeCount=" + std::to_string(log->nodeCount());
-        const std::uint64_t reachable = log->reachableNvramBlocks();
+        const std::uint64_t reachable =
+            log->reachableNvramBlocks() +
+            recorderBlocks(env.heap, db.config().nvwal.heapNamespace);
         const std::uint64_t in_use =
             env.heap.countBlocks(BlockState::InUse);
         if (reachable != in_use)
             return "NVRAM block leak: " + std::to_string(in_use) +
                    " in use, " + std::to_string(reachable) +
-                   " reachable from the log";
+                   " reachable from the log or the flight recorder";
     }
     return std::string();
 }
@@ -280,6 +299,14 @@ SweepReport::summary() const
                std::to_string(tornFramesDetected) + " torn frame(s), " +
                std::to_string(framesDiscarded) + " discarded, " +
                std::to_string(lostMarks) + " lost mark(s)\n";
+    }
+    if (forensicsChecked > 0) {
+        out += "  forensics: " + std::to_string(forensicsChecked) +
+               " reports checked, " +
+               std::to_string(frRecordsSurvived) +
+               " ring records survived, " +
+               std::to_string(frTornSlotsDiscarded) +
+               " torn slot(s) discarded\n";
     }
     for (const auto &[label, cov] : phases) {
         out += "  " + label + ": " + std::to_string(cov.points) +
@@ -511,6 +538,12 @@ CrashSweep::run(SweepReport *report)
                 // leaf state, never the (dead) media. Under pure
                 // ChecksumAsync even "sync" commits are probabilistic,
                 // so the floor degenerates to 0 there.
+                // Pre-crash oracle for the forensics cross-check:
+                // the newest epoch whose barrier had completed. The
+                // epoch sequencer is per-incarnation, so this is only
+                // comparable when the recovered report's slice is.
+                const std::uint64_t hardened_epoch_before =
+                    db->hardenedEpoch();
                 const std::uint64_t pending_acks = db->asyncAcksPending();
                 std::uint64_t floor_events = 0;
                 if (!cs_mode)
@@ -540,6 +573,39 @@ CrashSweep::run(SweepReport *report)
                     disc0;
                 report->lostMarks +=
                     env.stats.get(stats::kWalRecoveryLostMarks) - lost0;
+
+                // Forensics: at EVERY crash point the post-mortem must
+                // be parseable and consistent with the recovered WAL
+                // and the pre-crash shadow state. Durable-claim
+                // cross-checks live in buildRecoveryReport (any entry
+                // in inconsistencies is a recovery bug); the epoch
+                // ceiling is checked against the pre-crash oracle.
+                const RecoveryReport &forensics = db->recoveryReport();
+                if (forensics.recorderEnabled) {
+                    report->forensicsChecked++;
+                    report->frRecordsSurvived +=
+                        forensics.recording.validRecords;
+                    report->frTornSlotsDiscarded +=
+                        forensics.recording.tornSlots;
+                    if (!forensics.parsed) {
+                        violation("forensics: surviving ring failed "
+                                  "to parse");
+                    } else {
+                        for (const std::string &msg :
+                             forensics.inconsistencies)
+                            violation("forensics inconsistency: " + msg);
+                        if (forensics.incarnationKnown &&
+                            forensics.lastDurableEpoch >
+                                hardened_epoch_before)
+                            violation(
+                                "forensics: last durable epoch " +
+                                std::to_string(
+                                    forensics.lastDurableEpoch) +
+                                " exceeds the pre-crash hardened "
+                                "epoch " +
+                                std::to_string(hardened_epoch_before));
+                    }
+                }
 
                 std::uint64_t matched_state = done_events;
                 std::string message = checkInvariants(

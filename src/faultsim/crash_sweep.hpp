@@ -134,6 +134,13 @@ struct SweepReport
     /** Worst observed loss: max commit events below done_events that
      *  a recovered prefix rolled back (always within the window). */
     std::uint64_t maxLossEvents = 0;
+    // ---- flight-recorder forensics audit ----------------------------
+    /** Replays whose recovery produced a recorder-backed report. */
+    std::uint64_t forensicsChecked = 0;
+    /** Checksum-valid ring records surviving, summed over replays. */
+    std::uint64_t frRecordsSurvived = 0;
+    /** Torn ring slots discarded by checksum, summed over replays. */
+    std::uint64_t frTornSlotsDiscarded = 0;
     std::vector<Violation> violations;
     /** Keyed by workload phase label, in workload order. */
     std::vector<std::pair<std::string, PhaseCoverage>> phases;

@@ -46,6 +46,22 @@ mixSeed(std::uint64_t seed, std::uint64_t point)
     return seed + 0x9e3779b97f4a7c15ULL * (point + 1);
 }
 
+/** Heap blocks held by one shard's flight-recorder ring (0 when the
+ *  recorder namespace was never bound). The ring is reachable from
+ *  its own heap root, not from the log, so the leak check must
+ *  account for it separately. */
+std::uint64_t
+recorderBlocks(const NvHeap &heap, const std::string &wal_namespace)
+{
+    NvOffset root = kNullNvOffset;
+    if (!heap.getRoot(FlightRecorder::namespaceFor(wal_namespace), &root)
+             .isOk())
+        return 0;
+    if (heap.blockStateAt(root) != BlockState::InUse)
+        return 0;
+    return heap.extentBlocksAt(root);
+}
+
 /**
  * Post-recovery invariants over the whole shard set; empty string
  * when all hold, else the first violation's description.
@@ -116,12 +132,14 @@ checkShardInvariants(Env &env, ShardedDatabase &db,
                    std::to_string(log->nodesSinceCheckpoint()) +
                    " nodeCount=" + std::to_string(log->nodeCount());
         reachable += log->reachableNvramBlocks();
+        reachable += recorderBlocks(
+            env.heap, db.shard(k).config().nvwal.heapNamespace);
     }
     const std::uint64_t in_use = env.heap.countBlocks(BlockState::InUse);
     if (reachable != in_use)
         return "NVRAM block leak: " + std::to_string(in_use) +
                " in use, " + std::to_string(reachable) +
-               " reachable from the shard logs";
+               " reachable from the shard logs or flight recorders";
     return std::string();
 }
 
@@ -137,6 +155,13 @@ ShardSweepReport::summary() const
            std::to_string(crashes) + " crashes, " +
            std::to_string(indoubtResolved) + " in-doubt resolved, " +
            std::to_string(violations.size()) + " violations\n";
+    out += "  forensics: " + std::to_string(forensicsChecked) +
+           " shard reports checked, " +
+           std::to_string(frRecordsSurvived) + " ring records survived, " +
+           std::to_string(frTornSlotsDiscarded) +
+           " torn slot(s) discarded, " +
+           std::to_string(forensicsGtidChecks) +
+           " in-doubt outcome(s) cross-checked\n";
     for (const Violation &v : violations) {
         out += "  VIOLATION op " + std::to_string(v.opIndex) + " [" +
                failurePolicyName(v.policy) + " seed " +
@@ -327,6 +352,14 @@ ShardCrashSweep::run(ShardSweepReport *report)
                 }
                 report->crashes++;
 
+                // Epoch ceiling per shard, read from the crashed
+                // handles BEFORE recovery resets them: no surviving
+                // ring record may claim a durable epoch beyond what
+                // its shard had actually hardened.
+                std::vector<std::uint64_t> hardened_before;
+                for (std::uint32_t k = 0; k < db->shardCount(); ++k)
+                    hardened_before.push_back(db->shard(k).hardenedEpoch());
+
                 const Status recovered = ShardedDatabase::recoverAfterCrash(
                     env, _config.shard, &db);
                 if (!recovered.isOk()) {
@@ -334,6 +367,64 @@ ShardCrashSweep::run(ShardSweepReport *report)
                     continue;
                 }
                 report->indoubtResolved += db->resolutions().size();
+
+                // ---- flight-recorder forensics audit -------------
+                // Every swept crash point must yield a parseable,
+                // internally consistent post-mortem on every shard.
+                for (std::uint32_t k = 0; k < db->shardCount(); ++k) {
+                    const RecoveryReport &fr = db->shardRecoveryReport(k);
+                    if (!fr.recorderEnabled)
+                        continue;
+                    report->forensicsChecked++;
+                    if (!fr.parsed) {
+                        violation("shard " + std::to_string(k) +
+                                  " flight-recorder ring failed to "
+                                  "parse after crash");
+                        continue;
+                    }
+                    report->frRecordsSurvived += fr.recording.validRecords;
+                    report->frTornSlotsDiscarded += fr.recording.tornSlots;
+                    for (const std::string &problem : fr.inconsistencies)
+                        violation("shard " + std::to_string(k) +
+                                  " forensics inconsistency: " + problem);
+                    if (fr.incarnationKnown &&
+                        fr.lastDurableEpoch > hardened_before[k])
+                        violation(
+                            "shard " + std::to_string(k) +
+                            " forensics claims durable epoch " +
+                            std::to_string(fr.lastDurableEpoch) +
+                            " but only " +
+                            std::to_string(hardened_before[k]) +
+                            " was hardened before the crash");
+                }
+                // Cross-check recovery's in-doubt outcomes against
+                // the merged gtid timeline: a surviving commit
+                // decision record (a durable claim) forces commit;
+                // abort-only decisions forbid it.
+                const std::vector<GtidTimeline> timeline =
+                    db->forensicsTimeline();
+                for (const InDoubtResolution &res : db->resolutions()) {
+                    const auto it = std::find_if(
+                        timeline.begin(), timeline.end(),
+                        [&](const GtidTimeline &t) {
+                            return t.gtid == res.gtid;
+                        });
+                    if (it == timeline.end())
+                        continue;
+                    report->forensicsGtidChecks++;
+                    if (!it->committedShards.empty() && !res.committed)
+                        violation(
+                            "gtid " + std::to_string(res.gtid) +
+                            ": ring shows a durable commit decision "
+                            "but recovery aborted it");
+                    if (it->committedShards.empty() &&
+                        !it->abortedShards.empty() && res.committed)
+                        violation(
+                            "gtid " + std::to_string(res.gtid) +
+                            ": ring shows only abort decisions but "
+                            "recovery committed it");
+                }
+
                 std::string message = checkShardInvariants(
                     env, *db, states, done_events, in_commit_event);
                 if (message.empty() && _config.probeInsertAfterRecovery) {

@@ -96,6 +96,16 @@ struct ShardSweepReport
     /** In-doubt transactions recovery had to resolve, summed over
      *  every replay (> 0 proves the sweep exercised the 2PC window). */
     std::uint64_t indoubtResolved = 0;
+    // ---- flight-recorder forensics audit ----------------------------
+    /** Per-shard forensics reports checked, summed over replays. */
+    std::uint64_t forensicsChecked = 0;
+    /** Checksum-valid ring records surviving, summed over replays. */
+    std::uint64_t frRecordsSurvived = 0;
+    /** Torn ring slots discarded by checksum, summed over replays. */
+    std::uint64_t frTornSlotsDiscarded = 0;
+    /** In-doubt resolutions cross-checked against the merged
+     *  gtid-keyed ring timeline, summed over replays. */
+    std::uint64_t forensicsGtidChecks = 0;
     std::vector<Violation> violations;
 
     bool ok() const { return violations.empty(); }

@@ -19,13 +19,13 @@ metricsJson(const MetricsRegistry &metrics)
 
     w.key("gauges");
     w.beginObject();
-    for (const auto &[name, value] : metrics.gauges())
+    for (const auto &[name, value] : metrics.gaugesSnapshot())
         w.member(name, value);
     w.endObject();
 
     w.key("histograms");
     w.beginObject();
-    for (const auto &[name, hist] : metrics.histograms()) {
+    for (const auto &[name, hist] : metrics.histogramsSnapshot()) {
         if (hist.count() == 0)
             continue;
         w.key(name);

@@ -13,9 +13,11 @@
  * engine shares one platform registry (Env::stats) across shards
  * whose engine locks are independent. Per-database registries still
  * see every mutation under that database's engine lock, so the mutex
- * is uncontended there. The const-reference accessors histograms()
- * and gauges() expose the maps without a lock and require the
- * registry to be quiescent (export paths only).
+ * is uncontended there. Export paths read through the by-value
+ * snapshot accessors (snapshot(), histogramsSnapshot(),
+ * gaugesSnapshot()), which copy under the registry mutex and are
+ * therefore safe while background threads are actively recording —
+ * there is no quiescence requirement anywhere in the export API.
  *
  * Reference stability contract: `histogram(name)` returns a reference
  * that stays valid for the registry's lifetime — components cache it
@@ -63,11 +65,26 @@ class MetricsRegistry
         return it == _counters.end() ? 0 : it->second;
     }
 
-    /** Copy of every counter. */
+    /**
+     * Copy of every counter. When the tracer ring has wrapped the
+     * result also carries the derived counter "trace.events_dropped"
+     * (stats::kTraceEventsDropped — the literal is repeated here
+     * because stats.hpp includes this header), so ring overflow is
+     * visible in every metrics export without a tracer query. The
+     * key is omitted while zero to keep exact-counter expectations
+     * in existing tests and deltas untouched.
+     */
     StatsSnapshot snapshot() const
     {
-        std::lock_guard<std::mutex> g(_mu);
-        return _counters;
+        StatsSnapshot out;
+        {
+            std::lock_guard<std::mutex> g(_mu);
+            out = _counters;
+        }
+        const std::uint64_t dropped = _tracer.dropped();
+        if (dropped > 0)
+            out["trace.events_dropped"] = dropped;
+        return out;
     }
 
     /**
@@ -123,8 +140,18 @@ class MetricsRegistry
         histogram(name).record(ns);
     }
 
-    const std::map<std::string, Histogram> &histograms() const
+    /**
+     * Copy of every histogram, taken under the registry mutex (each
+     * Histogram's copy constructor locks that histogram in turn), so
+     * exporting is safe mid-recording. Replaces the former unlocked
+     * const-reference accessor, which silently required a quiescent
+     * registry — a contract the background checkpointer and
+     * durability threads violate.
+     */
+    std::map<std::string, Histogram>
+    histogramsSnapshot() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         return _histograms;
     }
 
@@ -146,8 +173,11 @@ class MetricsRegistry
         return it == _gauges.end() ? 0 : it->second;
     }
 
-    const std::map<std::string, std::uint64_t> &gauges() const
+    /** Copy of every gauge, taken under the registry mutex. */
+    std::map<std::string, std::uint64_t>
+    gaugesSnapshot() const
     {
+        std::lock_guard<std::mutex> g(_mu);
         return _gauges;
     }
 

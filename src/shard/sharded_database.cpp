@@ -82,6 +82,7 @@ ShardedDatabase::open(Env &env, ShardConfig config,
         member.name = shardDbName(db->_config, k);
         member.nvwal.heapNamespace = shardHeapNamespace(k);
         member.shardMember = true;
+        member.frShard = k;
         std::unique_ptr<Database> shard;
         NVWAL_RETURN_IF_ERROR(Database::open(env, member, &shard));
         db->_shards.push_back(std::move(shard));
@@ -144,6 +145,18 @@ ShardedDatabase::resolveInDoubt()
         }
     }
     return Status::ok();
+}
+
+std::vector<GtidTimeline>
+ShardedDatabase::forensicsTimeline() const
+{
+    std::vector<const FlightRecording *> rings;
+    for (const auto &shard : _shards) {
+        const RecoveryReport &report = shard->recoveryReport();
+        if (report.recorderEnabled && report.parsed)
+            rings.push_back(&report.recording);
+    }
+    return buildCrossShardTimeline(rings);
 }
 
 Status

@@ -137,6 +137,20 @@ class ShardedDatabase
     const std::vector<InDoubtResolution> &resolutions() const
     { return _resolutions; }
 
+    // ---- crash forensics (DESIGN.md §12) ----------------------------
+
+    /** Shard @p k's post-mortem (see Database::recoveryReport()). */
+    const RecoveryReport &shardRecoveryReport(std::uint32_t k) const
+    { return _shards[k]->recoveryReport(); }
+
+    /**
+     * Merged cross-shard 2PC timeline keyed by gtid, built from every
+     * shard's surviving flight-recorder ring: which shards' PREPAREs
+     * and which decisions survived the crash. Empty when the
+     * recorders are off.
+     */
+    std::vector<GtidTimeline> forensicsTimeline() const;
+
     // ---- maintenance ------------------------------------------------
 
     /** Checkpoint every shard (write-back + log truncation). */

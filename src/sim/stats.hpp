@@ -88,6 +88,20 @@ inline constexpr const char *kWalRecoveryFramesDiscarded =
 inline constexpr const char *kWalRecoveryLostMarks =
     "wal.recovery_lost_marks";
 
+// NVRAM flight recorder (DESIGN.md §12, docs/OBSERVABILITY.md §7).
+// Records appended to the persistent telemetry ring, slots whose
+// checksum failed at the recovery-time parse (torn plain-store tails,
+// discarded like §3.2 commit marks), and full laps of the ring.
+inline constexpr const char *kFrRecordsWritten = "fr.records_written";
+inline constexpr const char *kFrRecordsTornDiscarded =
+    "fr.records_torn_discarded";
+inline constexpr const char *kFrRingWraps = "fr.ring_wraps";
+
+// Trace events overwritten because the Tracer ring wrapped. The name
+// literal is owned by obs/metrics.hpp (the registry merges the value
+// into snapshot() and cannot include this header); keep both in sync.
+inline constexpr const char *kTraceEventsDropped = "trace.events_dropped";
+
 // Gauges (sampled values, not monotonic).
 inline constexpr const char *kGaugeOpenConnections = "db.open_connections";
 inline constexpr const char *kGaugeAsyncAcksPending =

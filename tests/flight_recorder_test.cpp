@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Tests for the NVRAM flight recorder and the crash-forensics pass
+ * (DESIGN.md §12): ring survival and torn-slot scrubbing across
+ * power failures, the zero-cost contract (recorder on/off must issue
+ * identical persist barriers and flush syscalls), the recovery
+ * report's durable-claim cross-checks, the merged cross-shard 2PC
+ * timeline, and the sweep-level forensics audit.
+ */
+
+#include <gtest/gtest.h>
+
+#include "db/database.hpp"
+#include "faultsim/crash_sweep.hpp"
+#include "test_util.hpp"
+
+namespace nvwal
+{
+namespace
+{
+
+EnvConfig
+makeEnvConfig()
+{
+    EnvConfig c;
+    c.cost = CostModel::tuna(500);
+    return c;
+}
+
+DbConfig
+nvwalConfig()
+{
+    DbConfig config;
+    config.walMode = WalMode::Nvwal;
+    return config;
+}
+
+/** Count ring records of one type in a recording. */
+std::uint64_t
+countType(const FlightRecording &rec, FrRecordType type)
+{
+    std::uint64_t n = 0;
+    for (const FrRecord &r : rec.records)
+        if (r.type == static_cast<std::uint8_t>(type))
+            ++n;
+    return n;
+}
+
+// ---- ring survival across power failures ---------------------------
+
+TEST(FlightRecorder, PublishedRecordsSurviveAPessimisticCrash)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 10; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(64, k)));
+    // The engine never flushes the ring; a test-driven durable cut.
+    NVWAL_CHECK_OK(db->publishFlightRecorder());
+    db.reset();
+    env.powerFail(FailurePolicy::Pessimistic);
+
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const RecoveryReport &report = db->recoveryReport();
+    ASSERT_TRUE(report.recorderEnabled);
+    ASSERT_TRUE(report.parsed);
+    EXPECT_TRUE(report.inconsistencies.empty())
+        << report.inconsistencies.front();
+    EXPECT_GT(report.recording.validRecords, 0u);
+    EXPECT_GT(countType(report.recording, FrRecordType::CommitAck), 0u);
+    EXPECT_GT(countType(report.recording, FrRecordType::TxnBegin), 0u);
+    // The published incarnation's RecorderOpen record survived, so
+    // the boundary-derived fields are meaningful. Txn #1 is open's
+    // catalog-init commit; the 10 inserts are #2..#11.
+    EXPECT_TRUE(report.incarnationKnown);
+    EXPECT_EQ(report.lastAckedTxn, 11u);
+    EXPECT_TRUE(report.possiblyInFlight.empty());
+}
+
+TEST(FlightRecorder, UnpublishedRingDiesWithThePowerButDataDoesNot)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 5; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(64, k)));
+    db.reset();
+    // Plain stores only: the pessimistic policy drops every cached
+    // line, so the telemetry vanishes -- by design, it bought zero
+    // barriers -- while the WAL's committed data survives.
+    env.powerFail(FailurePolicy::Pessimistic);
+
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const RecoveryReport &report = db->recoveryReport();
+    ASSERT_TRUE(report.recorderEnabled);
+    ASSERT_TRUE(report.parsed);
+    EXPECT_EQ(report.recording.validRecords, 0u);
+    EXPECT_FALSE(report.incarnationKnown);
+    EXPECT_TRUE(report.inconsistencies.empty());
+    ByteBuffer out;
+    for (RowId k = 1; k <= 5; ++k)
+        NVWAL_CHECK_OK(db->get(k, &out));
+}
+
+TEST(FlightRecorder, CleanReopenSeesTheWholeRing)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 8; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(32, k)));
+    db.reset();
+
+    // No crash: the simulated NVRAM keeps its cached lines, so the
+    // un-flushed ring reads back complete.
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const RecoveryReport &report = db->recoveryReport();
+    ASSERT_TRUE(report.parsed);
+    // 8 inserts + the first open's catalog-init commit.
+    EXPECT_EQ(countType(report.recording, FrRecordType::CommitAck), 9u);
+    EXPECT_EQ(report.recording.tornSlots, 0u);
+    EXPECT_TRUE(report.incarnationKnown);
+    EXPECT_TRUE(report.inconsistencies.empty());
+}
+
+TEST(FlightRecorder, AdversarialCrashTearsSlotsButNeverTheReport)
+{
+    // Random line survival leaves half-written 40-byte records in
+    // the ring; every one must be checksum-discarded, never parsed
+    // into a bogus event, and never fail the open.
+    std::uint64_t total_torn = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+        EnvConfig env_config = makeEnvConfig();
+        env_config.seed = seed;
+        Env env(env_config);
+        DbConfig config = nvwalConfig();
+        std::unique_ptr<Database> db;
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        for (RowId k = 1; k <= 20; ++k)
+            NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(48, k)));
+        db.reset();
+        env.powerFail(FailurePolicy::Adversarial, 0.5);
+
+        NVWAL_CHECK_OK(Database::open(env, config, &db));
+        const RecoveryReport &report = db->recoveryReport();
+        ASSERT_TRUE(report.parsed);
+        EXPECT_TRUE(report.inconsistencies.empty())
+            << report.inconsistencies.front();
+        total_torn += report.recording.tornSlots;
+    }
+    EXPECT_GT(total_torn, 0u);
+}
+
+TEST(FlightRecorder, RingWrapsWithoutLosingTheTail)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    config.frRingRecords = FlightRecorder::kMinCapacity;  // 16 slots
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 40; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(32, k)));
+    db.reset();
+
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const RecoveryReport &report = db->recoveryReport();
+    ASSERT_TRUE(report.parsed);
+    EXPECT_GT(report.recording.wraps, 0u);
+    EXPECT_LE(report.recording.validRecords,
+              static_cast<std::uint64_t>(FlightRecorder::kMinCapacity));
+    // The newest ack is always among the survivors: the ring
+    // overwrites oldest-first.
+    std::uint64_t newest_ack = 0;
+    for (const FrRecord &r : report.recording.records)
+        if (r.type == static_cast<std::uint8_t>(FrRecordType::CommitAck))
+            newest_ack = std::max(newest_ack, r.a64);
+    EXPECT_EQ(newest_ack, 41u);  // catalog-init commit + 40 inserts
+    EXPECT_GT(env.stats.get(stats::kFrRingWraps), 0u);
+}
+
+TEST(FlightRecorder, DisabledRecorderIsInertAndUnsupported)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    config.flightRecorder = false;
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    NVWAL_CHECK_OK(db->insert(1, "v"));
+    EXPECT_FALSE(db->recoveryReport().recorderEnabled);
+    EXPECT_TRUE(db->publishFlightRecorder().isUnsupported());
+    EXPECT_EQ(env.stats.get(stats::kFrRecordsWritten), 0u);
+}
+
+TEST(FlightRecorder, OfflineCollectMatchesTheRecoveredRing)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 6; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(32, k)));
+    NVWAL_CHECK_OK(db->publishFlightRecorder());
+    db.reset();
+    env.powerFail(FailurePolicy::Pessimistic);
+
+    // The media walker decodes the same bytes the next open will.
+    FlightRecording offline;
+    NVWAL_CHECK_OK(FlightRecorder::collect(
+        env.heap, env.pmem, FlightRecorder::namespaceFor("nvwal"),
+        &offline));
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const FlightRecording &online = db->recoveryReport().recording;
+    EXPECT_EQ(offline.validRecords, online.validRecords);
+    EXPECT_EQ(offline.nextSeq, online.nextSeq);
+    EXPECT_EQ(offline.capacity, online.capacity);
+
+    EXPECT_TRUE(FlightRecorder::collect(env.heap, env.pmem, "no-such-ns",
+                                        &offline)
+                    .isNotFound());
+}
+
+// ---- record semantics ----------------------------------------------
+
+TEST(FlightRecorder, CounterSnapshotsCarryResolvableNames)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    config.frSnapshotEveryBatches = 1;  // sample after every batch
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 4; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(32, k)));
+    db.reset();
+
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const FlightRecording &rec = db->recoveryReport().recording;
+    const std::uint64_t snapshots =
+        countType(rec, FrRecordType::CounterSnapshot);
+    ASSERT_GT(snapshots, 0u);
+    for (const FrRecord &r : rec.records) {
+        if (r.type !=
+            static_cast<std::uint8_t>(FrRecordType::CounterSnapshot))
+            continue;
+        EXPECT_NE(frCounterNameForHash(r.a32), nullptr)
+            << "unresolvable counter hash in snapshot record";
+    }
+    EXPECT_EQ(frCounterNameForHash(frCounterNameHash(
+                  stats::kPersistBarriers)),
+              std::string(stats::kPersistBarriers));
+}
+
+TEST(FlightRecorder, CheckpointRecordsBracketTheRound)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    for (RowId k = 1; k <= 6; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(64, k)));
+    NVWAL_CHECK_OK(db->checkpoint());
+    db.reset();
+
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const FlightRecording &rec = db->recoveryReport().recording;
+    EXPECT_EQ(countType(rec, FrRecordType::CheckpointStart), 1u);
+    EXPECT_EQ(countType(rec, FrRecordType::CheckpointEnd), 1u);
+    EXPECT_EQ(countType(rec, FrRecordType::Truncation), 1u);
+    // The truncation record is a durable claim stamped after the
+    // round's barrier: new round in a32, marks truncated in a64.
+    for (const FrRecord &r : rec.records) {
+        if (r.type != static_cast<std::uint8_t>(FrRecordType::Truncation))
+            continue;
+        EXPECT_TRUE(r.durableClaim());
+        EXPECT_EQ(r.a32, 1u);
+        EXPECT_EQ(r.a64, 7u);  // catalog-init commit + 6 inserts
+    }
+}
+
+TEST(FlightRecorder, JsonReportCarriesTheDocumentedKeys)
+{
+    Env env(makeEnvConfig());
+    DbConfig config = nvwalConfig();
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    NVWAL_CHECK_OK(db->insert(1, "v"));
+    db.reset();
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+
+    const std::string doc = recoveryReportJson(db->recoveryReport());
+    for (const char *key :
+         {"\"forensics\"", "\"recorderEnabled\"", "\"ring\"",
+          "\"recovered\"", "\"incarnationKnown\"", "\"possiblyInFlight\"",
+          "\"stagedPrepares\"", "\"inconsistencies\"", "\"events\""})
+        EXPECT_NE(doc.find(key), std::string::npos) << key;
+}
+
+// ---- the zero-cost contract ----------------------------------------
+
+/**
+ * Persist barriers + flush syscalls one fixed workload issues,
+ * measured from after open: the ring's one-time creation persist
+ * (the only eager write the recorder ever does) stays out, every
+ * commit / checkpoint / harden path is in.
+ */
+void
+runWorkloadAndCount(DbConfig config, std::uint64_t *barriers,
+                    std::uint64_t *flushes)
+{
+    Env env(makeEnvConfig());
+    std::unique_ptr<Database> db;
+    NVWAL_CHECK_OK(Database::open(env, config, &db));
+    const std::uint64_t barriers_base =
+        env.stats.get(stats::kPersistBarriers);
+    const std::uint64_t flushes_base =
+        env.stats.get(stats::kFlushSyscalls);
+    for (RowId k = 1; k <= 30; ++k) {
+        NVWAL_CHECK_OK(db->begin());
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(96, k)));
+        NVWAL_CHECK_OK(db->insert(k + 1000, testutil::makeValue(96, k)));
+        NVWAL_CHECK_OK(db->commit());
+    }
+    NVWAL_CHECK_OK(db->checkpoint());
+    for (RowId k = 31; k <= 40; ++k)
+        NVWAL_CHECK_OK(db->insert(k, testutil::makeValue(96, k)));
+    db.reset();
+    *barriers = env.stats.get(stats::kPersistBarriers) - barriers_base;
+    *flushes = env.stats.get(stats::kFlushSyscalls) - flushes_base;
+}
+
+TEST(FlightRecorder, RecorderAddsZeroBarriersAndZeroFlushes)
+{
+    // The headline contract: telemetry rides existing ordering
+    // points. Identical workload, recorder on vs off, under every
+    // sync mode -- persist barriers and flush syscalls must match
+    // exactly, not approximately.
+    for (const SyncMode mode :
+         {SyncMode::Eager, SyncMode::Lazy, SyncMode::ChecksumAsync}) {
+        DbConfig on = nvwalConfig();
+        on.nvwal.syncMode = mode;
+        DbConfig off = on;
+        off.flightRecorder = false;
+        std::uint64_t barriers_on = 0, flushes_on = 0;
+        std::uint64_t barriers_off = 0, flushes_off = 0;
+        runWorkloadAndCount(on, &barriers_on, &flushes_on);
+        runWorkloadAndCount(off, &barriers_off, &flushes_off);
+        EXPECT_EQ(barriers_on, barriers_off)
+            << "sync mode " << static_cast<int>(mode);
+        EXPECT_EQ(flushes_on, flushes_off)
+            << "sync mode " << static_cast<int>(mode);
+    }
+}
+
+// ---- the cross-shard timeline --------------------------------------
+
+FlightRecording
+syntheticRing(std::uint32_t shard, std::vector<FrRecord> records)
+{
+    FlightRecording rec;
+    rec.present = true;
+    rec.shard = shard;
+    rec.records = std::move(records);
+    rec.validRecords = rec.records.size();
+    return rec;
+}
+
+FrRecord
+record2pc(FrRecordType type, std::uint64_t gtid, bool commit = false)
+{
+    FrRecord r;
+    r.type = static_cast<std::uint8_t>(type);
+    r.flags = kFrFlagDurableClaim;
+    r.a16 = commit ? 1 : 0;
+    r.a64 = gtid;
+    return r;
+}
+
+TEST(FlightRecorder, CrossShardTimelineMergesByGtid)
+{
+    const FlightRecording s0 = syntheticRing(
+        0, {record2pc(FrRecordType::Prepare, 7),
+            record2pc(FrRecordType::Decision, 7, /*commit=*/true)});
+    const FlightRecording s1 = syntheticRing(
+        1, {record2pc(FrRecordType::Prepare, 7),
+            record2pc(FrRecordType::Prepare, 9),
+            record2pc(FrRecordType::Decision, 9, /*commit=*/false)});
+
+    const std::vector<GtidTimeline> timeline =
+        buildCrossShardTimeline({&s0, &s1});
+    ASSERT_EQ(timeline.size(), 2u);
+    EXPECT_EQ(timeline[0].gtid, 7u);
+    EXPECT_EQ(timeline[0].preparedShards,
+              (std::vector<std::uint32_t>{0, 1}));
+    EXPECT_EQ(timeline[0].committedShards,
+              (std::vector<std::uint32_t>{0}));
+    EXPECT_TRUE(timeline[0].abortedShards.empty());
+    EXPECT_EQ(timeline[1].gtid, 9u);
+    EXPECT_EQ(timeline[1].preparedShards,
+              (std::vector<std::uint32_t>{1}));
+    EXPECT_EQ(timeline[1].abortedShards,
+              (std::vector<std::uint32_t>{1}));
+    EXPECT_TRUE(buildCrossShardTimeline({}).empty());
+}
+
+// ---- sweep-level forensics audit -----------------------------------
+
+TEST(FlightRecorderSweep, EveryCrashPointYieldsAConsistentReport)
+{
+    faultsim::SweepConfig config;
+    config.env.cost = CostModel::tuna(500);
+    config.env.nvramBytes = 8 << 20;
+    config.env.flashBlocks = 2048;
+    config.db.walMode = WalMode::Nvwal;
+    config.db.nvwal.nvBlockSize = 4096;
+    config.warmup = faultsim::Workload::standardTxns(0, 1);
+    config.workload = faultsim::Workload::standardTxns(1, 3);
+    config.policies.push_back(faultsim::PolicyRun{});  // pessimistic
+    config.policies.push_back(
+        faultsim::PolicyRun{FailurePolicy::Adversarial, {1, 2}, 0.5});
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    // The recorder is on by default: every replay's recovery built a
+    // report and the harness audited it.
+    EXPECT_EQ(report.forensicsChecked, report.replays);
+    // Adversarial replays keep random cached lines, so across the
+    // sweep some ring records survive and some slots tear.
+    EXPECT_GT(report.frRecordsSurvived, 0u);
+    EXPECT_GT(report.frTornSlotsDiscarded, 0u);
+}
+
+TEST(FlightRecorderSweep, RecorderOffSweepStillPasses)
+{
+    faultsim::SweepConfig config;
+    config.env.cost = CostModel::tuna(500);
+    config.env.nvramBytes = 8 << 20;
+    config.env.flashBlocks = 2048;
+    config.db.walMode = WalMode::Nvwal;
+    config.db.nvwal.nvBlockSize = 4096;
+    config.db.flightRecorder = false;
+    config.warmup = faultsim::Workload::standardTxns(0, 1);
+    config.workload = faultsim::Workload::standardTxns(1, 2);
+    config.policies.push_back(faultsim::PolicyRun{});
+
+    faultsim::SweepReport report;
+    NVWAL_CHECK_OK(faultsim::CrashSweep(config).run(&report));
+    EXPECT_TRUE(report.ok()) << report.summary();
+    EXPECT_EQ(report.forensicsChecked, 0u);
+    EXPECT_EQ(report.frRecordsSurvived, 0u);
+}
+
+} // namespace
+} // namespace nvwal
