@@ -136,7 +136,9 @@ runSingleWriter(int txns)
     std::unique_ptr<Database> db;
     NVWAL_CHECK_OK(Database::open(env, config, &db));
     std::unique_ptr<Connection> conn;
-    NVWAL_CHECK_OK(db->connect(&conn));
+    ConnectOptions auto_txn;
+    auto_txn.autoWriteTxn = true;
+    NVWAL_CHECK_OK(db->connect(auto_txn, &conn));
 
     Rng rng(12);
     LatencyResult r;
@@ -196,7 +198,9 @@ runWriters(int threads, int txns_per_thread)
     for (int t = 0; t < threads; ++t) {
         pool.emplace_back([&, t] {
             std::unique_ptr<Connection> conn;
-            if (!db->connect(&conn).isOk()) {
+            ConnectOptions auto_txn;
+            auto_txn.autoWriteTxn = true;
+            if (!db->connect(auto_txn, &conn).isOk()) {
                 failed.store(true);
                 return;
             }

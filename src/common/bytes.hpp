@@ -14,6 +14,7 @@
 #include <cstring>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace nvwal
@@ -27,6 +28,32 @@ using ConstByteSpan = std::span<const std::uint8_t>;
 
 /** Owned byte buffer. */
 using ByteBuffer = std::vector<std::uint8_t>;
+
+/**
+ * Borrowed value argument for statement APIs: one parameter type that
+ * accepts raw byte spans, string_views, std::string and C-string
+ * literals without the call sites choosing between duplicate
+ * overloads. Non-owning — the referenced bytes must outlive the call,
+ * same as a span parameter.
+ */
+struct ValueView
+{
+    ValueView(ConstByteSpan bytes) : _bytes(bytes) {}
+    ValueView(std::string_view s)
+        : _bytes(reinterpret_cast<const std::uint8_t *>(s.data()), s.size())
+    {}
+    ValueView(const std::string &s) : ValueView(std::string_view(s)) {}
+    ValueView(const char *s) : ValueView(std::string_view(s)) {}
+    ValueView(const ByteBuffer &b) : _bytes(b.data(), b.size()) {}
+
+    ConstByteSpan span() const { return _bytes; }
+    operator ConstByteSpan() const { return _bytes; }
+    const std::uint8_t *data() const { return _bytes.data(); }
+    std::size_t size() const { return _bytes.size(); }
+
+  private:
+    ConstByteSpan _bytes;
+};
 
 inline void
 storeU16(std::uint8_t *p, std::uint16_t v)

@@ -15,6 +15,7 @@ statusCodeName(StatusCode code)
       case StatusCode::InvalidArgument: return "invalid-argument";
       case StatusCode::IoError: return "io-error";
       case StatusCode::Unsupported: return "unsupported";
+      case StatusCode::Conflict: return "conflict";
     }
     return "unknown";
 }

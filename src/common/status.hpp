@@ -31,6 +31,7 @@ enum class StatusCode
     InvalidArgument,
     IoError,       //!< simulated device failure
     Unsupported,
+    Conflict,      //!< optimistic validation failed; retry the txn
 };
 
 /** Human-readable name for a status code. */
@@ -77,11 +78,15 @@ class Status
     static Status unsupported(std::string msg = "unsupported")
     { return error(StatusCode::Unsupported, std::move(msg)); }
 
+    static Status conflict(std::string msg = "write conflict")
+    { return error(StatusCode::Conflict, std::move(msg)); }
+
     bool isOk() const { return _code == StatusCode::Ok; }
     bool isNotFound() const { return _code == StatusCode::NotFound; }
     bool isCorruption() const { return _code == StatusCode::Corruption; }
     bool isBusy() const { return _code == StatusCode::Busy; }
     bool isUnsupported() const { return _code == StatusCode::Unsupported; }
+    bool isConflict() const { return _code == StatusCode::Conflict; }
 
     StatusCode code() const { return _code; }
     const std::string &message() const { return _message; }

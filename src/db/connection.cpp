@@ -5,8 +5,10 @@
 namespace nvwal
 {
 
-Connection::Connection(Database &db)
-    : _db(db), _writerLock(db._writerMutex, std::defer_lock)
+Connection::Connection(Database &db, ConnectOptions options,
+                       std::uint32_t slot)
+    : _db(db), _options(options), _slot(slot),
+      _writerLock(db._writerMutex, std::defer_lock)
 {}
 
 Connection::~Connection()
@@ -18,6 +20,12 @@ Connection::~Connection()
     _db.releaseConnection(this);
 }
 
+void
+Connection::noteConflictRetry()
+{
+    _db._env.stats.add(stats::kDbTxnConflictRetries);
+}
+
 // ---- read transactions ---------------------------------------------
 
 Status
@@ -25,6 +33,25 @@ Connection::beginRead()
 {
     if (_snapshot)
         return Status::busy("a read transaction is already open");
+
+    if (_db._mwActive) {
+        // Pin the published epoch floor: the overlay keeps every
+        // version this floor can reach, and checkpointing never
+        // advances the base image past it, until endRead().
+        std::uint32_t pages = 0;
+        _horizon = _db.mwPinRead(&pages, _lastCommitEpoch);
+        const std::uint64_t floor = _horizon;
+        auto fetch = [this, floor](PageNo page_no,
+                                   ByteSpan out) -> Status {
+            return _db.mwFetchPage(page_no, floor, out, nullptr);
+        };
+        _snapshot = std::make_unique<SnapshotCache>(
+            _db._config.pageSize, _db._pager->reservedBytes(), pages,
+            _db._pager->rootPage(), std::move(fetch));
+        _db._env.stats.add(stats::kSnapshotsOpened);
+        return Status::ok();
+    }
+
     std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
     WriteAheadLog &wal = *_db._wal;
     if (!wal.supportsSnapshots()) {
@@ -71,7 +98,14 @@ Connection::endRead()
 {
     if (!_snapshot)
         return Status::invalidArgument("no read transaction to end");
-    {
+
+    if (_db._mwActive) {
+        _db._env.stats.add(stats::kSnapshotReads,
+                           _snapshot->cacheHits() + _snapshot->fetches());
+        _db._env.stats.add(stats::kSnapshotCacheHits,
+                           _snapshot->cacheHits());
+        _db.mwUnpinRead(_horizon);
+    } else {
         std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
         _db._wal->unpinSnapshot(_horizon);
         // Fold the thread-confined tallies into the shared registry.
@@ -91,13 +125,13 @@ Connection::endRead()
 Status
 Connection::snapshotRoot(const std::string &table, PageNo *root)
 {
-    NVWAL_ASSERT(_snapshot != nullptr);
-    auto it = _snapshotRoots.find(table);
-    if (it != _snapshotRoots.end()) {
+    NVWAL_ASSERT(_activeRead != nullptr);
+    auto it = _activeRoots->find(table);
+    if (it != _activeRoots->end()) {
         *root = it->second;
         return Status::ok();
     }
-    BTree catalog(*_snapshot, _db._pager->rootPage());
+    BTree catalog(*_activeRead, _db._pager->rootPage());
     bool found = false;
     Status scan_error = Status::ok();
     NVWAL_RETURN_IF_ERROR(catalog.scan(
@@ -118,31 +152,147 @@ Connection::snapshotRoot(const std::string &table, PageNo *root)
     NVWAL_RETURN_IF_ERROR(scan_error);
     if (!found)
         return Status::notFound("no such table in snapshot: " + table);
-    _snapshotRoots[table] = *root;
+    (*_activeRoots)[table] = *root;
     return Status::ok();
+}
+
+void
+Connection::resetCasualSnapshot(std::unique_ptr<SnapshotCache> snap,
+                                std::uint64_t horizon)
+{
+    _casualSnap = std::move(snap);
+    _casualRoots.clear();
+    _casualHorizon = horizon;
+    _casualGen = _db.engineGeneration();
+    _casualHitsFolded = 0;
+    _casualReadsFolded = 0;
+    _db._env.stats.add(stats::kSnapshotsOpened);
+}
+
+void
+Connection::foldCasualStats()
+{
+    const std::uint64_t hits = _casualSnap->cacheHits();
+    const std::uint64_t reads = hits + _casualSnap->fetches();
+    _db._env.stats.add(stats::kSnapshotCacheHits,
+                       hits - _casualHitsFolded);
+    _db._env.stats.add(stats::kSnapshotReads,
+                       reads - _casualReadsFolded);
+    _casualHitsFolded = hits;
+    _casualReadsFolded = reads;
+}
+
+template <typename Op>
+Status
+Connection::casualReadMw(const Op &op)
+{
+    // Pin for the statement's duration so the overlay keeps every
+    // version the cached snapshot can still reach.
+    std::uint32_t pages = 0;
+    const std::uint64_t floor = _db.mwPinRead(&pages, _lastCommitEpoch);
+    if (!_casualSnap || _casualHorizon != floor ||
+        _casualGen != _db.engineGeneration()) {
+        auto fetch = [this, floor](PageNo page_no,
+                                   ByteSpan out) -> Status {
+            return _db.mwFetchPage(page_no, floor, out, nullptr);
+        };
+        resetCasualSnapshot(
+            std::make_unique<SnapshotCache>(
+                _db._config.pageSize, _db._pager->reservedBytes(),
+                pages, _db._pager->rootPage(), std::move(fetch)),
+            floor);
+    }
+    _activeRead = _casualSnap.get();
+    _activeRoots = &_casualRoots;
+    const Status s = op();
+    _activeRead = nullptr;
+    _activeRoots = nullptr;
+    foldCasualStats();
+    _db.mwUnpinRead(floor);
+    return s;
+}
+
+template <typename Op>
+Status
+Connection::casualReadSw(const Op &op)
+{
+    // One engine-lock hold for the whole statement: the horizon
+    // cannot move underneath it, so no snapshot pin is needed and
+    // the cached pages stay exact. Reuse means a hot read loop takes
+    // this lock once per statement instead of twice (the historical
+    // begin/end pair) and builds no throwaway snapshot.
+    std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+    WriteAheadLog &wal = *_db._wal;
+    if (!wal.supportsSnapshots()) {
+        return Status::unsupported(
+            "WAL mode has no snapshot support: " +
+            std::string(wal.name()));
+    }
+    const CommitSeq horizon = wal.commitSeq();
+    if (!_casualSnap || _casualHorizon != horizon ||
+        _casualGen != _db.engineGeneration()) {
+        std::uint32_t pages = wal.committedDbSize();
+        if (pages == 0)
+            pages = _db._dbFile->pageCount();
+        auto fetch = [this, horizon](PageNo page_no,
+                                     ByteSpan out) -> Status {
+            std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
+            const Status s = _db._wal->readPageAt(page_no, out, horizon);
+            if (!s.isNotFound())
+                return s;
+            if (page_no <= _db._dbFile->pageCount())
+                return _db._dbFile->readPage(page_no, out);
+            return Status::corruption(
+                "snapshot page missing from WAL and file");
+        };
+        resetCasualSnapshot(
+            std::make_unique<SnapshotCache>(
+                _db._config.pageSize, _db._pager->reservedBytes(),
+                pages, _db._pager->rootPage(), std::move(fetch)),
+            horizon);
+    }
+    _activeRead = _casualSnap.get();
+    _activeRoots = &_casualRoots;
+    const Status s = op();
+    _activeRead = nullptr;
+    _activeRoots = nullptr;
+    foldCasualStats();
+    return s;
 }
 
 template <typename Op>
 Status
 Connection::withReadSnapshot(const Op &op)
 {
-    if (_snapshot)
-        return op();
-    NVWAL_RETURN_IF_ERROR(beginRead());
-    const Status s = op();
-    const Status end = endRead();
-    return s.isOk() ? end : s;
+    if (_snapshot) {
+        _activeRead = _snapshot.get();
+        _activeRoots = &_snapshotRoots;
+        const Status s = op();
+        _activeRead = nullptr;
+        _activeRoots = nullptr;
+        return s;
+    }
+    if (_db._mwActive)
+        return casualReadMw(op);
+    return casualReadSw(op);
 }
 
 Status
 Connection::get(RowId key, ByteBuffer *value)
 {
+    if (_ws && _inWrite) {
+        // Read through the workspace: sees this transaction's own
+        // writes and records the pages read for commit validation.
+        _db.chargeStatement(0);
+        BTree tree(*_ws, _db._mwDefaultRoot);
+        return tree.get(key, value);
+    }
     return withReadSnapshot([&]() -> Status {
         PageNo root;
         NVWAL_RETURN_IF_ERROR(
             snapshotRoot(Database::kDefaultTable, &root));
         _db.chargeStatement(0);
-        BTree tree(*_snapshot, root);
+        BTree tree(*_activeRead, root);
         return tree.get(key, value);
     });
 }
@@ -150,12 +300,17 @@ Connection::get(RowId key, ByteBuffer *value)
 Status
 Connection::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 {
+    if (_ws && _inWrite) {
+        _db.chargeStatement(0);
+        BTree tree(*_ws, _db._mwDefaultRoot);
+        return tree.scan(lo, hi, visit);
+    }
     return withReadSnapshot([&]() -> Status {
         PageNo root;
         NVWAL_RETURN_IF_ERROR(
             snapshotRoot(Database::kDefaultTable, &root));
         _db.chargeStatement(0);
-        BTree tree(*_snapshot, root);
+        BTree tree(*_activeRead, root);
         return tree.scan(lo, hi, visit);
     });
 }
@@ -163,12 +318,17 @@ Connection::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 Status
 Connection::count(std::uint64_t *out)
 {
+    if (_ws && _inWrite) {
+        _db.chargeStatement(0);
+        BTree tree(*_ws, _db._mwDefaultRoot);
+        return tree.count(out);
+    }
     return withReadSnapshot([&]() -> Status {
         PageNo root;
         NVWAL_RETURN_IF_ERROR(
             snapshotRoot(Database::kDefaultTable, &root));
         _db.chargeStatement(0);
-        BTree tree(*_snapshot, root);
+        BTree tree(*_activeRead, root);
         return tree.count(out);
     });
 }
@@ -180,6 +340,24 @@ Connection::begin()
 {
     if (_inWrite)
         return Status::busy("a write transaction is already open");
+
+    if (_db._mwActive) {
+        // Optimistic: no lock taken. Pin the published floor and run
+        // against a private workspace; validation happens at commit.
+        std::uint32_t db_size = 0;
+        const std::uint64_t floor =
+            _db.mwBeginTxn(_lastCommitEpoch, &db_size, &_wsTxnSeq);
+        _ws = std::make_unique<MwWorkspace>(
+            _db._config.pageSize, _db._pager->reservedBytes(),
+            _db._mwDefaultRoot, floor, db_size, &_db._mwPageCursor,
+            [this, floor](PageNo page_no, ByteSpan out,
+                          std::uint64_t *read_epoch) {
+                return _db.mwFetchPage(page_no, floor, out, read_epoch);
+            });
+        _inWrite = true;
+        return Status::ok();
+    }
+
     // Announce the intent before blocking on the writer slot so a
     // committing leader's combining window waits for this txn.
     _db.noteWriteIntent();
@@ -195,7 +373,7 @@ Connection::begin()
 }
 
 Status
-Connection::commit(Durability durability)
+Connection::commit(const CommitOptions &options)
 {
     if (!_inWrite)
         return Status::invalidArgument("no write transaction to commit");
@@ -204,18 +382,45 @@ Connection::commit(Durability durability)
     // already closed the transaction, and the destructor must not
     // try to roll back what no longer exists.
     _inWrite = false;
+
+    if (_ws) {
+        std::unique_ptr<MwWorkspace> ws = std::move(_ws);
+        std::uint64_t epoch = 0;
+        const Status s = _db.mwCommitWorkspace(_slot, *ws, options,
+                                               _wsTxnSeq, &epoch);
+        // Remember the epoch for every durability level: the next
+        // begin() waits for the published floor to cover it so the
+        // connection always reads its own committed writes.
+        if (s.isOk())
+            _lastCommitEpoch = epoch;
+        return s;
+    }
+
     std::uint64_t epoch = 0;
     const Status s =
-        _db.commitFromConnection(&_writerLock, durability, &epoch);
+        _db.commitFromConnection(&_writerLock, options.durability,
+                                 &epoch);
     if (s.isUnsupported()) {
         // The engine never touched the transaction; it is still open
         // and retryable at a stricter durability level.
         _inWrite = true;
         return s;
     }
-    if (s.isOk() && durability == Durability::Async)
+    if (s.isOk() && options.durability == Durability::Async) {
         _lastCommitEpoch = epoch;
+        if (options.waitForHarden && epoch != 0)
+            return _db.waitForAsyncEpoch(epoch);
+    }
     return s;
+}
+
+Status
+Connection::commit(Durability durability)
+{
+    CommitOptions options;
+    options.durability = durability;
+    options.waitForHarden = durability != Durability::Async;
+    return commit(options);
 }
 
 Status
@@ -225,12 +430,21 @@ Connection::rollback()
         return Status::invalidArgument(
             "no write transaction to roll back");
     _inWrite = false;
+    if (_ws) {
+        const std::uint64_t floor = _ws->beginEpoch();
+        _ws.reset();
+        _db.mwEndTxn(floor);
+        return Status::ok();
+    }
     return _db.rollbackFromConnection(&_writerLock);
 }
 
 Status
 Connection::prepare(std::uint64_t gtid)
 {
+    if (_db._mwActive)
+        return Status::unsupported(
+            "two-phase commit is not available in multi-writer mode");
     if (!_inWrite)
         return Status::invalidArgument(
             "no write transaction to prepare");
@@ -242,6 +456,9 @@ Connection::prepare(std::uint64_t gtid)
 Status
 Connection::decide(std::uint64_t gtid, bool commit)
 {
+    if (_db._mwActive)
+        return Status::unsupported(
+            "two-phase commit is not available in multi-writer mode");
     if (!_inWrite)
         return Status::invalidArgument(
             "no prepared transaction to decide");
@@ -249,17 +466,20 @@ Connection::decide(std::uint64_t gtid, bool commit)
     return _db.decideFromConnection(gtid, commit, &_writerLock);
 }
 
+// ---- statements ----------------------------------------------------
+
+template <typename Op>
 Status
-Connection::insert(RowId key, ConstByteSpan value)
+Connection::withWriteTxn(const Op &op)
 {
-    bool started = false;
-    if (!_inWrite) {
-        NVWAL_RETURN_IF_ERROR(begin());
-        started = true;
-    }
-    const Status s = _db.insert(key, value);
-    if (!started)
-        return s;
+    if (_inWrite)
+        return op();
+    if (!_options.autoWriteTxn)
+        return Status::invalidArgument(
+            "no write transaction open: begin() first, or connect "
+            "with ConnectOptions::autoWriteTxn");
+    NVWAL_RETURN_IF_ERROR(begin());
+    const Status s = op();
     if (!s.isOk()) {
         (void)rollback();
         return s;
@@ -268,48 +488,42 @@ Connection::insert(RowId key, ConstByteSpan value)
 }
 
 Status
-Connection::insert(RowId key, const std::string &value)
+Connection::insert(RowId key, ValueView value)
 {
-    return insert(key,
-                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
-                                    value.data()),
-                                value.size()));
+    return withWriteTxn([&]() -> Status {
+        if (_db._mwActive) {
+            _db.chargeStatement(value.size());
+            BTree tree(*_ws, _db._mwDefaultRoot);
+            return tree.insert(key, value.span());
+        }
+        return _db.insert(key, value);
+    });
 }
 
 Status
-Connection::update(RowId key, ConstByteSpan value)
+Connection::update(RowId key, ValueView value)
 {
-    bool started = false;
-    if (!_inWrite) {
-        NVWAL_RETURN_IF_ERROR(begin());
-        started = true;
-    }
-    const Status s = _db.update(key, value);
-    if (!started)
-        return s;
-    if (!s.isOk()) {
-        (void)rollback();
-        return s;
-    }
-    return commit();
+    return withWriteTxn([&]() -> Status {
+        if (_db._mwActive) {
+            _db.chargeStatement(value.size());
+            BTree tree(*_ws, _db._mwDefaultRoot);
+            return tree.update(key, value.span());
+        }
+        return _db.update(key, value);
+    });
 }
 
 Status
 Connection::remove(RowId key)
 {
-    bool started = false;
-    if (!_inWrite) {
-        NVWAL_RETURN_IF_ERROR(begin());
-        started = true;
-    }
-    const Status s = _db.remove(key);
-    if (!started)
-        return s;
-    if (!s.isOk()) {
-        (void)rollback();
-        return s;
-    }
-    return commit();
+    return withWriteTxn([&]() -> Status {
+        if (_db._mwActive) {
+            _db.chargeStatement(0);
+            BTree tree(*_ws, _db._mwDefaultRoot);
+            return tree.remove(key);
+        }
+        return _db.remove(key);
+    });
 }
 
 } // namespace nvwal

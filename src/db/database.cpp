@@ -5,6 +5,7 @@
 
 #include "db/catalog_codec.hpp"
 #include "db/connection.hpp"
+#include "pager/snapshot_cache.hpp"
 
 namespace nvwal
 {
@@ -18,7 +19,7 @@ Table::Table(Database &db, std::string name, RowId catalog_id,
 {}
 
 Status
-Table::insert(RowId key, ConstByteSpan value)
+Table::insert(RowId key, ValueView value)
 {
     bool started;
     NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
@@ -26,22 +27,13 @@ Table::insert(RowId key, ConstByteSpan value)
     {
         std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
         _db.chargeStatement(value.size());
-        s = _tree.insert(key, value);
+        s = _tree.insert(key, value.span());
     }
     return _db.autocommitEnd(started, s);
 }
 
 Status
-Table::insert(RowId key, const std::string &value)
-{
-    return insert(key,
-                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
-                                    value.data()),
-                                value.size()));
-}
-
-Status
-Table::update(RowId key, ConstByteSpan value)
+Table::update(RowId key, ValueView value)
 {
     bool started;
     NVWAL_RETURN_IF_ERROR(_db.autocommitBegin(&started));
@@ -49,7 +41,7 @@ Table::update(RowId key, ConstByteSpan value)
     {
         std::lock_guard<std::recursive_mutex> eng(_db._engineMutex);
         _db.chargeStatement(value.size());
-        s = _tree.update(key, value);
+        s = _tree.update(key, value.span());
     }
     return _db.autocommitEnd(started, s);
 }
@@ -141,6 +133,33 @@ validateDbConfig(const DbConfig &config)
                 std::to_string(NvHeap::kNamespaceNameLen) +
                 " characters: \"" + ns + "\"");
     }
+    if (config.multiWriter) {
+        if (config.walMode != WalMode::Nvwal)
+            return Status::invalidArgument(
+                "multi-writer mode requires WalMode::Nvwal");
+        if (config.nvwal.syncMode != SyncMode::Lazy)
+            return Status::invalidArgument(
+                "multi-writer mode requires SyncMode::Lazy (epoch "
+                "commits flush lazily and harden in groups)");
+        if (config.writerLogs < 1 || config.writerLogs > 32)
+            return Status::invalidArgument(
+                "writerLogs must be in [1, 32]: " +
+                std::to_string(config.writerLogs));
+        if (config.shardMember)
+            return Status::invalidArgument(
+                "multi-writer mode cannot run on a shard member");
+        if (config.backgroundCheckpointer || config.backgroundDurability)
+            return Status::invalidArgument(
+                "multi-writer mode schedules hardens and checkpoints "
+                "itself; disable the background threads");
+        // "-cNN" suffixes must still fit the heap's name slots.
+        if (config.nvwal.heapNamespace.size() >
+            NvHeap::kNamespaceNameLen - 4)
+            return Status::invalidArgument(
+                "multi-writer namespace needs 4 spare characters for "
+                "per-connection log suffixes: \"" +
+                config.nvwal.heapNamespace + "\"");
+    }
     return Status::ok();
 }
 
@@ -151,6 +170,9 @@ Database::Database(Env &env, DbConfig config)
 
 Database::~Database()
 {
+    // The root connection holds engine references; destroy it before
+    // any engine state goes away.
+    _rootConn.reset();
     // Stop the durability thread first and abandon any still-pending
     // async epochs: a destructor must not issue media operations (the
     // handle may be torn down after a simulated crash), so commits
@@ -187,6 +209,9 @@ Database::recoverAfterCrash(Env &env, DbConfig config,
 Status
 Database::openInternal()
 {
+    // Every rebuild invalidates reader state cached against a WAL
+    // commit sequence (recovery and vacuum both reset it).
+    _engineGeneration.fetch_add(1, std::memory_order_acq_rel);
     const std::uint32_t reserved = resolveReserved(_config);
     _dbFile = std::make_unique<DbFile>(_env.fs, _config.name,
                                        _config.pageSize);
@@ -241,6 +266,9 @@ Database::openInternal()
         findCatalogEntry(kDefaultTable, &id, &root, &found));
     if (!found)
         NVWAL_RETURN_IF_ERROR(createTable(kDefaultTable));
+
+    if (_config.multiWriter)
+        NVWAL_RETURN_IF_ERROR(mwActivate(stats_before_recovery));
 
     if (_config.backgroundCheckpointer && !_checkpointer.joinable())
         _checkpointer = std::thread(&Database::checkpointerMain, this);
@@ -377,6 +405,12 @@ Database::frOpenAndBuildReport(const StatsSnapshot &stats_before)
     _recoveryReport.heapNamespace = _flightRecorder->heapNamespace();
     _recoveryReport.shard = _config.frShard;
 
+    // Stash the report inputs: mwActivate rebuilds the report after
+    // the cross-log merge adds its own recovery facts.
+    _frParsedRecording = parsed;
+    _frWalState = wal_state;
+    _frStatsBefore = stats_before;
+
     // Delimit this incarnation in the ring. Recovered commit
     // sequences restart at marks-since-truncation, so the base is 0.
     frRecord(FrRecordType::RecorderOpen, 0, 0, frCheckpointId32(),
@@ -386,6 +420,15 @@ Database::frOpenAndBuildReport(const StatsSnapshot &stats_before)
 Status
 Database::publishFlightRecorder()
 {
+    if (_mwActive) {
+        // _mwMutex serializes ring appends once the engine is active.
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        if (!_flightRecorder || !_flightRecorder->ready())
+            return Status::unsupported(
+                "the flight recorder is not enabled");
+        _flightRecorder->publish();
+        return Status::ok();
+    }
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (!_flightRecorder || !_flightRecorder->ready())
         return Status::unsupported("the flight recorder is not enabled");
@@ -422,6 +465,9 @@ Database::findCatalogEntry(const std::string &name, RowId *id,
 Status
 Database::createTable(const std::string &name)
 {
+    if (_mwActive)
+        return Status::unsupported(
+            "DDL is single-writer only: reopen without multiWriter");
     if (name.empty() || name.size() > 128)
         return Status::invalidArgument("table name length");
     bool started;
@@ -458,6 +504,10 @@ Database::createTable(const std::string &name)
 Status
 Database::openTable(const std::string &name, Table **out)
 {
+    if (_mwActive)
+        return Status::unsupported(
+            "table handles run on the shared pager; use Connection "
+            "statements in multi-writer mode");
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     auto it = _tables.find(name);
     if (it != _tables.end()) {
@@ -480,6 +530,9 @@ Database::openTable(const std::string &name, Table **out)
 Status
 Database::dropTable(const std::string &name)
 {
+    if (_mwActive)
+        return Status::unsupported(
+            "DDL is single-writer only: reopen without multiWriter");
     if (name == kDefaultTable)
         return Status::invalidArgument("cannot drop the default table");
     {
@@ -508,6 +561,34 @@ Database::dropTable(const std::string &name)
 Status
 Database::listTables(std::vector<std::string> *out)
 {
+    if (_mwActive) {
+        // Read the catalog through a pinned snapshot: the shared
+        // pager is not serialized against multi-writer checkpoints.
+        out->clear();
+        std::uint32_t pages = 0;
+        const std::uint64_t floor = mwPinRead(&pages);
+        SnapshotCache snap(
+            _config.pageSize, _pager->reservedBytes(), pages,
+            _pager->rootPage(), [this, floor](PageNo no, ByteSpan buf) {
+                return mwFetchPage(no, floor, buf, nullptr);
+            });
+        BTree catalog(snap, _pager->rootPage());
+        Status scan_error = Status::ok();
+        const Status s = catalog.scan(
+            INT64_MIN, INT64_MAX, [&](RowId, ConstByteSpan raw) {
+                PageNo root;
+                std::string name;
+                if (!decodeCatalogEntry(raw, &root, &name)) {
+                    scan_error = Status::corruption("bad catalog entry");
+                    return false;
+                }
+                out->push_back(name);
+                return true;
+            });
+        mwUnpinRead(floor);
+        NVWAL_RETURN_IF_ERROR(s);
+        return scan_error;
+    }
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     out->clear();
     Status scan_error = Status::ok();
@@ -550,6 +631,8 @@ Database::beginTxnBody()
 Status
 Database::begin()
 {
+    if (_mwActive)
+        return _rootConn->begin();
     {
         std::lock_guard<std::recursive_mutex> eng(_engineMutex);
         if (_inTxn)
@@ -834,6 +917,8 @@ Database::maybeCheckpointAfterCommit()
 Status
 Database::commit(Durability durability)
 {
+    if (_mwActive)
+        return _rootConn->commit(durability);
     GroupEntry entry;
     entry.async = durability == Durability::Async;
     bool have_entry = false;
@@ -909,6 +994,8 @@ Database::rollbackBody()
 Status
 Database::rollback()
 {
+    if (_mwActive)
+        return _rootConn->rollback();
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (!_inTxn)
         return Status::invalidArgument("no transaction to roll back");
@@ -917,6 +1004,14 @@ Database::rollback()
         _dbWriterLock.unlock();
     endWriteIntent();
     return Status::ok();
+}
+
+bool
+Database::inTransaction() const
+{
+    if (_mwActive)
+        return _rootConn->inWrite();
+    return _inTxn;
 }
 
 Status
@@ -956,8 +1051,20 @@ Database::chargeStatement(std::size_t payload_bytes)
 Status
 Database::connect(std::unique_ptr<Connection> *out)
 {
+    return connect(ConnectOptions{}, out);
+}
+
+Status
+Database::connect(const ConnectOptions &options,
+                  std::unique_ptr<Connection> *out)
+{
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
-    out->reset(new Connection(*this));
+    // Round-robin slot assignment spreads connections over the
+    // per-connection logs (harmless in single-writer mode).
+    const std::uint32_t slot =
+        _config.writerLogs != 0 ? _nextConnSlot++ % _config.writerLogs
+                                : 0;
+    out->reset(new Connection(*this, options, slot));
     ++_openConnections;
     _env.stats.setGauge(stats::kGaugeOpenConnections, _openConnections);
     return Status::ok();
@@ -1147,6 +1254,9 @@ Database::decideFromConnection(std::uint64_t gtid, bool commit,
 Status
 Database::resolvePreparedTxn(std::uint64_t gtid, bool commit)
 {
+    if (_mwActive)
+        return Status::unsupported(
+            "two-phase commit is not available in multi-writer mode");
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy(
@@ -1205,25 +1315,20 @@ Database::releaseWalTwoPhaseHold()
 // ---- statements ----------------------------------------------------
 
 Status
-Database::insert(RowId key, ConstByteSpan value)
+Database::insert(RowId key, ValueView value)
 {
+    if (_mwActive)
+        return _rootConn->insert(key, value);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->insert(key, value);
 }
 
 Status
-Database::insert(RowId key, const std::string &value)
+Database::update(RowId key, ValueView value)
 {
-    return insert(key,
-                  ConstByteSpan(reinterpret_cast<const std::uint8_t *>(
-                                    value.data()),
-                                value.size()));
-}
-
-Status
-Database::update(RowId key, ConstByteSpan value)
-{
+    if (_mwActive)
+        return _rootConn->update(key, value);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->update(key, value);
@@ -1232,6 +1337,8 @@ Database::update(RowId key, ConstByteSpan value)
 Status
 Database::remove(RowId key)
 {
+    if (_mwActive)
+        return _rootConn->remove(key);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->remove(key);
@@ -1240,6 +1347,8 @@ Database::remove(RowId key)
 Status
 Database::get(RowId key, ByteBuffer *value)
 {
+    if (_mwActive)
+        return _rootConn->get(key, value);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->get(key, value);
@@ -1248,6 +1357,8 @@ Database::get(RowId key, ByteBuffer *value)
 Status
 Database::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 {
+    if (_mwActive)
+        return _rootConn->scan(lo, hi, visit);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->scan(lo, hi, visit);
@@ -1256,6 +1367,8 @@ Database::scan(RowId lo, RowId hi, const BTree::ScanCallback &visit)
 Status
 Database::count(std::uint64_t *out)
 {
+    if (_mwActive)
+        return _rootConn->count(out);
     Table *table;
     NVWAL_RETURN_IF_ERROR(defaultTable(&table));
     return table->count(out);
@@ -1266,6 +1379,8 @@ Database::count(std::uint64_t *out)
 Status
 Database::checkpoint()
 {
+    if (_mwActive)
+        return mwCheckpoint();
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
@@ -1292,6 +1407,13 @@ Database::checkpoint()
 Status
 Database::checkpointStep(std::uint32_t max_pages, bool *done)
 {
+    if (_mwActive) {
+        // Multi-writer checkpoints are always full rounds: write-back
+        // happens from the DRAM overlay, not the log, so there is no
+        // incremental cursor to resume.
+        *done = true;
+        return mwCheckpoint();
+    }
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot checkpoint inside a transaction");
@@ -1317,6 +1439,8 @@ Database::checkpointStep(std::uint32_t max_pages, bool *done)
 std::uint64_t
 Database::walFramesSinceCheckpoint() const
 {
+    if (_mwActive)
+        return _mwFramesSinceCkpt.load(std::memory_order_relaxed);
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     return _wal->framesSinceCheckpoint();
 }
@@ -1406,6 +1530,15 @@ Database::maybeHardenAsync()
 Status
 Database::flushAsyncCommits()
 {
+    if (_mwActive) {
+        std::uint64_t floor;
+        {
+            std::lock_guard<std::mutex> mw(_mwMutex);
+            NVWAL_RETURN_IF_ERROR(_mwPoisoned);
+            floor = _mwPublished;
+        }
+        return mwHardenUpTo(floor, FrHardenReason::Explicit);
+    }
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     NVWAL_RETURN_IF_ERROR(_poisoned);
     const CommitSeq hardened_before = _wal->hardenedSeq();
@@ -1421,6 +1554,8 @@ Database::waitForAsyncEpoch(std::uint64_t epoch)
 {
     if (epoch == 0)
         return Status::ok();
+    if (_mwActive)
+        return mwHardenUpTo(epoch, FrHardenReason::Explicit);
     {
         std::lock_guard<std::mutex> a(_asyncMutex);
         if (_hardenedEpoch >= epoch)
@@ -1443,6 +1578,11 @@ Database::waitForAsyncEpoch(std::uint64_t epoch)
 std::uint64_t
 Database::asyncAcksPending() const
 {
+    if (_mwActive) {
+        // One epoch == one acked transaction in multi-writer mode.
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        return _mwPublished - _mwHardened;
+    }
     std::lock_guard<std::mutex> a(_asyncMutex);
     return _asyncAcksPending;
 }
@@ -1450,6 +1590,10 @@ Database::asyncAcksPending() const
 std::uint64_t
 Database::hardenedEpoch() const
 {
+    if (_mwActive) {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        return _mwHardened;
+    }
     std::lock_guard<std::mutex> a(_asyncMutex);
     return _hardenedEpoch;
 }
@@ -1457,6 +1601,8 @@ Database::hardenedEpoch() const
 std::uint64_t
 Database::lastCommitEpoch() const
 {
+    if (_mwActive)
+        return _rootConn->lastCommitEpoch();
     std::lock_guard<std::mutex> a(_asyncMutex);
     return _lastCommitEpoch;
 }
@@ -1519,6 +1665,670 @@ Database::stopDurability()
     std::lock_guard<std::mutex> a(_asyncMutex);
     _asyncAbandoned = true;
     _asyncCv.notify_all();
+}
+
+// ---- multi-writer engine (DESIGN.md §13) ----------------------------
+
+void
+Database::mwFrRecord(FrRecordType type, std::uint8_t flags,
+                     std::uint16_t a16, std::uint32_t a32,
+                     std::uint64_t a64, std::uint64_t b64)
+{
+    // Caller holds _mwMutex (the ring's serialization once active).
+    if (_flightRecorder && _flightRecorder->ready())
+        _flightRecorder->append(type, flags, a16, a32, a64, b64);
+}
+
+Status
+Database::mwActivate(const StatsSnapshot &stats_before)
+{
+    // Quiesce the primary log into the .db file: the cross-log merge
+    // below needs a fully checkpointed base image to apply diffs on.
+    NVWAL_RETURN_IF_ERROR(checkpoint());
+
+    // Attach or create the persistent anchor.
+    MwMeta meta;
+    const std::string meta_ns =
+        mwMetaNamespaceFor(_config.nvwal.heapNamespace);
+    Status root_status = _env.heap.getRoot(meta_ns, &_mwMetaOff);
+    if (root_status.isNotFound()) {
+        NVWAL_RETURN_IF_ERROR(
+            _env.heap.nvMalloc(MwMeta::kSize, &_mwMetaOff));
+        meta.writerLogs = _config.writerLogs;
+        meta.epochBase = 0;
+        meta.generation = 0;
+        meta.dbSizePages = _dbFile->pageCount();
+        mwMetaStore(_env.pmem, _mwMetaOff, meta);
+        NVWAL_RETURN_IF_ERROR(_env.heap.setRoot(meta_ns, _mwMetaOff));
+    } else {
+        NVWAL_RETURN_IF_ERROR(root_status);
+        NVWAL_RETURN_IF_ERROR(mwMetaLoad(_env.pmem, _mwMetaOff, &meta));
+        if (meta.writerLogs != _config.writerLogs)
+            return Status::invalidArgument(
+                "writerLogs does not match the on-media layout: "
+                "configured " + std::to_string(_config.writerLogs) +
+                ", anchored " + std::to_string(meta.writerLogs));
+    }
+
+    // Create and recover the per-connection logs, collecting every
+    // epoch-stamped transaction above the anchored base.
+    struct MergeTxn
+    {
+        const NvwalLog::RecoveredEpochTxn *txn;
+        std::uint32_t slot;
+    };
+    std::vector<MergeTxn> survivors;
+    _mwSlots.clear();
+    for (std::uint32_t i = 0; i < _config.writerLogs; ++i) {
+        auto slot = std::make_unique<MwSlot>();
+        NvwalConfig log_config = _config.nvwal;
+        log_config.heapNamespace =
+            mwLogNamespaceFor(_config.nvwal.heapNamespace, i);
+        log_config.epochMarks = true;
+        slot->log = std::make_unique<NvwalLog>(
+            _env.heap, _env.pmem, *_dbFile, _config.pageSize,
+            resolveReserved(_config), log_config, _env.stats);
+        std::uint32_t unused = 0;
+        NVWAL_RETURN_IF_ERROR(slot->log->recover(&unused));
+        for (const NvwalLog::RecoveredEpochTxn &txn :
+             slot->log->recoveredEpochTxns())
+            if (txn.epoch > meta.epochBase)
+                survivors.push_back(MergeTxn{&txn, i});
+        _mwSlots.push_back(std::move(slot));
+    }
+    std::sort(survivors.begin(), survivors.end(),
+              [](const MergeTxn &a, const MergeTxn &b) {
+                  return a.txn->epoch < b.txn->epoch;
+              });
+
+    // Merge the contiguous epoch prefix above the base: each log is
+    // prefix-consistent on its own, so the first missing epoch
+    // (un-published claim, torn tail) strands everything after it.
+    const std::uint32_t file_pages = _dbFile->pageCount();
+    std::uint64_t merged_epoch = meta.epochBase;
+    std::uint64_t kept = 0;
+    std::uint32_t db_size =
+        std::max(meta.dbSizePages, file_pages);
+    std::map<PageNo, ByteBuffer> images;
+    for (const MergeTxn &m : survivors) {
+        if (m.txn->epoch != merged_epoch + 1)
+            break;
+        for (const NvwalLog::RecoveredFrame &f : m.txn->frames) {
+            auto it = images.find(f.pageNo);
+            if (it == images.end()) {
+                ByteBuffer buf(_config.pageSize, 0);
+                if (f.pageNo <= file_pages)
+                    NVWAL_RETURN_IF_ERROR(_dbFile->readPage(
+                        f.pageNo, ByteSpan(buf.data(), buf.size())));
+                it = images.emplace(f.pageNo, std::move(buf)).first;
+            }
+            _mwSlots[m.slot]->log->readPayload(
+                f.payloadOff,
+                ByteSpan(it->second.data() + f.pageOffset, f.size));
+        }
+        merged_epoch = m.txn->epoch;
+        if (m.txn->dbSizePages > db_size)
+            db_size = m.txn->dbSizePages;
+        ++kept;
+    }
+    const std::uint64_t dropped = survivors.size() - kept;
+    _env.stats.add(stats::kWalEpochMergeTxns, kept);
+    _env.stats.add(stats::kWalEpochMergeGapDiscarded, dropped);
+
+    // Write the merged images back (zero-filling pages an aborted
+    // transaction's cursor bump left unreferenced), sync the file,
+    // and only then advance the anchor: a crash replays the same
+    // merge idempotently (absolute-offset diffs in epoch order).
+    if (kept != 0 || db_size > file_pages) {
+        for (std::uint32_t no = file_pages + 1; no <= db_size; ++no)
+            if (images.find(no) == images.end())
+                images.emplace(no, ByteBuffer(_config.pageSize, 0));
+        for (const auto &[no, buf] : images)
+            NVWAL_RETURN_IF_ERROR(_dbFile->writePage(
+                no, ConstByteSpan(buf.data(), buf.size())));
+        NVWAL_RETURN_IF_ERROR(_dbFile->sync());
+    }
+    meta.epochBase = merged_epoch;
+    meta.generation += 1;
+    meta.dbSizePages = db_size;
+    mwMetaStore(_env.pmem, _mwMetaOff, meta);
+    _mwGeneration = meta.generation;
+
+    // The anchor covers every merged epoch; drop the logs.
+    for (std::uint32_t i = 0; i < _mwSlots.size(); ++i) {
+        NvwalLog *log = _mwSlots[i]->log.get();
+        if (log->nodeCount() != 0) {
+            NVWAL_RETURN_IF_ERROR(log->truncateAll());
+            frRecord(FrRecordType::MwTruncation, kFrFlagDurableClaim,
+                     static_cast<std::uint16_t>(i),
+                     static_cast<std::uint32_t>(_mwGeneration),
+                     merged_epoch, log->checkpointId());
+        } else {
+            log->clearRecoveredEpochTxns();
+        }
+    }
+
+    // Resynchronize the single-writer structures with the merged file
+    // (the catalog read below must see the merged pages).
+    if (db_size != 0)
+        _pager->setPageCount(db_size);
+    _pager->dropCleanPages();
+    _tables.clear();
+    bool found = false;
+    RowId id;
+    NVWAL_RETURN_IF_ERROR(
+        findCatalogEntry(kDefaultTable, &id, &_mwDefaultRoot, &found));
+    if (!found)
+        return Status::corruption(
+            "default table missing after the epoch merge");
+
+    // Volatile engine state.
+    _mwEpoch = merged_epoch;
+    _mwPublished = merged_epoch;
+    _mwHardened = merged_epoch;
+    _mwEpochBase = merged_epoch;
+    _mwDbSize = db_size;
+    _mwDbSizeByEpoch.clear();
+    _mwOverlay = PageVersionMap();
+    _mwPageEpochs.clear();
+    _mwPending.clear();
+    _mwPins.clear();
+    _mwActiveBegins.clear();
+    _mwPoisoned = Status::ok();
+    _mwTxnSeq = 0;
+    _mwPageCursor.store(db_size, std::memory_order_relaxed);
+    _mwFramesSinceCkpt.store(0, std::memory_order_relaxed);
+
+    // Rebuild the forensics report with the merge facts: the deltas
+    // recomputed here include the per-connection logs' recovery work.
+    if (_flightRecorder && _flightRecorder->ready()) {
+        const auto delta = [&](const char *name) {
+            const auto it = stats_before.find(name);
+            const std::uint64_t before =
+                it == stats_before.end() ? 0 : it->second;
+            return _env.stats.get(name) - before;
+        };
+        _frWalState.tornFramesDetected =
+            delta(stats::kWalTornFramesDetected);
+        _frWalState.framesDiscarded =
+            delta(stats::kWalRecoveryFramesDiscarded);
+        _frWalState.lostMarks = delta(stats::kWalRecoveryLostMarks);
+        _frWalState.mwEnabled = true;
+        _frWalState.mwGeneration = _mwGeneration;
+        _frWalState.mwMergedEpoch = merged_epoch;
+        _recoveryReport =
+            buildRecoveryReport(_frParsedRecording, _frWalState);
+        _recoveryReport.recorderEnabled = true;
+        _recoveryReport.heapNamespace = _flightRecorder->heapNamespace();
+        _recoveryReport.shard = _config.frShard;
+    }
+
+    _mwActive = true;
+
+    // The direct Database statement API runs through an internal root
+    // connection from here on.
+    ConnectOptions root_options;
+    root_options.autoWriteTxn = true;
+    return connect(root_options, &_rootConn);
+}
+
+Status
+Database::mwFetchPage(PageNo page_no, std::uint64_t floor, ByteSpan out,
+                      std::uint64_t *read_epoch)
+{
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        std::uint64_t version_epoch = 0;
+        const ByteBuffer *image =
+            _mwOverlay.readAt(page_no, floor, &version_epoch);
+        if (image != nullptr) {
+            NVWAL_ASSERT(image->size() == out.size());
+            std::copy(image->begin(), image->end(), out.data());
+            if (read_epoch != nullptr)
+                *read_epoch = version_epoch;
+            return Status::ok();
+        }
+    }
+    // No overlay version at or below the floor: the base image is
+    // current for it. A checkpoint prunes an overlay entry only after
+    // the covering file write synced, so checking the overlay first
+    // makes the fallback race-free.
+    if (read_epoch != nullptr)
+        *read_epoch = floor;
+    std::lock_guard<std::mutex> file(_mwFileMutex);
+    if (page_no <= _dbFile->pageCount())
+        return _dbFile->readPage(page_no, out);
+    return Status::corruption(
+        "page " + std::to_string(page_no) +
+        " missing from the overlay and the file");
+}
+
+std::uint64_t
+Database::mwBeginTxn(std::uint64_t min_floor, std::uint32_t *db_size,
+                     std::uint64_t *txn_seq)
+{
+    std::unique_lock<std::mutex> mw(_mwMutex);
+    // Read-your-writes: the caller's last commit claimed its epoch
+    // before returning, but the contiguous published floor may still
+    // trail it while an earlier epoch on another slot finishes its
+    // append. Wait for the floor (appends only -- never hardening)
+    // rather than beginning above it, which would tear the snapshot
+    // prefix and mask conflicts with the in-flight epochs.
+    if (min_floor > _mwEpoch)
+        min_floor = _mwEpoch;
+    _mwCv.wait(mw, [&] {
+        return _mwPublished >= min_floor || !_mwPoisoned.isOk();
+    });
+    const std::uint64_t floor = _mwPublished;
+    _mwActiveBegins.insert(floor);
+    *db_size = _mwDbSize;
+    *txn_seq = ++_mwTxnSeq;
+    mwFrRecord(FrRecordType::TxnBegin, 0, 0, 0, *txn_seq);
+    return floor;
+}
+
+void
+Database::mwEndTxnLocked(std::uint64_t begin_floor)
+{
+    const auto it = _mwActiveBegins.find(begin_floor);
+    NVWAL_ASSERT(it != _mwActiveBegins.end(),
+                 "closing a write txn that never began");
+    _mwActiveBegins.erase(it);
+}
+
+void
+Database::mwEndTxn(std::uint64_t begin_floor)
+{
+    std::lock_guard<std::mutex> mw(_mwMutex);
+    mwEndTxnLocked(begin_floor);
+}
+
+Status
+Database::mwCommitWorkspace(std::uint32_t slot_no, MwWorkspace &ws,
+                            const CommitOptions &opts,
+                            std::uint64_t txn_seq,
+                            std::uint64_t *epoch_out)
+{
+    *epoch_out = 0;
+    const SimTime commit_begin = _env.clock.now();
+    _env.clock.advance(_env.cost.cpuTxnNs);
+    const std::vector<PageNo> dirty = ws.dirtyPageNos();
+
+    if (dirty.empty()) {
+        // Read-only or no-op transaction: nothing to validate (its
+        // reads were served from a consistent floor) and nothing to
+        // publish; it claims no epoch.
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        mwEndTxnLocked(ws.beginEpoch());
+        NVWAL_RETURN_IF_ERROR(_mwPoisoned);
+        _env.stats.add(stats::kTxnsCommitted);
+        return Status::ok();
+    }
+
+    MwSlot &slot = *_mwSlots[slot_no];
+    std::unique_lock<std::mutex> slot_lock(slot.mutex);
+    std::uint64_t epoch = 0;
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        if (!_mwPoisoned.isOk()) {
+            mwEndTxnLocked(ws.beginEpoch());
+            return _mwPoisoned;
+        }
+        // Optimistic validation: conflict iff any read page was
+        // republished after the version this transaction read. Pages
+        // absent from _mwPageEpochs pass by design -- the map is
+        // pruned with the overlay, and the prune floor never passes
+        // an active begin floor.
+        for (const auto &[page_no, read_epoch] : ws.readSet()) {
+            const auto it = _mwPageEpochs.find(page_no);
+            if (it != _mwPageEpochs.end() && it->second > read_epoch) {
+                _env.stats.add(stats::kWalLogConflicts);
+                mwEndTxnLocked(ws.beginEpoch());
+                return Status::conflict(
+                    "page " + std::to_string(page_no) +
+                    " republished at epoch " +
+                    std::to_string(it->second));
+            }
+        }
+        if (_mwEpoch >= 0x7fffffffULL) {
+            mwEndTxnLocked(ws.beginEpoch());
+            return Status::unsupported(
+                "epoch counter exhausted; reopen the database");
+        }
+        // Claim the epoch and pre-publish the write set's epochs so a
+        // concurrent validator conflicts against this commit before
+        // its append even lands (claimed under the slot lock, so this
+        // slot's log receives epochs in ascending order).
+        epoch = ++_mwEpoch;
+        for (PageNo page_no : dirty)
+            _mwPageEpochs[page_no] = epoch;
+        _mwPending.push_back(
+            MwPending{epoch, slot_no, ws.dbSizePages(), false});
+    }
+
+    // Append to this slot's log and queue the flush -- lock-free of
+    // every other slot. No barrier here: hardening is grouped.
+    TxnFrames txn;
+    txn.dbSizePages = ws.dbSizePages();
+    txn.frames.reserve(dirty.size());
+    for (PageNo page_no : dirty) {
+        CachedPage *page = ws.cached(page_no);
+        NVWAL_ASSERT(page != nullptr, "dirty page not in workspace");
+        txn.frames.push_back(FrameWrite{
+            page_no, ConstByteSpan(page->buf.data(), page->buf.size()),
+            &page->dirty});
+    }
+    const Status append = slot.log->writeTxnEpoch(txn, epoch);
+    if (append.isOk()) {
+        slot.log->flushRuns();
+        slot.lastAppendedEpoch = epoch;
+    }
+    slot_lock.unlock();
+
+    std::uint64_t published_floor = 0;
+    bool window_harden = false;
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        if (!append.isOk()) {
+            // The epoch was claimed: a permanent gap that would
+            // strand every later epoch at recovery. Poison.
+            _mwPoisoned = append;
+            mwEndTxnLocked(ws.beginEpoch());
+            _mwCv.notify_all();
+            return append;
+        }
+        // Publish the full page images; readers at floors >= epoch
+        // (once the contiguous floor reaches it) see them.
+        for (PageNo page_no : dirty) {
+            CachedPage *page = ws.cached(page_no);
+            _mwOverlay.publish(
+                page_no, epoch,
+                ConstByteSpan(page->buf.data(), page->buf.size()));
+        }
+        for (MwPending &pending : _mwPending)
+            if (pending.epoch == epoch) {
+                pending.appended = true;
+                break;
+            }
+        while (!_mwPending.empty() && _mwPending.front().appended) {
+            const MwPending &front = _mwPending.front();
+            _mwPublished = front.epoch;
+            if (front.dbSizePages > _mwDbSize)
+                _mwDbSize = front.dbSizePages;
+            _mwDbSizeByEpoch[front.epoch] = _mwDbSize;
+            _mwPending.pop_front();
+        }
+        published_floor = _mwPublished;
+        mwEndTxnLocked(ws.beginEpoch());
+        _env.stats.add(stats::kTxnsCommitted);
+        if (opts.durability == Durability::Async)
+            _env.stats.add(stats::kDbAsyncCommits);
+        // Unstamped ack: durability arrives with the group harden.
+        mwFrRecord(FrRecordType::CommitAck, 0,
+                   static_cast<std::uint16_t>(slot_no),
+                   static_cast<std::uint32_t>(_mwGeneration), txn_seq,
+                   epoch);
+        _mwCv.notify_all();
+        window_harden =
+            published_floor - _mwHardened > _config.asyncMaxEpochs;
+    }
+    _mwFramesSinceCkpt.fetch_add(dirty.size(),
+                                 std::memory_order_relaxed);
+
+    Status harden = Status::ok();
+    const bool wait_for_harden =
+        opts.durability != Durability::Async || opts.waitForHarden;
+    if (wait_for_harden)
+        harden = mwHardenUpTo(epoch, FrHardenReason::StrictRun);
+    else if (window_harden)
+        harden = mwHardenUpTo(published_floor,
+                              FrHardenReason::WindowEpochs);
+    *epoch_out = epoch;
+    _env.stats.recordNs(stats::kHistCommitNs,
+                        _env.clock.now() - commit_begin);
+    NVWAL_RETURN_IF_ERROR(harden);
+    mwMaybeCheckpoint();
+    return Status::ok();
+}
+
+Status
+Database::mwHardenUpTo(std::uint64_t target, FrHardenReason reason)
+{
+    std::lock_guard<std::mutex> h(_mwHardenMutex);
+    std::uint64_t floor = 0;
+    {
+        std::unique_lock<std::mutex> mw(_mwMutex);
+        if (target > _mwEpoch)
+            target = _mwEpoch;
+        if (_mwHardened >= target)
+            return Status::ok();
+        _mwCv.wait(mw, [&] {
+            return _mwPublished >= target || !_mwPoisoned.isOk();
+        });
+        NVWAL_RETURN_IF_ERROR(_mwPoisoned);
+        floor = _mwPublished;
+    }
+    // Sample each log's flush candidate under its slot lock: every
+    // epoch <= floor queued its lines (inline flushRuns) before it
+    // published, so the one barrier below covers all of them.
+    std::vector<CommitSeq> candidates(_mwSlots.size(), 0);
+    for (std::size_t i = 0; i < _mwSlots.size(); ++i) {
+        MwSlot &slot = *_mwSlots[i];
+        std::uint64_t newest = 0;
+        {
+            std::lock_guard<std::mutex> sl(slot.mutex);
+            candidates[i] = slot.log->flushCandidateSeq();
+            newest = slot.lastAppendedEpoch;
+        }
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        mwFrRecord(FrRecordType::MwLogHarden, 0,
+                   static_cast<std::uint16_t>(i),
+                   static_cast<std::uint32_t>(_mwGeneration), newest,
+                   candidates[i]);
+    }
+    _env.pmem.persistBarrier();
+    for (std::size_t i = 0; i < _mwSlots.size(); ++i) {
+        std::lock_guard<std::mutex> sl(_mwSlots[i]->mutex);
+        _mwSlots[i]->log->finishHarden(candidates[i]);
+    }
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        if (floor > _mwHardened)
+            _mwHardened = floor;
+        _env.stats.add(stats::kWalMwHardens);
+        mwFrRecord(FrRecordType::MwHarden, kFrFlagDurableClaim,
+                   static_cast<std::uint16_t>(reason),
+                   static_cast<std::uint32_t>(_mwGeneration), floor,
+                   _mwHardened);
+        _mwCv.notify_all();
+    }
+    return Status::ok();
+}
+
+Status
+Database::mwCheckpoint()
+{
+    std::lock_guard<std::mutex> ck(_mwCkptMutex);
+    return mwCheckpointLocked();
+}
+
+void
+Database::mwMaybeCheckpoint()
+{
+    if (!_config.autoCheckpoint)
+        return;
+    if (_mwFramesSinceCkpt.load(std::memory_order_relaxed) <
+        _config.checkpointThreshold)
+        return;
+    std::unique_lock<std::mutex> ck(_mwCkptMutex, std::try_to_lock);
+    if (!ck.owns_lock())
+        return;  // another round is already draining
+    (void)mwCheckpointLocked();
+}
+
+Status
+Database::mwCheckpointLocked()
+{
+    // Every epoch written to the file must be durable in some log
+    // first (no file state ahead of the logs), so harden the current
+    // published floor before any write-back.
+    std::uint64_t floor = 0;
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        NVWAL_RETURN_IF_ERROR(_mwPoisoned);
+        floor = _mwPublished;
+    }
+    NVWAL_RETURN_IF_ERROR(
+        mwHardenUpTo(floor, FrHardenReason::Checkpoint));
+
+    // Clamp the write-back target: the base image must not advance
+    // past a reader pin or an active transaction's begin floor (their
+    // overlay versions -- including "absent = base" -- must survive).
+    std::uint64_t target = 0;
+    std::uint32_t db_size_at_target = 0;
+    std::map<PageNo, ByteBuffer> pages;
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        target = _mwHardened;
+        if (!_mwPins.empty())
+            target = std::min(target, *_mwPins.begin());
+        if (!_mwActiveBegins.empty())
+            target = std::min(target, *_mwActiveBegins.begin());
+        if (target < _mwHardened)
+            _env.stats.add(stats::kCheckpointsPinBlocked);
+        if (target <= _mwEpochBase)
+            return Status::ok();
+        for (const auto &[page_no, image] :
+             _mwOverlay.collectUpTo(target))
+            pages.emplace(page_no, *image);
+        const auto it = _mwDbSizeByEpoch.upper_bound(target);
+        NVWAL_ASSERT(it != _mwDbSizeByEpoch.begin(),
+                     "published epochs above the base have size marks");
+        db_size_at_target = std::prev(it)->second;
+        mwFrRecord(FrRecordType::CheckpointStart, 0, 1,
+                   static_cast<std::uint32_t>(_mwGeneration), target);
+    }
+
+    // File first, then anchor, then volatile prune, then truncation:
+    // a crash at any point recovers (the logs still hold everything
+    // above the persisted anchor).
+    {
+        std::lock_guard<std::mutex> file(_mwFileMutex);
+        const std::uint32_t file_pages = _dbFile->pageCount();
+        for (std::uint32_t no = file_pages + 1; no <= db_size_at_target;
+             ++no)
+            if (pages.find(no) == pages.end())
+                pages.emplace(no, ByteBuffer(_config.pageSize, 0));
+        for (const auto &[no, buf] : pages)
+            NVWAL_RETURN_IF_ERROR(_dbFile->writePage(
+                no, ConstByteSpan(buf.data(), buf.size())));
+        NVWAL_RETURN_IF_ERROR(_dbFile->sync());
+    }
+    MwMeta meta;
+    meta.writerLogs = _config.writerLogs;
+    meta.epochBase = target;
+    meta.generation = _mwGeneration;
+    meta.dbSizePages = db_size_at_target;
+    mwMetaStore(_env.pmem, _mwMetaOff, meta);
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        _mwEpochBase = target;
+        _mwOverlay.pruneTo(target);
+        for (auto it = _mwPageEpochs.begin();
+             it != _mwPageEpochs.end();) {
+            if (it->second <= target)
+                it = _mwPageEpochs.erase(it);
+            else
+                ++it;
+        }
+        // Keep the newest size mark at or below the base (the next
+        // round's clamp may land on it), drop the rest.
+        auto keep = _mwDbSizeByEpoch.upper_bound(target);
+        if (keep != _mwDbSizeByEpoch.begin())
+            _mwDbSizeByEpoch.erase(_mwDbSizeByEpoch.begin(),
+                                   std::prev(keep));
+    }
+
+    // Truncate every log whose epochs are all covered by the anchor.
+    for (std::size_t i = 0; i < _mwSlots.size(); ++i) {
+        MwSlot &slot = *_mwSlots[i];
+        std::lock_guard<std::mutex> sl(slot.mutex);
+        if (slot.lastAppendedEpoch <= target &&
+            slot.log->nodeCount() != 0) {
+            NVWAL_RETURN_IF_ERROR(slot.log->truncateAll());
+            std::lock_guard<std::mutex> mw(_mwMutex);
+            mwFrRecord(FrRecordType::MwTruncation, kFrFlagDurableClaim,
+                       static_cast<std::uint16_t>(i),
+                       static_cast<std::uint32_t>(_mwGeneration),
+                       target, slot.log->checkpointId());
+        }
+    }
+    std::uint64_t remaining = 0;
+    for (const auto &slot : _mwSlots) {
+        std::lock_guard<std::mutex> sl(slot->mutex);
+        remaining += slot->log->framesSinceCheckpoint();
+    }
+    _mwFramesSinceCkpt.store(remaining, std::memory_order_relaxed);
+    _env.stats.add(stats::kCheckpoints);
+    {
+        std::lock_guard<std::mutex> mw(_mwMutex);
+        mwFrRecord(FrRecordType::CheckpointEnd, 0, 1,
+                   static_cast<std::uint32_t>(_mwGeneration), target,
+                   remaining);
+    }
+    return Status::ok();
+}
+
+std::uint64_t
+Database::mwPinRead(std::uint32_t *db_size, std::uint64_t min_floor)
+{
+    std::unique_lock<std::mutex> mw(_mwMutex);
+    if (min_floor > _mwEpoch)
+        min_floor = _mwEpoch;
+    _mwCv.wait(mw, [&] {
+        return _mwPublished >= min_floor || !_mwPoisoned.isOk();
+    });
+    _mwPins.insert(_mwPublished);
+    *db_size = _mwDbSize;
+    _env.stats.setGauge(stats::kGaugeOpenSnapshots, _mwPins.size());
+    return _mwPublished;
+}
+
+void
+Database::mwUnpinRead(std::uint64_t floor)
+{
+    std::lock_guard<std::mutex> mw(_mwMutex);
+    const auto it = _mwPins.find(floor);
+    NVWAL_ASSERT(it != _mwPins.end(), "unpin without pin");
+    _mwPins.erase(it);
+    _env.stats.setGauge(stats::kGaugeOpenSnapshots, _mwPins.size());
+}
+
+std::uint64_t
+Database::mwPublishedEpoch() const
+{
+    std::lock_guard<std::mutex> mw(_mwMutex);
+    return _mwPublished;
+}
+
+std::uint64_t
+Database::mwHardenedEpoch() const
+{
+    std::lock_guard<std::mutex> mw(_mwMutex);
+    return _mwHardened;
+}
+
+std::uint64_t
+Database::mwReachableNvramBlocks() const
+{
+    if (!_mwActive)
+        return 0;
+    std::uint64_t blocks = _env.heap.extentBlocksAt(_mwMetaOff);
+    for (const auto &slot : _mwSlots) {
+        std::lock_guard<std::mutex> sl(slot->mutex);
+        blocks += slot->log->reachableNvramBlocks();
+    }
+    return blocks;
 }
 
 // ---- background checkpointer ---------------------------------------
@@ -1592,6 +2402,10 @@ Database::stopCheckpointer()
 Status
 Database::vacuum()
 {
+    if (_mwActive)
+        return Status::unsupported(
+            "vacuum is single-writer only: reopen without multiWriter "
+            "to compact");
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     if (_inTxn)
         return Status::busy("cannot vacuum inside a transaction");
@@ -1672,6 +2486,44 @@ Database::vacuum()
 Status
 Database::verifyIntegrity()
 {
+    if (_mwActive) {
+        // Validate through a pinned snapshot; the shared pager is not
+        // serialized against multi-writer checkpoints.
+        std::uint32_t pages = 0;
+        const std::uint64_t floor = mwPinRead(&pages);
+        SnapshotCache snap(
+            _config.pageSize, _pager->reservedBytes(), pages,
+            _pager->rootPage(), [this, floor](PageNo no, ByteSpan buf) {
+                return mwFetchPage(no, floor, buf, nullptr);
+            });
+        auto validate = [&]() -> Status {
+            BTree catalog(snap, _pager->rootPage());
+            NVWAL_RETURN_IF_ERROR(catalog.validate());
+            Status scan_error = Status::ok();
+            std::vector<PageNo> roots;
+            NVWAL_RETURN_IF_ERROR(catalog.scan(
+                INT64_MIN, INT64_MAX, [&](RowId, ConstByteSpan raw) {
+                    PageNo root;
+                    std::string name;
+                    if (!decodeCatalogEntry(raw, &root, &name)) {
+                        scan_error =
+                            Status::corruption("bad catalog entry");
+                        return false;
+                    }
+                    roots.push_back(root);
+                    return true;
+                }));
+            NVWAL_RETURN_IF_ERROR(scan_error);
+            for (PageNo root : roots) {
+                BTree tree(snap, root);
+                NVWAL_RETURN_IF_ERROR(tree.validate());
+            }
+            return Status::ok();
+        };
+        const Status s = validate();
+        mwUnpinRead(floor);
+        return s;
+    }
     std::lock_guard<std::recursive_mutex> eng(_engineMutex);
     NVWAL_RETURN_IF_ERROR(_catalog->validate());
     std::vector<std::string> names;

@@ -36,18 +36,22 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "btree/btree.hpp"
+#include "common/bytes.hpp"
 #include "core/nvwal_log.hpp"
 #include "db/env.hpp"
 #include "db/flight_recorder.hpp"
+#include "db/mw_state.hpp"
 #include "pager/pager.hpp"
 #include "wal/file_wal.hpp"
 #include "wal/rollback_journal.hpp"
@@ -88,6 +92,43 @@ enum class Durability
      * valid committed prefix of un-hardened epochs.
      */
     Async,
+};
+
+/**
+ * How a connection commit behaves (DESIGN.md §13). Replaces the
+ * positional `commit(Durability)` overload: call sites name the knobs
+ * they change and inherit defaults for the rest.
+ */
+struct CommitOptions
+{
+    Durability durability = Durability::Group;
+    /**
+     * For Durability::Async: block until the commit's epoch hardens
+     * before returning (the ack itself is still issued without a
+     * barrier, so group batching is preserved). Ignored -- always
+     * effectively true -- for Sync/Group.
+     */
+    bool waitForHarden = true;
+    /**
+     * Multi-writer mode only: how many times Connection::transact()
+     * re-runs its body after an optimistic-validation Conflict before
+     * surfacing the status. Plain commit() never retries (the
+     * transaction body would need re-running).
+     */
+    int maxConflictRetries = 0;
+};
+
+/** How a Connection opened by Database::connect behaves. */
+struct ConnectOptions
+{
+    /**
+     * Let write statements outside an explicit transaction auto-open
+     * one (the pre-§13 implicit behavior). Off by default: a write
+     * statement without begin() fails with InvalidArgument so a
+     * forgotten begin() cannot silently run N one-statement
+     * transactions.
+     */
+    bool autoWriteTxn = false;
 };
 
 /** Database configuration. */
@@ -178,6 +219,25 @@ struct DbConfig
     /** Shard ordinal stamped into the ring header (set by the shard
      *  layer together with shardMember). */
     std::uint32_t frShard = 0;
+    /**
+     * Multi-writer engine (DESIGN.md §13): each Connection appends
+     * commits to a private NVRAM log ("<wal ns>-cNN") ordered by a
+     * global epoch counter, with optimistic page-level validation at
+     * commit instead of the writer mutex. Requires WalMode::Nvwal
+     * with SyncMode::Lazy; incompatible with shard membership and the
+     * background checkpointer/durability threads (commits already
+     * never block on write-back or barriers). The direct Database
+     * statement API remains available through an internal root
+     * connection.
+     */
+    bool multiWriter = false;
+    /**
+     * Number of per-connection logs (multiWriter only, 1..32).
+     * Connections hash onto log slots, so more logs than concurrent
+     * writers just costs namespace slots; fewer serializes appends of
+     * the connections sharing a slot (commits stay optimistic).
+     */
+    std::uint32_t writerLogs = 8;
 };
 
 /**
@@ -201,9 +261,8 @@ class Connection;
 class Table
 {
   public:
-    Status insert(RowId key, ConstByteSpan value);
-    Status insert(RowId key, const std::string &value);
-    Status update(RowId key, ConstByteSpan value);
+    Status insert(RowId key, ValueView value);
+    Status update(RowId key, ValueView value);
     Status remove(RowId key);
     Status get(RowId key, ByteBuffer *value);
     Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
@@ -263,6 +322,10 @@ class Database
      */
     Status connect(std::unique_ptr<Connection> *out);
 
+    /** connect() with per-connection behavior knobs. */
+    Status connect(const ConnectOptions &options,
+                   std::unique_ptr<Connection> *out);
+
     // ---- transactions ---------------------------------------------
 
     /** Begin an explicit write transaction. */
@@ -280,7 +343,7 @@ class Database
     /** Discard all uncommitted changes. */
     Status rollback();
 
-    bool inTransaction() const { return _inTxn; }
+    bool inTransaction() const;
 
     // ---- tables ----------------------------------------------------
 
@@ -303,9 +366,8 @@ class Database
     // ---- statements (autocommit when no transaction is open) -------
     // These operate on the default table ("main").
 
-    Status insert(RowId key, ConstByteSpan value);
-    Status insert(RowId key, const std::string &value);
-    Status update(RowId key, ConstByteSpan value);
+    Status insert(RowId key, ValueView value);
+    Status update(RowId key, ValueView value);
     Status remove(RowId key);
     Status get(RowId key, ByteBuffer *value);
     Status scan(RowId lo, RowId hi, const BTree::ScanCallback &visit);
@@ -431,6 +493,33 @@ class Database
 
     /** Engine-locked read of a metrics gauge. */
     std::uint64_t statGauge(const std::string &name) const;
+
+    // ---- multi-writer introspection (DESIGN.md §13) -----------------
+
+    /** True when the multi-writer engine is running. */
+    bool multiWriterActive() const { return _mwActive; }
+
+    /** Contiguous published epoch floor (multi-writer mode). */
+    std::uint64_t mwPublishedEpoch() const;
+
+    /** Durable epoch floor (multi-writer mode). */
+    std::uint64_t mwHardenedEpoch() const;
+
+    /**
+     * NVRAM blocks reachable from the multi-writer anchor and every
+     * per-connection log (leak accounting in the crash sweeps; 0 when
+     * the engine is off).
+     */
+    std::uint64_t mwReachableNvramBlocks() const;
+
+    /**
+     * Bumped on every engine (re)build -- open, crash recovery, and
+     * the vacuum file swap. Cached reader state keyed on a WAL commit
+     * sequence must also key on this: a rebuild resets the sequence
+     * while moving every table root.
+     */
+    std::uint64_t engineGeneration() const
+    { return _engineGeneration.load(std::memory_order_acquire); }
 
   private:
     friend class Table;
@@ -618,6 +707,102 @@ class Database
                                 std::unique_lock<std::mutex> *writer_lock);
     void releaseConnection(Connection *conn);
 
+    // ---- multi-writer engine (DESIGN.md §13) ------------------------
+    //
+    // Lock order within the engine: _mwCkptMutex, then _mwHardenMutex,
+    // then a slot mutex, then _mwMutex. The engine lock may be taken
+    // before _mwMutex (open path), never after. After activation every
+    // flight-recorder append happens under _mwMutex, which replaces
+    // the engine lock as the recorder's serialization.
+
+    /**
+     * Tail of openInternal when config.multiWriter: attach/create the
+     * persistent anchor, recover the per-connection logs, merge their
+     * surviving epochs above the anchor's base into the .db file (in
+     * global epoch order, keeping each log's prefix-consistent slice
+     * and stopping at the first gap), persist the advanced anchor,
+     * truncate the logs, and start the engine. @p stats_before spans
+     * the whole recovery so the rebuilt forensics report sees the
+     * per-connection logs' recovery counters too.
+     */
+    Status mwActivate(const StatsSnapshot &stats_before);
+
+    /**
+     * Serve @p page_no as of published floor @p floor: the overlay
+     * version if one exists at or below the floor, else the .db base
+     * image. @p read_epoch (optional) gets the version's epoch, or
+     * @p floor when the base image is current.
+     */
+    Status mwFetchPage(PageNo page_no, std::uint64_t floor, ByteSpan out,
+                       std::uint64_t *read_epoch);
+
+    /**
+     * Open an optimistic write transaction: record its begin floor in
+     * _mwActiveBegins (checkpoint clamp) and return it; @p db_size
+     * gets the database size at that floor and @p txn_seq the
+     * forensics transaction id for the eventual CommitAck. Waits for
+     * the published floor to reach @p min_floor (the connection's own
+     * last commit epoch) so every connection reads its own writes.
+     */
+    std::uint64_t mwBeginTxn(std::uint64_t min_floor,
+                             std::uint32_t *db_size,
+                             std::uint64_t *txn_seq);
+
+    /** Close a write transaction that did not publish an epoch
+     *  (rollback, conflict, empty write set, failed append). */
+    void mwEndTxn(std::uint64_t begin_floor);
+    /** Same, caller already holds _mwMutex. */
+    void mwEndTxnLocked(std::uint64_t begin_floor);
+
+    /**
+     * Validate + claim + append + publish one workspace commit from
+     * connection slot @p slot. Returns Conflict (no side effects
+     * beyond the conflict counter) when a read-set page was
+     * republished after the workspace's begin floor; poisons the
+     * engine if the append fails after its epoch was claimed.
+     */
+    Status mwCommitWorkspace(std::uint32_t slot, MwWorkspace &ws,
+                             const CommitOptions &opts,
+                             std::uint64_t txn_seq,
+                             std::uint64_t *epoch_out);
+
+    /**
+     * Group harden: wait until the published floor reaches @p target,
+     * then run ONE shared persist barrier. Every commit flushed its
+     * frame lines before publishing, so the single barrier makes all
+     * published epochs at or below the sampled floor durable.
+     */
+    Status mwHardenUpTo(std::uint64_t target, FrHardenReason reason);
+
+    /**
+     * Full multi-writer checkpoint: harden the published floor, write
+     * the newest overlay version of every page at or below the clamp
+     * floor (pins and active begins hold it back) to the .db file,
+     * fsync, persist the advanced anchor, prune the overlay, and
+     * truncate every log whose epochs are all covered.
+     */
+    Status mwCheckpoint();
+    /** Checkpoint body; caller holds _mwCkptMutex. */
+    Status mwCheckpointLocked();
+
+    /** Post-commit trigger: run mwCheckpoint() once the configured
+     *  frame threshold is crossed and no other round is active. */
+    void mwMaybeCheckpoint();
+
+    /** Pin a read snapshot at the current published floor; @p db_size
+     *  gets the size at that floor. Waits for the floor to reach
+     *  @p min_floor first (a connection passes its last commit epoch
+     *  so its reads observe its own writes). */
+    std::uint64_t mwPinRead(std::uint32_t *db_size,
+                            std::uint64_t min_floor = 0);
+    void mwUnpinRead(std::uint64_t floor);
+
+    /** Flight-recorder append under _mwMutex (the engine lock no
+     *  longer serializes the ring once the engine is active). */
+    void mwFrRecord(FrRecordType type, std::uint8_t flags,
+                    std::uint16_t a16, std::uint32_t a32,
+                    std::uint64_t a64, std::uint64_t b64 = 0);
+
     // ---- background checkpointer -----------------------------------
 
     void checkpointerMain();
@@ -727,6 +912,91 @@ class Database
     bool _durKick = false;
 
     std::uint32_t _openConnections = 0;  //!< guarded by _engineMutex
+    std::uint32_t _nextConnSlot = 0;     //!< guarded by _engineMutex
+
+    // ---- multi-writer engine state (DESIGN.md §13) ------------------
+
+    /** One per-connection NVRAM log and its append serialization. */
+    struct MwSlot
+    {
+        std::unique_ptr<NvwalLog> log;
+        /** Serializes appends by connections sharing this slot; held
+         *  while writeTxnEpoch + flushRuns run, released before the
+         *  epoch publishes under _mwMutex. Mutable so const block
+         *  accounting can sample the log. */
+        mutable std::mutex mutex;
+        std::uint64_t lastAppendedEpoch = 0;  //!< guarded by mutex
+    };
+
+    /** An epoch between claim and publish (guarded by _mwMutex). */
+    struct MwPending
+    {
+        std::uint64_t epoch = 0;
+        std::uint32_t slot = 0;
+        std::uint32_t dbSizePages = 0;
+        bool appended = false;
+    };
+
+    bool _mwActive = false;
+    NvOffset _mwMetaOff = kNullNvOffset;
+    std::uint64_t _mwGeneration = 0;
+    std::vector<std::unique_ptr<MwSlot>> _mwSlots;
+
+    /**
+     * Innermost multi-writer lock: epoch claim/publish, the overlay,
+     * page epochs, pins, active begins, pending queue, poison status,
+     * and (after activation) the flight recorder.
+     */
+    mutable std::mutex _mwMutex;
+    std::condition_variable _mwCv;
+    std::uint64_t _mwEpoch = 0;      //!< last epoch claimed
+    std::uint64_t _mwPublished = 0;  //!< contiguous published floor
+    std::uint64_t _mwHardened = 0;   //!< durable floor
+    std::uint64_t _mwEpochBase = 0;  //!< merged into the .db file
+    std::uint32_t _mwDbSize = 0;     //!< size at _mwPublished
+    /** Size at selected epochs <= _mwPublished (checkpoint clamp). */
+    std::map<std::uint64_t, std::uint32_t> _mwDbSizeByEpoch;
+    PageVersionMap _mwOverlay;
+    /** page -> newest published epoch (validation; pruned with the
+     *  overlay, so an absent page passes validation by design). */
+    std::map<PageNo, std::uint64_t> _mwPageEpochs;
+    std::deque<MwPending> _mwPending;
+    std::multiset<std::uint64_t> _mwPins;
+    std::multiset<std::uint64_t> _mwActiveBegins;
+    /** Post-claim append failure: every later commit/harden fails
+     *  with this until reopen (multi-writer twin of _poisoned). */
+    Status _mwPoisoned = Status::ok();
+    std::uint64_t _mwTxnSeq = 0;     //!< forensics ack attribution
+
+    /** Serializes group hardens (one barrier covers many epochs). */
+    std::mutex _mwHardenMutex;
+    /** Serializes checkpoint rounds; above _mwHardenMutex. */
+    std::mutex _mwCkptMutex;
+    /**
+     * Leaf lock serializing .db file access once the engine runs
+     * multi-threaded (checkpoint write-back vs. reader base-image
+     * fetches). Never held while acquiring any other lock.
+     */
+    mutable std::mutex _mwFileMutex;
+
+    /** Shared page-number cursor (= current db size in pages). */
+    std::atomic<std::uint32_t> _mwPageCursor{0};
+    /** Write-set frames appended since the last checkpoint round. */
+    std::atomic<std::uint64_t> _mwFramesSinceCkpt{0};
+    std::atomic<std::uint64_t> _engineGeneration{0};
+
+    /** Root of the default table (resolved once at activation; DDL is
+     *  refused in multi-writer mode, so it never moves). */
+    PageNo _mwDefaultRoot = kNoPage;
+    /** Internal connection backing the direct Database statement API
+     *  in multi-writer mode. Destroyed first in ~Database. */
+    std::unique_ptr<Connection> _rootConn;
+
+    /** Inputs stashed by frOpenAndBuildReport so mwActivate can
+     *  rebuild the report after the cross-log merge. */
+    FlightRecording _frParsedRecording;
+    FrRecoveredWalState _frWalState;
+    StatsSnapshot _frStatsBefore;
 };
 
 } // namespace nvwal

@@ -24,10 +24,26 @@ using DbImage = std::map<std::string, TableImage>;
 struct ReplaySession
 {
     std::unique_ptr<Connection> conn;
+    /**
+     * Numbered writer connections for the multi-writer ops (lazily
+     * opened in first-use order, so slot assignment is deterministic
+     * across replays). Destroyed strictly before the Database.
+     */
+    std::map<int, std::unique_ptr<Connection>> conns;
     /** Oracle states; null during the counting pass (not built yet). */
     const std::vector<DbImage> *oracle = nullptr;
     /** Index of the state the currently open snapshot pinned. */
     std::uint64_t pinnedEvents = 0;
+
+    Status
+    writerConn(Database &db, int index, Connection **out)
+    {
+        std::unique_ptr<Connection> &conn = conns[index];
+        if (!conn)
+            NVWAL_RETURN_IF_ERROR(db.connect(&conn));
+        *out = conn.get();
+        return Status::ok();
+    }
 };
 
 Status
@@ -104,6 +120,41 @@ applyOp(Database &db, ReplaySession &session, const WorkloadOp &op,
             return db.remove(op.key);
         NVWAL_RETURN_IF_ERROR(db.openTable(op.table, &table));
         return table->remove(op.key);
+      case WorkloadOp::Kind::ConnBegin: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        return conn->begin();
+      }
+      case WorkloadOp::Kind::ConnCommit: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        return conn->commit(CommitOptions{});
+      }
+      case WorkloadOp::Kind::ConnCommitNoWait: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        CommitOptions options;
+        options.durability = Durability::Async;
+        options.waitForHarden = false;
+        return conn->commit(options);
+      }
+      case WorkloadOp::Kind::ConnInsert: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        return conn->insert(op.key, value);
+      }
+      case WorkloadOp::Kind::ConnUpdate: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        return conn->update(op.key, value);
+      }
+      case WorkloadOp::Kind::ConnRemove: {
+        Connection *conn = nullptr;
+        NVWAL_RETURN_IF_ERROR(session.writerConn(db, op.conn, &conn));
+        return conn->remove(op.key);
+      }
+      case WorkloadOp::Kind::ConnHardenAll:
+        return db.flushAsyncCommits();
     }
     return Status::invalidArgument("unknown workload op");
 }
@@ -121,6 +172,8 @@ isCommitEventOp(const Database &db, const WorkloadOp &op)
     switch (op.kind) {
       case WorkloadOp::Kind::Commit:
       case WorkloadOp::Kind::CommitAsync:
+      case WorkloadOp::Kind::ConnCommit:
+      case WorkloadOp::Kind::ConnCommitNoWait:
         return true;
       case WorkloadOp::Kind::Insert:
       case WorkloadOp::Kind::Update:
@@ -135,6 +188,11 @@ isCommitEventOp(const Database &db, const WorkloadOp &op)
       case WorkloadOp::Kind::SnapshotOpen:
       case WorkloadOp::Kind::SnapshotVerify:
       case WorkloadOp::Kind::SnapshotClose:
+      case WorkloadOp::Kind::ConnBegin:
+      case WorkloadOp::Kind::ConnInsert:
+      case WorkloadOp::Kind::ConnUpdate:
+      case WorkloadOp::Kind::ConnRemove:
+      case WorkloadOp::Kind::ConnHardenAll:
         return false;
     }
     return false;
@@ -145,6 +203,18 @@ DbImage
 dumpAll(Database &db)
 {
     DbImage image;
+    if (db.config().multiWriter) {
+        // DDL is disabled in multi-writer mode, so the default table
+        // is the whole database; table handles are unavailable (the
+        // shared pager is bypassed) -- read through the statement API.
+        TableImage &content = image[Database::kDefaultTable];
+        NVWAL_CHECK_OK(db.scan(
+            INT64_MIN, INT64_MAX, [&](RowId k, ConstByteSpan v) {
+                content[k] = ByteBuffer(v.begin(), v.end());
+                return true;
+            }));
+        return image;
+    }
     std::vector<std::string> tables;
     NVWAL_CHECK_OK(db.listTables(&tables));
     for (const std::string &name : tables) {
@@ -259,6 +329,7 @@ checkInvariants(Env &env, Database &db, const std::vector<DbImage> &states,
                    " nodeCount=" + std::to_string(log->nodeCount());
         const std::uint64_t reachable =
             log->reachableNvramBlocks() +
+            db.mwReachableNvramBlocks() +
             recorderBlocks(env.heap, db.config().nvwal.heapNamespace);
         const std::uint64_t in_use =
             env.heap.countBlocks(BlockState::InUse);
@@ -344,7 +415,8 @@ CrashSweep::run(SweepReport *report)
     bool has_async = false;
     for (std::size_t i = 0; i < workload.size(); ++i)
         has_async |=
-            workload.op(i).kind == WorkloadOp::Kind::CommitAsync;
+            workload.op(i).kind == WorkloadOp::Kind::CommitAsync ||
+            workload.op(i).kind == WorkloadOp::Kind::ConnCommitNoWait;
     // Async commits relax strict durability to prefix semantics, but
     // -- unlike ChecksumAsync, where every commit is probabilistic --
     // with a durable floor: epochs hardened before the crash must
@@ -514,10 +586,11 @@ CrashSweep::run(SweepReport *report)
                     crashed = true;
                 }
                 env.nvramDevice.scheduleCrashAtOp(0);
-                // The Connection references the crashed Database;
-                // destroy it (its pin and snapshot die with it)
-                // before the Database it points at.
+                // The Connections reference the crashed Database;
+                // destroy them (their pins, workspaces, and snapshots
+                // die with them) before the Database they point at.
                 session.conn.reset();
+                session.conns.clear();
                 if (!crashed && !replay.isOk())
                     return replay;   // workload must be infallible
                 if (!crashed) {

@@ -52,12 +52,32 @@ struct WorkloadOp
         CommitAsync,
         /** Database::flushAsyncCommits(): harden every pending epoch. */
         FlushAsync,
+        // ---- multi-writer ops (DbConfig::multiWriter sweeps) --------
+        // Each addresses one of several numbered connections, so a
+        // single replay thread drives interleaved transactions across
+        // distinct per-connection NVRAM logs deterministically.
+        /** Connection::begin() on connection @c conn. */
+        ConnBegin,
+        /** Connection::commit() (Group, waits for the harden). */
+        ConnCommit,
+        /** commit({Async, waitForHarden=false}): published, not yet
+         *  hardened -- opens the cross-log loss window. */
+        ConnCommitNoWait,
+        /** Insert on connection @c conn's open transaction. */
+        ConnInsert,
+        /** Update on connection @c conn's open transaction. */
+        ConnUpdate,
+        /** Remove on connection @c conn's open transaction. */
+        ConnRemove,
+        /** flushAsyncCommits(): one barrier hardens every log. */
+        ConnHardenAll,
     };
 
     Kind kind = Kind::Begin;
     std::string table;      //!< empty = the default table
     RowId key = 0;
     ByteBuffer value;
+    int conn = -1;          //!< connection index (multi-writer ops)
 };
 
 /** Builder + container for a replayable operation script. */
@@ -135,6 +155,50 @@ class Workload
     remove(RowId key, std::string table = "")
     {
         return push(make(WorkloadOp::Kind::Remove, std::move(table), key));
+    }
+
+    Workload &
+    connBegin(int conn)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnBegin, conn));
+    }
+
+    Workload &
+    connCommit(int conn)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnCommit, conn));
+    }
+
+    Workload &
+    connCommitNoWait(int conn)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnCommitNoWait, conn));
+    }
+
+    Workload &
+    connInsert(int conn, RowId key, ByteBuffer value)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnInsert, conn, key,
+                             std::move(value)));
+    }
+
+    Workload &
+    connUpdate(int conn, RowId key, ByteBuffer value)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnUpdate, conn, key,
+                             std::move(value)));
+    }
+
+    Workload &
+    connRemove(int conn, RowId key)
+    {
+        return push(makeConn(WorkloadOp::Kind::ConnRemove, conn, key));
+    }
+
+    Workload &
+    connHardenAll()
+    {
+        return push(make(WorkloadOp::Kind::ConnHardenAll));
     }
 
     Workload &
@@ -232,6 +296,60 @@ class Workload
         return w;
     }
 
+    /**
+     * The canonical multi-writer crash workload: @p writers
+     * connections committing round-robin, each transaction two
+     * inserts plus (after the first) an update of the key the
+     * *previous* connection wrote -- a cross-log same-page chain the
+     * epoch merge must order correctly at recovery. Transactions are
+     * serial (no two open at once) so optimistic validation never
+     * aborts during replay; alternating connections still spread the
+     * epochs across all the per-connection logs. Even-indexed
+     * transactions commit without waiting for the harden, leaving
+     * published-but-unhardened epochs across several logs at once
+     * (the cross-log loss window); odd ones group-harden everything
+     * published; a final connHardenAll() per round drains the rest.
+     */
+    static Workload
+    multiWriterTxns(int writers, int rounds, std::size_t value_bytes = 64)
+    {
+        Workload w;
+        int txn = 0;
+        RowId prev_key = 0;
+        bool has_prev = false;
+        for (int r = 0; r < rounds; ++r) {
+            for (int c = 0; c < writers; ++c, ++txn) {
+                w.phase("mw txn " + std::to_string(txn) + " conn " +
+                        std::to_string(c));
+                const RowId key = 9000 + txn * 10;
+                w.connBegin(c);
+                w.connInsert(c, key,
+                             valueFor(value_bytes,
+                                      static_cast<std::uint64_t>(key) * 7 +
+                                          1));
+                w.connInsert(c, key + 1,
+                             valueFor(value_bytes,
+                                      static_cast<std::uint64_t>(key) * 7 +
+                                          2));
+                if (has_prev)
+                    w.connUpdate(c, prev_key,
+                                 valueFor(value_bytes,
+                                          static_cast<std::uint64_t>(key) *
+                                                  7 +
+                                              3));
+                if (txn % 2 == 0)
+                    w.connCommitNoWait(c);
+                else
+                    w.connCommit(c);
+                prev_key = key;
+                has_prev = true;
+            }
+            w.phase("mw harden " + std::to_string(r));
+            w.connHardenAll();
+        }
+        return w;
+    }
+
     // ---- access ----------------------------------------------------
 
     std::size_t size() const { return _ops.size(); }
@@ -247,6 +365,18 @@ class Workload
         WorkloadOp op;
         op.kind = kind;
         op.table = std::move(table);
+        op.key = key;
+        op.value = std::move(value);
+        return op;
+    }
+
+    static WorkloadOp
+    makeConn(WorkloadOp::Kind kind, int conn, RowId key = 0,
+             ByteBuffer value = ByteBuffer())
+    {
+        WorkloadOp op;
+        op.kind = kind;
+        op.conn = conn;
         op.key = key;
         op.value = std::move(value);
         return op;

@@ -163,9 +163,14 @@ Status
 ShardedDatabase::connect(std::unique_ptr<ShardedConnection> *out)
 {
     std::unique_ptr<ShardedConnection> conn(new ShardedConnection(*this));
+    // Single-shard statements on a ShardedConnection run as their own
+    // transaction on the owning shard; cross-shard batches open
+    // explicit transactions themselves.
+    ConnectOptions options;
+    options.autoWriteTxn = true;
     for (auto &shard : _shards) {
         std::unique_ptr<Connection> c;
-        NVWAL_RETURN_IF_ERROR(shard->connect(&c));
+        NVWAL_RETURN_IF_ERROR(shard->connect(options, &c));
         conn->_conns.push_back(std::move(c));
     }
     *out = std::move(conn);

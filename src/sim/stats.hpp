@@ -88,6 +88,19 @@ inline constexpr const char *kWalRecoveryFramesDiscarded =
 inline constexpr const char *kWalRecoveryLostMarks =
     "wal.recovery_lost_marks";
 
+// Multi-writer per-connection logs (DESIGN.md §13). Optimistic
+// commit-time validation failures, the recovery-time epoch merge
+// (transactions applied from per-connection logs vs. dropped because
+// an earlier epoch's log prefix was torn away), group hardens across
+// the per-connection logs, and transact() retries after a conflict.
+inline constexpr const char *kWalLogConflicts = "wal.log_conflicts";
+inline constexpr const char *kWalEpochMergeTxns = "wal.epoch_merge_txns";
+inline constexpr const char *kWalEpochMergeGapDiscarded =
+    "wal.epoch_merge_gap_discarded";
+inline constexpr const char *kWalMwHardens = "wal.mw_hardens";
+inline constexpr const char *kDbTxnConflictRetries =
+    "db.txn_conflict_retries";
+
 // NVRAM flight recorder (DESIGN.md §12, docs/OBSERVABILITY.md §7).
 // Records appended to the persistent telemetry ring, slots whose
 // checksum failed at the recovery-time parse (torn plain-store tails,

@@ -186,7 +186,9 @@ TEST(Concurrency, ReadersSeeCommittedPrefixesWhileWriterCommits)
     // Commit the first transaction before any reader pins a
     // snapshot, so every snapshot has a committed horizon.
     std::unique_ptr<Connection> writer;
-    NVWAL_CHECK_OK(db->connect(&writer));
+    ConnectOptions auto_txn;
+    auto_txn.autoWriteTxn = true;
+    NVWAL_CHECK_OK(db->connect(auto_txn, &writer));
     NVWAL_CHECK_OK(writer->insert(1, testutil::spanOf(rowValue(1))));
 
     std::vector<std::thread> readers;
@@ -292,7 +294,9 @@ TEST(Concurrency, GroupCommitBatchesConcurrentWriters)
         for (int w = 0; w < kWriters; ++w) {
             writers.emplace_back([&, w, round] {
                 std::unique_ptr<Connection> conn;
-                if (!db->connect(&conn).isOk()) {
+                ConnectOptions auto_txn;
+                auto_txn.autoWriteTxn = true;
+                if (!db->connect(auto_txn, &conn).isOk()) {
                     failures++;
                     return;
                 }
