@@ -287,6 +287,62 @@ NVWAL_BENCHMARK_REPEATED(BM_WalReadHotPage)
     ->ArgName("cache_entries")->Arg(0)->Arg(16);
 
 void
+BM_WalReadColdLongChain(benchmark::State &state)
+{
+    // Cold-miss variant of BM_WalReadHotPage: the image cache is
+    // disabled and the read pins an early horizon under a long
+    // committed diff chain, so every readPageAt() must resolve its
+    // frame through the per-page radix index (DESIGN.md section 14)
+    // with no cache and no full-frame anchor at or below the
+    // horizon. range(0) is the chain length; the per-read cost must
+    // stay flat (tree descent, not O(chain)) as it grows.
+    const int chain = static_cast<int>(state.range(0));
+    EnvConfig env_config;
+    env_config.cost = CostModel::tuna(500);
+    Env env(env_config);
+    DbFile file(env.fs, "cold.db", 4096);
+    NVWAL_CHECK_OK(file.open());
+    NvwalConfig config;  // UH+LS+Diff defaults
+    config.materializeCacheEntries = 0;
+    NvwalLog log(env.heap, env.pmem, file, 4096, 24, config,
+                 env.stats);
+    std::uint32_t db_size = 0;
+    NVWAL_CHECK_OK(log.recover(&db_size));
+
+    const PageNo page_no = 3;
+    ByteBuffer page(4096, 0x3C);
+    DirtyRanges full;
+    full.mark(0, 4096);
+    std::vector<FrameWrite> frames{
+        FrameWrite{page_no, ConstByteSpan(page.data(), page.size()),
+                   &full}};
+    NVWAL_CHECK_OK(log.writeFrames(frames, true, page_no));
+    const CommitSeq horizon = log.commitSeq();
+    log.pinSnapshot(horizon);
+    for (int i = 0; i < chain; ++i) {
+        DirtyRanges diff;
+        const std::uint32_t at =
+            static_cast<std::uint32_t>(64 * (i % 60));
+        diff.mark(at, at + 8);
+        std::vector<FrameWrite> w{
+            FrameWrite{page_no,
+                       ConstByteSpan(page.data(), page.size()), &diff}};
+        NVWAL_CHECK_OK(log.writeFrames(w, true, page_no));
+    }
+
+    ByteBuffer out(4096);
+    for (auto _ : state) {
+        NVWAL_CHECK_OK(log.readPageAt(
+            page_no, ByteSpan(out.data(), out.size()), horizon));
+        benchmark::DoNotOptimize(out.data());
+    }
+    log.unpinSnapshot(horizon);
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+NVWAL_BENCHMARK_REPEATED(BM_WalReadColdLongChain)
+    ->ArgName("chain_frames")->Arg(16)->Arg(256);
+
+void
 BM_RecoveryScan(benchmark::State &state)
 {
     // Rebuild-from-NVRAM cost as a function of committed frames.

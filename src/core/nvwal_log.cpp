@@ -230,6 +230,46 @@ NvwalLog::logTxnFrames(const std::vector<FrameWrite> &frames,
                 ranges = fw.ranges->ranges();
             else
                 ranges.push_back(fw.ranges->bounding());
+            // Adaptive logging granularity (DESIGN.md §14): when the
+            // bytes this page would log exceed the threshold share of
+            // the page -- judged by the pager's observed dirty-ratio
+            // EWMA when provided, else by this commit alone -- ship
+            // ONE full-page frame instead. Same wire format
+            // (pageOffset 0, size == page size), but the frame
+            // supersedes the page's replay chain: it becomes the
+            // full_frame_shortcut anchor every later read starts at.
+            const std::uint32_t threshold =
+                _config.adaptiveFullFrameThresholdPct;
+            bool adaptive_full = false;
+            const bool already_full =
+                ranges.size() == 1 && ranges[0].lo == 0 &&
+                ranges[0].size() == _pageSize;
+            if (threshold > 0 && !already_full) {
+                std::uint64_t log_bytes = 0;
+                for (const ByteRange &r : ranges)
+                    log_bytes += r.size();
+                if (log_bytes > 0) {
+                    const std::uint64_t pct =
+                        fw.observedDirtyPct != 0
+                            ? fw.observedDirtyPct
+                            : 100 * log_bytes / _pageSize;
+                    if (pct > threshold) {
+                        ranges.assign(1, ByteRange{0, _pageSize});
+                        adaptive_full = true;
+                        _stats.add(stats::kWalFullFramesAdaptive);
+                    }
+                }
+            }
+            // Natural full-page writes are neither promotions nor
+            // byte-diffs; the two counters partition only the frames
+            // the adaptive decision actually ruled on.
+            if (!adaptive_full && !already_full) {
+                std::uint64_t diff_frames = 0;
+                for (const ByteRange &r : ranges)
+                    diff_frames += r.empty() ? 0 : 1;
+                if (diff_frames > 0)
+                    _stats.add(stats::kWalDiffFrames, diff_frames);
+            }
         } else {
             ranges.push_back(ByteRange{0, _pageSize});
         }
@@ -586,6 +626,8 @@ NvwalLog::truncateAll()
     persistU64(firstNodeFieldOff(), kNullNvOffset);
 
     _pageIndex.clear();
+    _indexedFrames = 0;
+    publishIndexGauge();
     clearImageCache();
     _chain.reset();
     _tailNode = kNullNvOffset;
@@ -831,37 +873,61 @@ NvwalLog::lookupDecision(std::uint64_t gtid, bool *commit) const
 void
 NvwalLog::indexFrame(const FrameRef &ref)
 {
-    // A new commit supersedes every cached image of the page; pinned
+    const std::uint64_t nodes_before = _frameIndexNodes;
+    auto [it, inserted] = _pageIndex.try_emplace(ref.pageNo);
+    PageEntry &entry = it->second;
+    // A new commit supersedes the page's cached images; pinned
     // readers re-materialize at their own horizon (their key can no
-    // longer be found, so they rebuild from the frame list).
-    invalidateCachedImages(ref.pageNo);
-    auto &list = _pageIndex[ref.pageNo];
-    if (!hasPins() &&
-        (!_config.diffLogging ||
-         (ref.pageOffset == 0 && ref.size == _pageSize))) {
+    // longer be found, so they rebuild from the frame index). The
+    // checkpointed base image (page, baseSeq) is exempt: it is an
+    // immutable byte-correct fact, and it is exactly the replay base
+    // this commit needs when truncation already reclaimed the
+    // page's frame chain.
+    invalidateCachedImagesExcept(ref.pageNo, entry.baseSeq);
+    if (inserted)
+        entry.frames.bindNodeGauge(&_frameIndexNodes);
+    const bool full_page =
+        ref.pageOffset == 0 && ref.size == _pageSize;
+    if (full_page && !hasPins()) {
         // A full-page frame supersedes all earlier frames -- but an
         // open snapshot may still need the superseded diffs for
         // readPageAt(), so the prune only runs while no snapshot is
         // pinned. Retained stale prefixes are harmless: replaying
-        // absolute-byte diffs in log order is idempotent.
-        list.clear();
+        // absolute-byte diffs in log order is idempotent, and the
+        // leaf's anchorSeq makes reads skip them anyway.
+        _indexedFrames -= entry.frames.frameCount();
+        entry.frames.clear();
     }
-    list.push_back(ref);
+    entry.frames.insert(
+        ref.seq, FrameIndex::Slot{ref.off, ref.pageOffset, ref.size},
+        full_page);
+    ++_indexedFrames;
+    if (_frameIndexNodes != nodes_before)
+        publishIndexGauge();
+}
+
+void
+NvwalLog::publishIndexGauge()
+{
+    _stats.setGauge(stats::kWalFrameIndexNodes, _frameIndexNodes);
 }
 
 bool
-NvwalLog::cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out)
+NvwalLog::cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out,
+                         bool record_stats)
 {
     if (_config.materializeCacheEntries == 0)
         return false;
     const auto it = _imageIndex.find({page_no, seq});
     if (it == _imageIndex.end()) {
-        _stats.add(stats::kWalMaterializeCacheMisses);
+        if (record_stats)
+            _stats.add(stats::kWalMaterializeCacheMisses);
         return false;
     }
     _imageLru.splice(_imageLru.begin(), _imageLru, it->second);
     std::memcpy(out.data(), it->second->image.data(), _pageSize);
-    _stats.add(stats::kWalMaterializeCacheHits);
+    if (record_stats)
+        _stats.add(stats::kWalMaterializeCacheHits);
     return true;
 }
 
@@ -885,10 +951,15 @@ NvwalLog::cachedImagePut(PageNo page_no, CommitSeq seq,
 }
 
 void
-NvwalLog::invalidateCachedImages(PageNo page_no)
+NvwalLog::invalidateCachedImagesExcept(PageNo page_no,
+                                       CommitSeq keep_seq)
 {
     auto it = _imageIndex.lower_bound({page_no, 0});
     while (it != _imageIndex.end() && it->first.first == page_no) {
+        if (keep_seq != 0 && it->first.second == keep_seq) {
+            ++it;
+            continue;
+        }
         _imageLru.erase(it->second);
         it = _imageIndex.erase(it);
     }
@@ -902,48 +973,62 @@ NvwalLog::clearImageCache()
 }
 
 Status
-NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
+NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon,
+                          CommitSeq *effective_out)
 {
     auto it = _pageIndex.find(page_no);
     if (it == _pageIndex.end())
         return Status::notFound("page not in WAL index");
     NVWAL_ASSERT(out.size() == _pageSize);
-    const std::vector<FrameRef> &list = it->second;
+    PageEntry &entry = it->second;
 
-    // The horizon's view of the page folds in frames [0, end);
-    // append order implies sequence order, so a backward scan finds
-    // the boundary without touching the whole list.
-    std::size_t end = list.size();
-    while (end > 0 && list[end - 1].seq > horizon)
-        --end;
-    if (end == 0) {
-        // No committed frame at or below the horizon: the base file
-        // copy (if the page exists there) is the horizon's image, and
-        // the caller owns that fallback.
-        return Status::notFound("no committed frame at snapshot horizon");
+    // O(log) horizon lookup: the newest leaf at or below the horizon
+    // in the page's radix frame index. The steps counter (descent
+    // nodes + leaves visited + frames applied) is the deterministic
+    // observable the long-log flatness gate watches.
+    std::uint64_t steps = 0;
+    const FrameIndex::Leaf *visible =
+        entry.frames.findVisible(horizon, &steps);
+    if (visible == nullptr) {
+        // No retained frame at or below the horizon. NotFound is the
+        // WAL read contract -- the caller falls back to the .db
+        // file, which (for horizon >= baseSeq) holds exactly the
+        // checkpointed base image. A surviving (page, baseSeq) cache
+        // entry pays off on the next materialization that replays on
+        // top of the base, not here.
+        return Status::notFound(
+            "no committed frame at snapshot horizon");
     }
 
     // The cache key is the newest commit folded into the image, not
     // the raw horizon: every horizon that sees the same frame prefix
     // shares one entry, and a pinned snapshot can never hit an image
     // containing commits past its horizon.
-    const CommitSeq effective = list[end - 1].seq;
-    if (cachedImageGet(page_no, effective, out))
+    const CommitSeq effective = visible->seq;
+    if (effective_out != nullptr)
+        *effective_out = effective;
+    if (cachedImageGet(page_no, effective, out)) {
+        _stats.add(stats::kWalFrameScanSteps, steps);
         return Status::ok();
-
-    // Latest-full-frame shortcut: the newest full-page frame in the
-    // visible prefix supersedes everything before it, so replay can
-    // start there and skip both the .db base read and the zero fill.
-    std::size_t start = end;
-    while (start > 0) {
-        const FrameRef &ref = list[start - 1];
-        if (ref.pageOffset == 0 && ref.size == _pageSize)
-            break;
-        --start;
     }
-    if (start > 0) {
-        --start;  // index of the full-page frame itself
+
+    // Replay start, in preference order: the indexed "last full
+    // frame <= horizon" anchor (no scan -- each leaf carries it,
+    // maintained O(1) at insert), else the cached base image, else
+    // the .db file, else zeros (a page born in the log). An anchor
+    // at or below baseSeq/prunedThrough points at reclaimed frames
+    // whose effects the base image already contains; ignore it.
+    const CommitSeq anchor = visible->anchorSeq;
+    const bool anchored = anchor != 0 && anchor > entry.baseSeq &&
+                          anchor > entry.frames.prunedThrough();
+    CommitSeq replay_lo = 0;
+    if (anchored) {
         _stats.add(stats::kWalFullFrameShortcuts);
+        replay_lo = anchor;
+    } else if (entry.baseSeq != 0 &&
+               cachedImageGet(page_no, entry.baseSeq, out,
+                              /*record_stats=*/false)) {
+        // Base image from the cache; replay the retained suffix.
     } else if (page_no <= _dbFile.pageCount()) {
         // Base image: the page as the .db file knows it. Checkpoint
         // write-back never advances the base image past the oldest
@@ -956,11 +1041,24 @@ NvwalLog::materializePage(PageNo page_no, ByteSpan out, CommitSeq horizon)
         // apply over zeros.
         std::memset(out.data(), 0, out.size());
     }
-    for (std::size_t i = start; i < end; ++i) {
-        const FrameRef &ref = list[i];
-        _pmem.readFromNvram(ref.off + kFrameHeaderSize,
-                            out.subspan(ref.pageOffset, ref.size));
-    }
+    entry.frames.forRange(
+        replay_lo, effective, [&](const FrameIndex::Leaf &leaf) {
+            ++steps;  // leaf visited
+            std::size_t begin = 0;
+            if (anchored && leaf.seq == anchor) {
+                NVWAL_ASSERT(leaf.lastFull >= 0,
+                             "anchor leaf without a full frame");
+                begin = static_cast<std::size_t>(leaf.lastFull);
+            }
+            for (std::size_t i = begin; i < leaf.slots.size(); ++i) {
+                const FrameIndex::Slot &slot = leaf.slots[i];
+                _pmem.readFromNvram(
+                    slot.off + kFrameHeaderSize,
+                    out.subspan(slot.pageOffset, slot.size));
+                ++steps;  // frame applied
+            }
+        });
+    _stats.add(stats::kWalFrameScanSteps, steps);
     cachedImagePut(page_no, effective,
                    ConstByteSpan(out.data(), out.size()));
     return Status::ok();
@@ -1006,9 +1104,11 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     if (!_unhardenedRuns.empty())
         NVWAL_RETURN_IF_ERROR(harden());
     // Trivially done only when the chain itself is empty: a log can
-    // hold zero indexed pages yet still own nodes (pure 2PC control
+    // hold zero indexed frames yet still own nodes (pure 2PC control
     // records, aborted staged frames) that a full round must free.
-    if (_pageIndex.empty() && _nodesSinceCheckpoint == 0) {
+    // Frame-less stub entries (a baseSeq kept for a surviving cached
+    // image) don't make a round necessary by themselves.
+    if (_indexedFrames == 0 && _nodesSinceCheckpoint == 0) {
         _ckptRoundActive = false;
         _ckptQueue.clear();
         _ckptQueuePos = 0;
@@ -1032,8 +1132,9 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
     if (!_ckptRoundActive) {
         _ckptQueue.clear();
         _ckptQueue.reserve(_pageIndex.size());
-        for (const auto &[page_no, refs] : _pageIndex)
-            _ckptQueue.push_back(page_no);
+        for (const auto &[page_no, entry] : _pageIndex)
+            if (!entry.frames.empty())
+                _ckptQueue.push_back(page_no);
         _ckptQueuePos = 0;
         _ckptPending.clear();
         _ckptLastWritten = kNoPage;
@@ -1058,9 +1159,10 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
             _ckptPending.clear();
         }
         const PageNo page_no = _ckptQueue[_ckptQueuePos++];
+        CommitSeq effective = 0;
         const Status read =
             materializePage(page_no, ByteSpan(page.data(), _pageSize),
-                            target);
+                            target, &effective);
         if (read.isNotFound()) {
             // The page was born after the clamped horizon; it stays
             // in the log and a later round (once the pin releases)
@@ -1068,6 +1170,13 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
             continue;
         }
         NVWAL_RETURN_IF_ERROR(read);
+        PageEntry &entry = _pageIndex.find(page_no)->second;
+        if (effective == entry.baseSeq) {
+            // Everything visible at the target is already in the
+            // base image (the page re-queued but its new commits sit
+            // past the clamped horizon); nothing to write.
+            continue;
+        }
         NVWAL_RETURN_IF_ERROR(_dbFile.writePage(
             page_no, ConstByteSpan(page.data(), _pageSize)));
         _stats.add(stats::kWalCkptPagesWritten);
@@ -1075,6 +1184,17 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
             _stats.add(stats::kWalCkptSequentialWrites);
         _ckptLastWritten = page_no;
         ++written;
+        // Reclaim the page's written-back frames from the volatile
+        // index (the NVRAM bytes stay until truncation): the base
+        // image now contains every effect at or below `effective`,
+        // and every pinned horizon is >= target >= effective, so no
+        // reader can need them. This is what bounds index memory for
+        // fully-checkpointed pages between truncations.
+        entry.baseSeq = effective;
+        const std::uint64_t nodes_before = _frameIndexNodes;
+        _indexedFrames -= entry.frames.pruneThrough(effective);
+        if (_frameIndexNodes != nodes_before)
+            publishIndexGauge();
     }
     if (_ckptQueuePos < _ckptQueue.size() || !_ckptPending.empty()) {
         // Sync what this step wrote: file writes are buffered, so
@@ -1134,11 +1254,25 @@ NvwalLog::checkpointStep(std::uint32_t max_pages, bool *done)
         NVWAL_RETURN_IF_ERROR(_heap.nvFree(*it));
     persistU64(firstNodeFieldOff(), kNullNvOffset);
 
-    _pageIndex.clear();
-    // Cached images of truncated pages are byte-correct, but their
-    // NVRAM frames are gone and the commit-sequence space restarts
-    // after the next recover(); drop them with the index.
-    clearImageCache();
+    // Truncation invalidates the image cache per page, not
+    // wholesale: a page's frames are gone, but the round just wrote
+    // its state at baseSeq into the .db file, so a cached image at
+    // exactly (page, baseSeq) is still a byte-correct base image --
+    // keep it (and a frame-less stub entry so reads find it) and it
+    // keeps hitting. Commit sequences don't restart at truncation
+    // (only recover() restarts them), so the keys stay unique facts.
+    for (auto it = _pageIndex.begin(); it != _pageIndex.end();) {
+        const PageNo page_no = it->first;
+        PageEntry &entry = it->second;
+        _indexedFrames -= entry.frames.frameCount();
+        entry.frames.clear();
+        invalidateCachedImagesExcept(page_no, entry.baseSeq);
+        if (entry.baseSeq != 0 && imageCached(page_no, entry.baseSeq))
+            ++it;
+        else
+            it = _pageIndex.erase(it);
+    }
+    publishIndexGauge();
     _chain.reset();
     _tailNode = kNullNvOffset;
     _tailUsed = 0;
@@ -1157,6 +1291,8 @@ NvwalLog::recover(std::uint32_t *db_size_pages)
     const SimTime recover_begin = _pmem.clock().now();
     *db_size_pages = 0;
     _pageIndex.clear();
+    _indexedFrames = 0;
+    publishIndexGauge();
     _pendingRefs.clear();
     _ckptRoundActive = false;
     _ckptQueue.clear();

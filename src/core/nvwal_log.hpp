@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "common/checksum.hpp"
+#include "core/frame_index.hpp"
 #include "core/nvwal_config.hpp"
 #include "heap/nv_heap.hpp"
 #include "pager/db_file.hpp"
@@ -257,6 +258,33 @@ class NvwalLog : public WriteAheadLog
     /** Current cumulative-checksum chain value (tests). */
     std::uint64_t chainValue() const { return _chain.value(); }
 
+    /** Live radix nodes across every per-page frame index. */
+    std::uint64_t frameIndexNodes() const { return _frameIndexNodes; }
+
+    /** Committed frames currently held in the volatile index. */
+    std::uint64_t indexedFrames() const { return _indexedFrames; }
+
+    /** Committed frames indexed for @p page_no (0 when absent). */
+    std::uint64_t
+    indexedFrames(PageNo page_no) const
+    {
+        const auto it = _pageIndex.find(page_no);
+        return it == _pageIndex.end() ? 0
+                                      : it->second.frames.frameCount();
+    }
+
+    /**
+     * Newest commit sequence whose effects on @p page_no are
+     * contained in the .db base image (checkpoint write-back);
+     * frames at or below it have been reclaimed from the index.
+     */
+    CommitSeq
+    pageBaseSeq(PageNo page_no) const
+    {
+        const auto it = _pageIndex.find(page_no);
+        return it == _pageIndex.end() ? 0 : it->second.baseSeq;
+    }
+
   private:
     struct FrameRef
     {
@@ -336,29 +364,52 @@ class NvwalLog : public WriteAheadLog
 
     // ---- materialized-page LRU cache -------------------------------
 
-    /** Copy a cached image of (page, seq) into @p out, if present. */
-    bool cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out);
+    /**
+     * Copy a cached image of (page, seq) into @p out, if present.
+     * @p record_stats suppresses the hit/miss counters for
+     * secondary probes (the base-image fallback inside one
+     * materialization), so the counters keep meaning "one lookup
+     * per read".
+     */
+    bool cachedImageGet(PageNo page_no, CommitSeq seq, ByteSpan out,
+                        bool record_stats = true);
 
     /** Remember @p image as the page's state as of @p seq. */
     void cachedImagePut(PageNo page_no, CommitSeq seq,
                         ConstByteSpan image);
 
-    /** Drop every cached image of @p page_no (new commit landed). */
-    void invalidateCachedImages(PageNo page_no);
+    /**
+     * Drop @p page_no's cached images except the one at @p keep_seq
+     * (pass 0 to keep none). Truncation invalidates per page with
+     * the page's checkpointed base image exempted: its frames are
+     * gone, but the (page, baseSeq) fact is still byte-correct and
+     * keeps serving reads.
+     */
+    void invalidateCachedImagesExcept(PageNo page_no,
+                                      CommitSeq keep_seq);
 
-    /** Drop the whole cache (recovery, log truncation). */
+    /** Whether the cache holds an image of (page, seq); no LRU touch. */
+    bool imageCached(PageNo page_no, CommitSeq seq) const
+    { return _imageIndex.count({page_no, seq}) != 0; }
+
+    /** Drop the whole cache (recovery). */
     void clearImageCache();
 
     /** Apply one committed frame to the volatile page index. */
     void indexFrame(const FrameRef &ref);
 
+    /** Re-publish the wal.frame_index_nodes gauge after a change. */
+    void publishIndexGauge();
+
     /**
      * Shared page materialization: base .db image plus committed
      * diffs with seq <= @p horizon, in log order. kNoPin reads the
-     * newest committed version.
+     * newest committed version. @p effective_out (optional) reports
+     * the newest commit sequence folded into the image.
      */
     Status materializePage(PageNo page_no, ByteSpan out,
-                           CommitSeq horizon);
+                           CommitSeq horizon,
+                           CommitSeq *effective_out = nullptr);
 
     /**
      * Make @p refs durable when the sync mode is Lazy or @p force is
@@ -479,8 +530,26 @@ class NvwalLog : public WriteAheadLog
     std::size_t _ckptQueuePos = 0;    //!< next queue index to drain
     std::set<PageNo> _ckptPending;    //!< re-dirtied during the round
     PageNo _ckptLastWritten = kNoPage; //!< previous write-back target
-    /** page -> committed frames in append order. */
-    std::map<PageNo, std::vector<FrameRef>> _pageIndex;
+    /**
+     * One page's volatile read-path state: the radix frame index
+     * over its retained committed frames (DESIGN.md §14), plus
+     * baseSeq — the newest commit sequence whose effects the .db
+     * base image already contains (advanced by checkpoint
+     * write-back, which then reclaims the frames at or below it).
+     * A frame-less "stub" entry (baseSeq only) survives truncation
+     * while its cached base image keeps serving reads.
+     */
+    struct PageEntry
+    {
+        FrameIndex frames;
+        CommitSeq baseSeq = 0;
+    };
+    /** page -> committed-frame index + checkpointed base horizon. */
+    std::map<PageNo, PageEntry> _pageIndex;
+    /** Total frames held across every page's index. */
+    std::uint64_t _indexedFrames = 0;
+    /** Live radix nodes across every page's index (gauge backing). */
+    std::uint64_t _frameIndexNodes = 0;
     /**
      * Materialized-image LRU (front = most recent) plus its lookup
      * index. Keyed by (page, newest seq folded in), so a pinned

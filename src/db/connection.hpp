@@ -42,6 +42,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "db/database.hpp"
@@ -146,6 +147,11 @@ class Connection
                 return s;
             ++attempt;
             noteConflictRetry();
+            // Losing repeatedly usually means the winning committer
+            // is mid-publish on another core; give it the CPU rather
+            // than burning the retry budget against the same epoch.
+            if (attempt >= 4)
+                std::this_thread::yield();
         }
     }
 

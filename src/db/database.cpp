@@ -688,6 +688,7 @@ Database::collectDirtyFrames(GroupEntry *entry)
         frame.pageNo = no;
         frame.page = page->buf;
         frame.ranges = page->dirty;
+        frame.observedDirtyPct = page->noteDirtyRatio();
         entry->frames.push_back(std::move(frame));
     }
     entry->dbSizePages = _pager->pageCount();
@@ -703,7 +704,7 @@ Database::entryToTxn(const GroupEntry &e)
     for (const GroupEntry::Frame &f : e.frames) {
         txn.frames.push_back(FrameWrite{
             f.pageNo, ConstByteSpan(f.page.data(), f.page.size()),
-            &f.ranges});
+            &f.ranges, f.observedDirtyPct});
     }
     return txn;
 }
@@ -2016,7 +2017,7 @@ Database::mwCommitWorkspace(std::uint32_t slot_no, MwWorkspace &ws,
         NVWAL_ASSERT(page != nullptr, "dirty page not in workspace");
         txn.frames.push_back(FrameWrite{
             page_no, ConstByteSpan(page->buf.data(), page->buf.size()),
-            &page->dirty});
+            &page->dirty, page->noteDirtyRatio()});
     }
     const Status append = slot.log->writeTxnEpoch(txn, epoch);
     if (append.isOk()) {

@@ -538,6 +538,8 @@ class Database
             PageNo pageNo = kNoPage;
             ByteBuffer page;
             DirtyRanges ranges;
+            /** Pager-observed dirty-ratio EWMA (see FrameWrite). */
+            std::uint8_t observedDirtyPct = 0;
         };
         /**
          * What the leader appends for this entry: a plain commit

@@ -32,8 +32,34 @@ struct CachedPage
 {
     ByteBuffer buf;
     DirtyRanges dirty;
+    /**
+     * Observed dirty ratio (percent) smoothed across this page's
+     * commits; 0 until the first commit. Feeds the WAL's adaptive
+     * diff-vs-full-page frame decision via
+     * FrameWrite::observedDirtyPct.
+     */
+    std::uint8_t dirtyPctEwma = 0;
 
     bool isDirty() const { return !dirty.empty(); }
+
+    /**
+     * Fold the current dirty ranges into the EWMA (half old, half
+     * current; seeded by the first observation) and return it.
+     * Called once per commit while the ranges are still populated.
+     */
+    std::uint8_t
+    noteDirtyRatio()
+    {
+        if (buf.empty() || dirty.empty())
+            return dirtyPctEwma;
+        std::uint64_t pct =
+            (100 * dirty.totalBytes() + buf.size() - 1) / buf.size();
+        if (pct > 100)
+            pct = 100;
+        dirtyPctEwma = static_cast<std::uint8_t>(
+            dirtyPctEwma == 0 ? pct : (dirtyPctEwma + pct + 1) / 2);
+        return dirtyPctEwma;
+    }
 
     ByteSpan span() { return ByteSpan(buf.data(), buf.size()); }
     ConstByteSpan cspan() const

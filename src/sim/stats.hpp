@@ -147,6 +147,20 @@ inline constexpr const char *kWalMaterializeCacheMisses =
     "wal.materialize_cache_misses";
 inline constexpr const char *kWalFullFrameShortcuts =
     "wal.full_frame_shortcuts";
+// Radix frame index + adaptive granularity (DESIGN.md §14): live
+// radix nodes across every per-page frame index (gauge), frames
+// shipped as one full page vs. as byte-diffs by the adaptive
+// dirty-ratio decision, and the total index work (descent nodes +
+// leaves visited + frames applied) the read path paid materializing
+// pages -- the deterministic observable behind the long-log
+// flatness gate.
+inline constexpr const char *kWalFrameIndexNodes =
+    "wal.frame_index_nodes";
+inline constexpr const char *kWalFullFramesAdaptive =
+    "wal.full_frames_adaptive";
+inline constexpr const char *kWalDiffFrames = "wal.diff_frames";
+inline constexpr const char *kWalFrameScanSteps =
+    "wal.frame_scan_steps";
 // Ordered checkpoint write-back: pages written per round and pairs of
 // consecutive writes whose page numbers ascended (sequentiality for
 // the Fig. 8 block-trace story).

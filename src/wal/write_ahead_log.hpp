@@ -45,6 +45,14 @@ struct FrameWrite
     PageNo pageNo;
     ConstByteSpan page;          //!< full page buffer
     const DirtyRanges *ranges;   //!< dirty byte ranges within the page
+    /**
+     * Observed dirty ratio of the page (percent, EWMA across
+     * commits), tracked by the pager/workspace layer; 0 = unknown,
+     * in which case the WAL judges by this commit's ranges alone.
+     * Drives the adaptive diff-vs-full-page frame decision
+     * (NvwalConfig::adaptiveFullFrameThresholdPct).
+     */
+    std::uint8_t observedDirtyPct = 0;
 };
 
 /** One transaction's frames inside a group commit. */
